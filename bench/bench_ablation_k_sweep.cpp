@@ -1,0 +1,64 @@
+// Ablation: how the number of mappings K (memory pressure) and the
+// inference count shape the duty-cycle concentration that DNN-Life relies
+// on (Sec. III-B insight: larger effective K -> duty closer to 0.5).
+// Sweeps the baseline accelerator's weight-memory size, which changes K
+// for a fixed network.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dnnlife;
+  using core::PolicyConfig;
+  benchutil::print_heading(
+      "Ablation: memory size (K) sweep — custom MNIST net, int8-symmetric");
+
+  util::Table table({"memory [KB]", "K", "policy", "mean SNM [%]",
+                     "max SNM [%]", "% optimal"});
+  for (std::uint64_t kb : {4ULL, 16ULL, 64ULL, 256ULL}) {
+    core::ExperimentConfig config;
+    config.network = "custom_mnist";
+    config.format = quant::WeightFormat::kInt8Symmetric;
+    config.hardware = core::HardwareKind::kBaseline;
+    config.baseline.weight_memory_bytes = kb * 1024;
+    config.inferences = 100;
+    const core::Workbench bench(config);
+    for (const auto& policy :
+         {PolicyConfig::none(), PolicyConfig::dnn_life(0.5)}) {
+      const auto report = bench.evaluate(policy);
+      table.add_row({util::Table::num(kb),
+                     util::Table::num(std::uint64_t{
+                         bench.stream().blocks_per_inference()}),
+                     policy.name(),
+                     util::Table::num(report.snm_stats.mean(), 2),
+                     util::Table::num(report.snm_stats.max(), 2),
+                     util::Table::num(100.0 * report.fraction_optimal, 1)});
+    }
+  }
+  std::cout << table.to_string();
+
+  benchutil::print_heading("Inference-count sweep (effective K growth)");
+  util::Table inf_table({"inferences", "mean SNM [%]", "max SNM [%]",
+                         "% optimal"});
+  for (unsigned inferences : {10u, 25u, 50u, 100u, 400u}) {
+    core::ExperimentConfig config;
+    config.network = "custom_mnist";
+    config.format = quant::WeightFormat::kInt8Symmetric;
+    config.hardware = core::HardwareKind::kTpuNpu;
+    config.inferences = inferences;
+    const core::Workbench bench(config);
+    const auto report = bench.evaluate(PolicyConfig::dnn_life(0.5));
+    inf_table.add_row({util::Table::num(std::uint64_t{inferences}),
+                       util::Table::num(report.snm_stats.mean(), 2),
+                       util::Table::num(report.snm_stats.max(), 2),
+                       util::Table::num(100.0 * report.fraction_optimal, 1)});
+  }
+  std::cout << inf_table.to_string();
+  std::cout << "\nDNN-Life's randomness accumulates across inferences: its\n"
+               "effective K is (writes/slot) x inferences, so even the NPU's\n"
+               "1-2 writes per slot converge to the optimum over the device\n"
+               "lifetime; deterministic schemes cannot grow K this way.\n";
+  return 0;
+}

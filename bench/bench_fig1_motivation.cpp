@@ -1,0 +1,42 @@
+// Fig. 1 (motivation): (a) accuracy and fp32 size of the state-of-the-art
+// DNNs; (b) SRAM vs DRAM access energy. Sizes are computed from the model
+// zoo's layer descriptors; accuracies are the cited constants the paper
+// plots; access energies come from the energy model (data source: the
+// paper's [1]).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "dnn/model_zoo.hpp"
+#include "sim/energy_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dnnlife;
+  benchutil::print_heading("Fig. 1a: DNN size vs accuracy");
+  util::Table table({"network", "parameters", "size fp32 [MB]",
+                     "top-1 [%]", "top-5 [%]"});
+  for (const std::string name : {"alexnet", "googlenet", "vgg16", "resnet152"}) {
+    const dnn::Network net = dnn::make_network(name);
+    const auto acc = dnn::reference_accuracy(name);
+    table.add_row({name, util::Table::num(net.total_parameters()),
+                   util::Table::num(net.size_mb_fp32(), 1),
+                   util::Table::num(acc.top1_percent, 1),
+                   util::Table::num(acc.top5_percent, 1)});
+  }
+  std::cout << table.to_string();
+
+  benchutil::print_heading("Fig. 1b: access energy, 32-bit word");
+  const sim::EnergyModel energy;
+  util::Table energy_table({"memory", "energy [pJ]", "relative"});
+  const double sram = energy.sram_access_pj(32);
+  const double dram = energy.dram_access_pj(32);
+  energy_table.add_row({"32KB SRAM", util::Table::num(sram, 1),
+                        util::Table::num(1.0, 1)});
+  energy_table.add_row({"DRAM", util::Table::num(dram, 1),
+                        util::Table::num(dram / sram, 1)});
+  std::cout << energy_table.to_string();
+  std::cout << "\nPaper shape: DNN sizes span tens to hundreds of MB while\n"
+               "DRAM access costs ~2 orders of magnitude more than on-chip\n"
+               "SRAM — the motivation for large on-chip weight memories.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark): throughput of the building blocks
+// the large simulations lean on.
+#include <benchmark/benchmark.h>
+
+#include "core/fast_simulator.hpp"
+#include "core/transducer.hpp"
+#include "dnn/model_zoo.hpp"
+#include "quant/bit_distribution.hpp"
+#include "quant/word_codec.hpp"
+#include "sim/accelerator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dnnlife;
+
+void BM_XoshiroNext(benchmark::State& state) {
+  util::Xoshiro256ss rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_XoshiroNext);
+
+void BM_CounterRngGaussian(benchmark::State& state) {
+  util::CounterRng rng(1);
+  std::uint64_t i = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(rng.gaussian_at(i++));
+}
+BENCHMARK(BM_CounterRngGaussian);
+
+void BM_WeightStream(benchmark::State& state) {
+  const dnn::Network net = dnn::make_custom_mnist();
+  const dnn::WeightStreamer streamer(net);
+  std::uint64_t g = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(streamer.weight(g));
+    g = (g + 1) % net.total_weights();
+  }
+}
+BENCHMARK(BM_WeightStream);
+
+void BM_Int8Encode(benchmark::State& state) {
+  const dnn::Network net = dnn::make_custom_mnist();
+  const dnn::WeightStreamer streamer(net);
+  const quant::WeightWordCodec codec(streamer, quant::WeightFormat::kInt8Symmetric);
+  (void)codec.layer_params(0);  // pre-warm the quantization parameters
+  std::uint64_t g = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(g));
+    g = (g + 1) % net.total_weights();
+  }
+}
+BENCHMARK(BM_Int8Encode);
+
+void BM_XorTransducerRow(benchmark::State& state) {
+  const core::XorTransducer transducer(512);
+  std::vector<std::uint64_t> row(8, 0x1234567890abcdefULL);
+  for (auto _ : state) {
+    transducer.apply(row, true);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_XorTransducerRow);
+
+void BM_SampleBinomialHalf(benchmark::State& state) {
+  util::Xoshiro256ss rng(2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::sample_binomial(rng, 100, 0.5));
+}
+BENCHMARK(BM_SampleBinomialHalf);
+
+void BM_SampleBinomialBiased(benchmark::State& state) {
+  util::Xoshiro256ss rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::sample_binomial(rng, 100, 0.7));
+}
+BENCHMARK(BM_SampleBinomialBiased);
+
+void BM_FastSimCustomNet(benchmark::State& state) {
+  const dnn::Network net = dnn::make_custom_mnist();
+  const dnn::WeightStreamer streamer(net);
+  const quant::WeightWordCodec codec(streamer, quant::WeightFormat::kInt8Symmetric);
+  sim::BaselineAcceleratorConfig config;
+  config.weight_memory_bytes = 16 * 1024;
+  const sim::BaselineWeightStream stream(codec, config);
+  const auto policy = core::PolicyConfig::dnn_life(0.5);
+  for (auto _ : state) {
+    const auto tracker = core::simulate_fast(stream, policy, {100});
+    benchmark::DoNotOptimize(tracker.ones_time().data());
+  }
+}
+BENCHMARK(BM_FastSimCustomNet)->Unit(benchmark::kMillisecond);
+
+void BM_BitDistributionAnalysis(benchmark::State& state) {
+  const dnn::Network net = dnn::make_custom_mnist();
+  const dnn::WeightStreamer streamer(net);
+  const quant::WeightWordCodec codec(streamer, quant::WeightFormat::kFloat32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quant::analyze_network_bits(codec, 50000));
+  }
+}
+BENCHMARK(BM_BitDistributionAnalysis)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,31 @@
+// Shared output helpers for the benchmark harnesses.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "aging/snm_histogram.hpp"
+#include "util/table.hpp"
+
+namespace dnnlife::benchutil {
+
+inline void print_heading(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Print one evaluation in the shape of a Fig. 9 / Fig. 11 bar graph:
+/// the per-bin percentage of cells plus the summary row.
+inline void print_report(const std::string& label,
+                         const aging::AgingReport& report) {
+  std::cout << "\n-- " << label << " --\n";
+  std::cout << "  mean SNM degradation: "
+            << util::Table::num(report.snm_stats.mean(), 2)
+            << "%  (min " << util::Table::num(report.snm_stats.min(), 2)
+            << "%, max " << util::Table::num(report.snm_stats.max(), 2)
+            << "%)\n";
+  std::cout << "  cells at optimal (~10.8%) level: "
+            << util::Table::num(100.0 * report.fraction_optimal, 2) << "%\n";
+  std::cout << report.snm_histogram.to_string(1, 40);
+}
+
+}  // namespace dnnlife::benchutil

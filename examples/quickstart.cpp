@@ -1,0 +1,115 @@
+// Quickstart: the full DNN-Life flow on the paper's custom MNIST network.
+//
+//  1. Build the network and its (synthetic pre-trained) weights.
+//  2. Quantize to int8 and run a real inference to have a reference output.
+//  3. Route every weight through the WDE -> SRAM -> RDD path and verify
+//     the decoded weights produce the *same* inference result — the
+//     encoding is transparent to the application.
+//  4. Run the aging simulation with and without DNN-Life and report the
+//     7-year SNM degradation.
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metadata_store.hpp"
+#include "core/transducer.hpp"
+#include "core/trbg.hpp"
+#include "dnn/inference.hpp"
+#include "dnn/model_zoo.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dnnlife;
+
+/// WeightSource that passes every weight word through WDE -> memory word
+/// -> RDD with a per-weight random enable, exactly like the hardware path.
+class TransducedWeightSource final : public dnn::WeightSource {
+ public:
+  TransducedWeightSource(const quant::WeightWordCodec& codec,
+                         core::Trbg& trbg)
+      : codec_(&codec), trbg_(&trbg), wde_(codec.bits()) {}
+
+  float weight(std::uint64_t g) const override {
+    const std::uint64_t original = codec_->encode(g);
+    const bool enable = trbg_->next();
+    // WDE on the write path...
+    std::vector<std::uint64_t> stored = {original};
+    wde_.apply(stored, enable);
+    // ...RDD on the read path with the stored metadata bit.
+    wde_.apply(stored, enable);
+    return static_cast<float>(codec_->decode(g, stored[0]));
+  }
+
+ private:
+  const quant::WeightWordCodec* codec_;
+  core::Trbg* trbg_;
+  core::XorTransducer wde_;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "DNN-Life quickstart\n===================\n\n";
+
+  // 1. Network + weights.
+  const dnn::Network network = dnn::make_custom_mnist();
+  const dnn::WeightStreamer streamer(network);
+  std::cout << "network: " << network.name() << ", "
+            << network.total_weights() << " weights ("
+            << network.weight_bytes(8) / 1024 << " KB at int8)\n";
+
+  // 2. Reference inference on quantized weights.
+  const quant::WeightWordCodec codec(streamer, quant::WeightFormat::kInt8Symmetric);
+  dnn::Tensor3 input(1, 28, 28);
+  for (std::uint32_t y = 8; y < 20; ++y)
+    for (std::uint32_t x = 8; x < 20; ++x) input.at(0, y, x) = 1.0f;  // a blob
+
+  class QuantizedSource final : public dnn::WeightSource {
+   public:
+    explicit QuantizedSource(const quant::WeightWordCodec& codec) : codec_(&codec) {}
+    float weight(std::uint64_t g) const override {
+      return static_cast<float>(codec_->decode(g, codec_->encode(g)));
+    }
+   private:
+    const quant::WeightWordCodec* codec_;
+  };
+  const QuantizedSource quantized(codec);
+  const auto reference = dnn::run_inference(network, quantized, input);
+  std::cout << "reference inference (quantized weights): class "
+            << dnn::argmax(reference) << "\n";
+
+  // 3. Same inference with every weight routed through WDE -> RDD.
+  core::BiasedTrbg trbg(0.5, 2026);
+  const TransducedWeightSource transduced(codec, trbg);
+  const auto roundtrip = dnn::run_inference(network, transduced, input);
+  std::cout << "inference through WDE/SRAM/RDD path:    class "
+            << dnn::argmax(roundtrip)
+            << (roundtrip == reference ? "  (outputs identical)" : "  (MISMATCH!)")
+            << "\n\n";
+
+  // 4. Aging with and without DNN-Life.
+  core::ExperimentConfig config;
+  config.network = "custom_mnist";
+  config.format = quant::WeightFormat::kInt8Symmetric;
+  config.hardware = core::HardwareKind::kTpuNpu;
+  config.inferences = 100;
+  const core::Workbench bench(config);
+  const auto unprotected = bench.evaluate(core::PolicyConfig::none());
+  const auto protected_ = bench.evaluate(core::PolicyConfig::dnn_life(0.5));
+
+  util::Table table({"", "without mitigation", "with DNN-Life"});
+  table.add_row({"mean SNM degradation (7y)",
+                 util::Table::num(unprotected.snm_stats.mean(), 2) + "%",
+                 util::Table::num(protected_.snm_stats.mean(), 2) + "%"});
+  table.add_row({"worst cell",
+                 util::Table::num(unprotected.snm_stats.max(), 2) + "%",
+                 util::Table::num(protected_.snm_stats.max(), 2) + "%"});
+  table.add_row({"cells at optimal level",
+                 util::Table::num(100.0 * unprotected.fraction_optimal, 1) + "%",
+                 util::Table::num(100.0 * protected_.fraction_optimal, 1) + "%"});
+  std::cout << table.to_string();
+  std::cout << "\nDNN-Life balances every cell's duty-cycle at no cost to\n"
+               "inference results and ~0.05% metadata overhead.\n";
+  return roundtrip == reference ? 0 : 1;
+}

@@ -1,0 +1,26 @@
+#include "aging/duty_cycle.hpp"
+
+#include <algorithm>
+
+namespace dnnlife::aging {
+
+DutyCycleTracker::DutyCycleTracker(std::size_t cell_count)
+    : ones_time_(cell_count, 0), total_time_(cell_count, 0) {
+  DNNLIFE_EXPECTS(cell_count > 0, "tracker needs at least one cell");
+}
+
+void DutyCycleTracker::merge(const DutyCycleTracker& other) {
+  DNNLIFE_EXPECTS(other.cell_count() == cell_count(),
+                  "tracker geometries differ");
+  for (std::size_t cell = 0; cell < ones_time_.size(); ++cell) {
+    ones_time_[cell] += other.ones_time_[cell];
+    total_time_[cell] += other.total_time_[cell];
+  }
+}
+
+std::size_t DutyCycleTracker::unused_cell_count() const {
+  return static_cast<std::size_t>(
+      std::count(total_time_.begin(), total_time_.end(), 0u));
+}
+
+}  // namespace dnnlife::aging

@@ -1,0 +1,60 @@
+// Per-cell duty-cycle accounting.
+//
+// The duty-cycle of a 6T-SRAM cell is the fraction of device lifetime it
+// spends storing '1' (paper Sec. I). The simulator accumulates, per cell,
+// "ones time" and "total time" in units of block-residency slots; NBTI
+// aging depends only on this long-term average (paper cites [14]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dnnlife::aging {
+
+class DutyCycleTracker {
+ public:
+  explicit DutyCycleTracker(std::size_t cell_count);
+
+  std::size_t cell_count() const noexcept { return ones_time_.size(); }
+
+  /// Accumulate `amount` slots of storing '1' for `cell`.
+  void add_ones_time(std::size_t cell, std::uint32_t amount) {
+    ones_time_[cell] += amount;
+  }
+
+  /// Accumulate `amount` slots of holding *some* value for `cell`.
+  void add_total_time(std::size_t cell, std::uint32_t amount) {
+    total_time_[cell] += amount;
+  }
+
+  /// Raw accumulators (the fast simulator writes these in bulk).
+  std::vector<std::uint32_t>& ones_time() noexcept { return ones_time_; }
+  std::vector<std::uint32_t>& total_time() noexcept { return total_time_; }
+  const std::vector<std::uint32_t>& ones_time() const noexcept { return ones_time_; }
+  const std::vector<std::uint32_t>& total_time() const noexcept { return total_time_; }
+
+  /// True if the cell was never covered by any write (unused memory).
+  bool is_unused(std::size_t cell) const { return total_time_[cell] == 0; }
+
+  /// Duty-cycle of `cell` in [0, 1]. Precondition: !is_unused(cell).
+  double duty(std::size_t cell) const {
+    DNNLIFE_EXPECTS(total_time_[cell] > 0, "duty of unused cell");
+    return static_cast<double>(ones_time_[cell]) /
+           static_cast<double>(total_time_[cell]);
+  }
+
+  std::size_t unused_cell_count() const;
+
+  /// Accumulate another tracker over the same memory (multi-phase
+  /// workloads: the lifetime duty-cycle is the time-weighted union of the
+  /// phases' accumulators).
+  void merge(const DutyCycleTracker& other);
+
+ private:
+  std::vector<std::uint32_t> ones_time_;
+  std::vector<std::uint32_t> total_time_;
+};
+
+}  // namespace dnnlife::aging

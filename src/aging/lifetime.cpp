@@ -1,0 +1,43 @@
+#include "aging/lifetime.hpp"
+
+#include <cmath>
+
+namespace dnnlife::aging {
+
+LifetimeModel::LifetimeModel(SnmParams snm, LifetimeParams params)
+    : snm_(snm), params_(params) {
+  DNNLIFE_EXPECTS(params_.snm_failure_threshold > snm.snm_at_balanced,
+                  "failure threshold below the balanced-duty degradation at "
+                  "the reference horizon");
+}
+
+double LifetimeModel::years_to_failure(double duty) const {
+  const auto& snm = snm_.params();
+  const double degradation_at_ref = snm_.snm_degradation(duty, snm.t_ref_years);
+  return snm.t_ref_years *
+         std::pow(params_.snm_failure_threshold / degradation_at_ref,
+                  1.0 / snm.time_exponent);
+}
+
+LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
+                                    const LifetimeModel& model) {
+  LifetimeReport report;
+  double device = 0.0;
+  bool first = true;
+  for (std::size_t cell = 0; cell < tracker.cell_count(); ++cell) {
+    if (tracker.is_unused(cell)) continue;
+    const double years = model.years_to_failure(tracker.duty(cell));
+    report.cell_lifetime.add(years);
+    if (first || years < device) {
+      device = years;
+      first = false;
+    }
+  }
+  DNNLIFE_EXPECTS(!first, "no used cells in tracker");
+  report.device_lifetime_years = device;
+  report.improvement_over_worst_case = device / model.worst_case_years();
+  report.fraction_of_ideal = device / model.best_case_years();
+  return report;
+}
+
+}  // namespace dnnlife::aging

@@ -1,0 +1,62 @@
+// Lifetime estimation: the paper's title metric.
+//
+// A cell is considered failed once its SNM degradation crosses a
+// threshold (read-stability margin exhausted). Inverting the calibrated
+// power law  snm(d, t) = S_max * s^alpha * (t/t_ref)^beta  gives the
+// years-to-failure of a cell at duty-cycle d:
+//
+//     t_fail(d) = t_ref * (threshold / (S_max * s^alpha))^(1/beta)
+//
+// The memory fails with its first cell (no spare rows modelled), so the
+// device lifetime is the minimum over cells — which is exactly what
+// balancing the worst cell's duty-cycle maximises.
+#pragma once
+
+#include "aging/duty_cycle.hpp"
+#include "aging/snm_model.hpp"
+#include "util/statistics.hpp"
+
+namespace dnnlife::aging {
+
+struct LifetimeParams {
+  /// SNM degradation (percent) at which a cell is considered failed.
+  /// Must exceed the model's degradation-at-balanced anchor at t_ref,
+  /// otherwise even a perfect memory would be "dead" before t_ref.
+  double snm_failure_threshold = 20.0;
+};
+
+class LifetimeModel {
+ public:
+  LifetimeModel(SnmParams snm = {}, LifetimeParams params = {});
+
+  /// Years until a cell at lifetime duty-cycle `duty` crosses the
+  /// failure threshold.
+  double years_to_failure(double duty) const;
+
+  /// The theoretical maximum (all cells at duty 0.5).
+  double best_case_years() const { return years_to_failure(0.5); }
+  /// The worst case (a cell stuck at duty 0 or 1).
+  double worst_case_years() const { return years_to_failure(1.0); }
+
+  const SnmParams& snm_params() const noexcept { return snm_.params(); }
+  const LifetimeParams& params() const noexcept { return params_; }
+
+ private:
+  CalibratedSnmModel snm_;
+  LifetimeParams params_;
+};
+
+struct LifetimeReport {
+  double device_lifetime_years = 0.0;  ///< min over used cells
+  util::RunningStats cell_lifetime;    ///< distribution over used cells
+  /// device lifetime / worst-case (duty 0/1) lifetime.
+  double improvement_over_worst_case = 0.0;
+  /// device lifetime / best-case (duty 0.5) lifetime, in (0, 1].
+  double fraction_of_ideal = 0.0;
+};
+
+/// Evaluate every used cell of `tracker` under `model`.
+LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
+                                    const LifetimeModel& model);
+
+}  // namespace dnnlife::aging

@@ -1,0 +1,31 @@
+#include "aging/nbti_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dnnlife::aging {
+
+NbtiModel::NbtiModel(NbtiParams params) : params_(params) {
+  DNNLIFE_EXPECTS(params_.amplitude_v >= 0.0, "NBTI amplitude");
+  DNNLIFE_EXPECTS(params_.stress_exponent > 0.0, "NBTI stress exponent");
+  DNNLIFE_EXPECTS(params_.time_exponent > 0.0, "NBTI time exponent");
+  DNNLIFE_EXPECTS(params_.t_ref_years > 0.0, "NBTI reference horizon");
+}
+
+double NbtiModel::vth_shift(double stress_ratio, double years) const {
+  DNNLIFE_EXPECTS(stress_ratio >= 0.0 && stress_ratio <= 1.0,
+                  "stress ratio out of [0,1]");
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  if (stress_ratio == 0.0 || years == 0.0) return 0.0;
+  return params_.amplitude_v * std::pow(stress_ratio, params_.stress_exponent) *
+         std::pow(years / params_.t_ref_years, params_.time_exponent);
+}
+
+double NbtiModel::cell_stress_ratio(double duty) {
+  DNNLIFE_EXPECTS(duty >= 0.0 && duty <= 1.0, "duty out of [0,1]");
+  return std::max(duty, 1.0 - duty);
+}
+
+}  // namespace dnnlife::aging

@@ -1,0 +1,91 @@
+#include "aging/prob_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dnnlife::aging {
+
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k) {
+  DNNLIFE_EXPECTS(k <= n, "binomial coefficient k > n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t k_trials, std::uint64_t i, double rho) {
+  DNNLIFE_EXPECTS(i <= k_trials, "pmf index out of range");
+  DNNLIFE_EXPECTS(rho >= 0.0 && rho <= 1.0, "rho out of [0,1]");
+  if (rho == 0.0) return i == 0 ? 1.0 : 0.0;
+  if (rho == 1.0) return i == k_trials ? 1.0 : 0.0;
+  const double log_p = log_binomial_coefficient(k_trials, i) +
+                       static_cast<double>(i) * std::log(rho) +
+                       static_cast<double>(k_trials - i) * std::log1p(-rho);
+  return std::exp(log_p);
+}
+
+double binomial_cdf(std::uint64_t k_trials, std::uint64_t b, double rho) {
+  b = std::min(b, k_trials);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i <= b; ++i) sum += binomial_pmf(k_trials, i, rho);
+  return std::min(sum, 1.0);
+}
+
+double duty_tail_probability(std::uint64_t k_mappings, std::uint64_t b,
+                             double rho) {
+  DNNLIFE_EXPECTS(k_mappings >= 1, "need at least one mapping");
+  DNNLIFE_EXPECTS(2 * b <= k_mappings, "b must satisfy b/K <= 0.5");
+  // Paper: at b/K = 0.5 the two tails meet and the probability is defined
+  // as 1 (any duty-cycle is <= 0.5 or >= 0.5).
+  if (2 * b >= k_mappings) return 1.0;
+  double lower = 0.0;
+  double upper = 0.0;
+  for (std::uint64_t i = 0; i <= b; ++i) {
+    lower += binomial_pmf(k_mappings, i, rho);
+    upper += binomial_pmf(k_mappings, k_mappings - i, rho);
+  }
+  return std::min(lower + upper, 1.0);
+}
+
+double at_least_n_cells_probability(std::uint64_t n, std::uint64_t cells,
+                                    double p_tail) {
+  DNNLIFE_EXPECTS(n <= cells, "n exceeds cell count");
+  DNNLIFE_EXPECTS(p_tail >= 0.0 && p_tail <= 1.0, "p_tail out of [0,1]");
+  if (n == 0) return 1.0;
+  if (p_tail == 0.0) return 0.0;
+  if (p_tail == 1.0) return 1.0;
+  // Upper tail P[X >= n] = 1 - P[X <= n-1]; pick the cheaper/stabler side.
+  const double mean = static_cast<double>(cells) * p_tail;
+  if (static_cast<double>(n) <= mean || n <= cells / 2) {
+    // Compute the complement (lower tail) directly.
+    double lower = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      lower += binomial_pmf(cells, i, p_tail);
+      if (lower >= 1.0) return 0.0;
+    }
+    return std::max(0.0, 1.0 - lower);
+  }
+  double upper = 0.0;
+  for (std::uint64_t i = n; i <= cells; ++i) {
+    const double term = binomial_pmf(cells, i, p_tail);
+    upper += term;
+    // Terms decay monotonically well past the mean; stop when negligible.
+    if (static_cast<double>(i) > mean && term < 1e-18 * (upper + 1e-300)) break;
+  }
+  return std::min(upper, 1.0);
+}
+
+double expected_tail_cells(std::uint64_t cells, double p_tail) {
+  return static_cast<double>(cells) * p_tail;
+}
+
+std::vector<double> duty_tail_series(std::uint64_t k_mappings, double rho) {
+  std::vector<double> series;
+  series.reserve(k_mappings / 2 + 1);
+  for (std::uint64_t b = 0; 2 * b <= k_mappings; ++b)
+    series.push_back(duty_tail_probability(k_mappings, b, rho));
+  return series;
+}
+
+}  // namespace dnnlife::aging

@@ -1,0 +1,48 @@
+// The paper's probabilistic duty-cycle model (Sec. III-B, Eq. 1 and Eq. 2).
+//
+// Eq. 1: with K independent bits written to a cell, each '1' with
+// probability rho, the probability that the duty-cycle is <= b/K or
+// >= 1 - b/K (both tails stress one PMOS equally) is
+//
+//     P_{b/K} = sum_{i=0}^{b} C(K,i) rho^i (1-rho)^{K-i}
+//             + sum_{i=K-b}^{K} C(K,i) rho^i (1-rho)^{K-i}
+//
+// defined as 1 when b/K = 0.5.
+//
+// Eq. 2: the probability that at least n of I*J cells experience such a
+// duty-cycle is the binomial upper tail with success probability P_{b/K}.
+//
+// All terms are evaluated in log space (lgamma) so K in the hundreds and
+// I*J in the millions stay numerically stable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dnnlife::aging {
+
+/// log C(n, k) via lgamma.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// Binomial PMF: P[X = i], X ~ Binomial(K, rho).
+double binomial_pmf(std::uint64_t k_trials, std::uint64_t i, double rho);
+
+/// Lower tail P[X <= b], X ~ Binomial(K, rho).
+double binomial_cdf(std::uint64_t k_trials, std::uint64_t b, double rho);
+
+/// Eq. 1: P(duty <= b/K or duty >= 1 - b/K). Returns 1 when 2b >= K.
+double duty_tail_probability(std::uint64_t k_mappings, std::uint64_t b,
+                             double rho);
+
+/// Eq. 2: P(at least n of `cells` cells have duty in the Eq. 1 tails),
+/// given the per-cell tail probability `p_tail`.
+double at_least_n_cells_probability(std::uint64_t n, std::uint64_t cells,
+                                    double p_tail);
+
+/// Expected number of cells in the Eq. 1 tails (mean of the Eq. 2 binomial).
+double expected_tail_cells(std::uint64_t cells, double p_tail);
+
+/// The Fig. 7 series: P_{b/K} for every b in [0, K/2].
+std::vector<double> duty_tail_series(std::uint64_t k_mappings, double rho);
+
+}  // namespace dnnlife::aging

@@ -1,0 +1,49 @@
+#include "aging/snm_histogram.hpp"
+
+#include <sstream>
+
+namespace dnnlife::aging {
+
+std::string AgingReport::to_string() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  out << "cells: " << total_cells << " (unused: " << unused_cells << ")\n";
+  out << "SNM degradation [%]: min " << snm_stats.min() << ", mean "
+      << snm_stats.mean() << ", max " << snm_stats.max() << "\n";
+  out << "duty-cycle: min " << duty_stats.min() << ", mean "
+      << duty_stats.mean() << ", max " << duty_stats.max() << "\n";
+  out << "cells at optimal degradation: " << 100.0 * fraction_optimal << "%\n";
+  out << snm_histogram.to_string();
+  return out.str();
+}
+
+AgingReport make_aging_report(const DutyCycleTracker& tracker,
+                              const AgingModel& model,
+                              const AgingReportOptions& options) {
+  AgingReport report{
+      util::Histogram(options.hist_lo, options.hist_hi, options.hist_bins),
+      {}, {}, tracker.cell_count(), 0, 0.0};
+  const double optimal = model.snm_degradation(0.5, options.years);
+  std::uint64_t optimal_cells = 0;
+  std::uint64_t used = 0;
+  for (std::size_t cell = 0; cell < tracker.cell_count(); ++cell) {
+    if (tracker.is_unused(cell)) {
+      ++report.unused_cells;
+      continue;
+    }
+    ++used;
+    const double duty = tracker.duty(cell);
+    const double snm = model.snm_degradation(duty, options.years);
+    report.snm_histogram.add(snm);
+    report.snm_stats.add(snm);
+    report.duty_stats.add(duty);
+    if (snm <= optimal + options.optimal_tolerance) ++optimal_cells;
+  }
+  report.fraction_optimal =
+      used == 0 ? 0.0
+                : static_cast<double>(optimal_cells) / static_cast<double>(used);
+  return report;
+}
+
+}  // namespace dnnlife::aging

@@ -1,0 +1,46 @@
+// Aggregation of per-cell duty-cycles into the SNM-degradation reports the
+// paper's Fig. 9 / Fig. 11 bar graphs show.
+#pragma once
+
+#include <string>
+
+#include "aging/duty_cycle.hpp"
+#include "aging/snm_model.hpp"
+#include "util/histogram.hpp"
+#include "util/statistics.hpp"
+
+namespace dnnlife::aging {
+
+/// One evaluated configuration's aging outcome.
+struct AgingReport {
+  util::Histogram snm_histogram;  ///< % of cells per SNM-degradation bin
+  util::RunningStats snm_stats;   ///< over cells (percent units)
+  util::RunningStats duty_stats;  ///< over cells
+  std::size_t total_cells = 0;
+  std::size_t unused_cells = 0;   ///< never written; excluded from stats
+  /// Fraction (0..1) of used cells within `optimal_tolerance` percentage
+  /// points of the minimum achievable degradation (the paper's "all the
+  /// cells experience around 10.8%" criterion).
+  double fraction_optimal = 0.0;
+
+  std::string to_string() const;
+};
+
+struct AgingReportOptions {
+  double years = 7.0;
+  /// Histogram range and bin count over SNM degradation percent.
+  double hist_lo = 10.0;
+  double hist_hi = 27.0;
+  std::size_t hist_bins = 17;
+  /// Width of the "optimal" band above the minimum degradation, in
+  /// percentage points (~ the width of the paper's lowest histogram bin;
+  /// cells here read as "around 10.8%" in Fig. 9/11 terms).
+  double optimal_tolerance = 2.0;
+};
+
+/// Evaluate every used cell of `tracker` under `model`.
+AgingReport make_aging_report(const DutyCycleTracker& tracker,
+                              const AgingModel& model,
+                              const AgingReportOptions& options = {});
+
+}  // namespace dnnlife::aging

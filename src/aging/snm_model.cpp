@@ -1,0 +1,67 @@
+#include "aging/snm_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dnnlife::aging {
+
+CalibratedSnmModel::CalibratedSnmModel(SnmParams params) : params_(params) {
+  DNNLIFE_EXPECTS(params_.snm_at_balanced > 0.0, "balanced anchor");
+  DNNLIFE_EXPECTS(params_.snm_at_full_stress > params_.snm_at_balanced,
+                  "full-stress anchor must exceed balanced anchor");
+  DNNLIFE_EXPECTS(params_.t_ref_years > 0.0, "reference horizon");
+  DNNLIFE_EXPECTS(params_.time_exponent > 0.0, "time exponent");
+  // snm(s) = S_max * s^alpha with snm(0.5) = S_mid  =>  alpha = log2(S_max/S_mid).
+  alpha_ = std::log2(params_.snm_at_full_stress / params_.snm_at_balanced);
+}
+
+double CalibratedSnmModel::snm_degradation(double duty, double years) const {
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  const double stress = NbtiModel::cell_stress_ratio(duty);
+  return params_.snm_at_full_stress * std::pow(stress, alpha_) *
+         std::pow(years / params_.t_ref_years, params_.time_exponent);
+}
+
+NbtiSnmAdapter::NbtiSnmAdapter(NbtiModel nbti, double snm_at_full_stress)
+    : nbti_(nbti) {
+  const double full_shift =
+      nbti_.vth_shift(1.0, nbti_.params().t_ref_years);
+  DNNLIFE_EXPECTS(full_shift > 0.0, "NBTI model produces no shift");
+  percent_per_volt_ = snm_at_full_stress / full_shift;
+}
+
+double NbtiSnmAdapter::snm_degradation(double duty, double years) const {
+  const double stress = NbtiModel::cell_stress_ratio(duty);
+  return percent_per_volt_ * nbti_.vth_shift(stress, years);
+}
+
+DualBtiSnmModel::DualBtiSnmModel(Params params) : params_(params) {
+  DNNLIFE_EXPECTS(params_.pbti_ratio >= 0.0 && params_.pbti_ratio <= 1.0,
+                  "PBTI ratio out of [0,1]");
+  const auto& nbti = params_.nbti;
+  DNNLIFE_EXPECTS(nbti.snm_at_full_stress > nbti.snm_at_balanced,
+                  "full-stress anchor must exceed balanced anchor");
+  alpha_ = std::log2(nbti.snm_at_full_stress / nbti.snm_at_balanced);
+}
+
+double DualBtiSnmModel::snm_degradation(double duty, double years) const {
+  DNNLIFE_EXPECTS(duty >= 0.0 && duty <= 1.0, "duty out of [0,1]");
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  const auto& nbti = params_.nbti;
+  const double time_factor =
+      std::pow(years / nbti.t_ref_years, nbti.time_exponent);
+  const auto stress_term = [&](double s) {
+    return s <= 0.0 ? 0.0 : std::pow(s, alpha_);
+  };
+  const auto inverter = [&](double pmos_stress) {
+    // NBTI on the PMOS (stressed while output high) + weaker PBTI on the
+    // NMOS (stressed while output low).
+    return nbti.snm_at_full_stress *
+           (stress_term(pmos_stress) +
+            params_.pbti_ratio * stress_term(1.0 - pmos_stress));
+  };
+  return std::max(inverter(duty), inverter(1.0 - duty)) * time_factor;
+}
+
+}  // namespace dnnlife::aging

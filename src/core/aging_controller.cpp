@@ -1,0 +1,21 @@
+#include "core/aging_controller.hpp"
+
+namespace dnnlife::core {
+
+AgingController::AgingController(Trbg& trbg, AgingControllerConfig config)
+    : trbg_(&trbg), config_(config) {
+  if (config_.bias_balancing) balancer_.emplace(config_.balancer_bits);
+}
+
+bool AgingController::next_enable() {
+  ++writes_;
+  const bool raw = trbg_->next();
+  return balancer_ ? balancer_->transform(raw) : raw;
+}
+
+double AgingController::effective_bias() const {
+  const double p = trbg_->bias();
+  return balancer_ ? 0.5 * (p + (1.0 - p)) : p;
+}
+
+}  // namespace dnnlife::core

@@ -1,0 +1,43 @@
+// The aging mitigation controller (paper Fig. 8): produces the enable
+// signal E for each memory write by sampling the TRBG, optionally routed
+// through the bias-balancing register.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/bias_balancer.hpp"
+#include "core/trbg.hpp"
+
+namespace dnnlife::core {
+
+struct AgingControllerConfig {
+  bool bias_balancing = true;
+  unsigned balancer_bits = 4;  ///< M (the paper evaluates M = 4)
+};
+
+class AgingController {
+ public:
+  /// The controller samples `trbg` (not owned; must outlive the controller).
+  AgingController(Trbg& trbg, AgingControllerConfig config = {});
+
+  /// E for the next write.
+  bool next_enable();
+
+  /// Number of enables generated so far.
+  std::uint64_t write_count() const noexcept { return writes_; }
+
+  const AgingControllerConfig& config() const noexcept { return config_; }
+
+  /// Effective long-run P(E = 1): the TRBG bias, folded to 0.5 when the
+  /// balancer is active.
+  double effective_bias() const;
+
+ private:
+  Trbg* trbg_;
+  AgingControllerConfig config_;
+  std::optional<BiasBalancer> balancer_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace dnnlife::core

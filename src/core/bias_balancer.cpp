@@ -1,0 +1,17 @@
+#include "core/bias_balancer.hpp"
+
+namespace dnnlife::core {
+
+BiasBalancer::BiasBalancer(unsigned register_bits) : bits_(register_bits) {
+  DNNLIFE_EXPECTS(register_bits >= 1 && register_bits <= 31,
+                  "balancer register width out of range");
+}
+
+bool BiasBalancer::transform(bool raw) {
+  const bool out = raw != phase_;
+  counter_ = (counter_ + 1) & (period() - 1);
+  if (counter_ == 0) phase_ = !phase_;
+  return out;
+}
+
+}  // namespace dnnlife::core

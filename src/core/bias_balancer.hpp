@@ -1,0 +1,47 @@
+// The M-bit bias-balancing register of the aging mitigation controller
+// (paper Fig. 8 / Sec. IV): an M-bit counter increments on every write;
+// each time it wraps (every 2^M writes), the polarity applied to the TRBG
+// output toggles. A TRBG bias of p therefore averages out to
+// (p + (1-p)) / 2 = 0.5 over any two adjacent phases.
+#pragma once
+
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace dnnlife::core {
+
+class BiasBalancer {
+ public:
+  explicit BiasBalancer(unsigned register_bits);
+
+  /// Apply the current polarity to `raw` and advance the counter.
+  bool transform(bool raw);
+
+  /// Polarity that will be applied to the next bit.
+  bool phase() const noexcept { return phase_; }
+  /// Current counter value (for inspection/tests).
+  std::uint32_t counter() const noexcept { return counter_; }
+  unsigned register_bits() const noexcept { return bits_; }
+  /// Writes per polarity phase (2^M).
+  std::uint32_t period() const noexcept { return std::uint32_t{1} << bits_; }
+
+  void reset() noexcept {
+    counter_ = 0;
+    phase_ = false;
+  }
+
+  /// The polarity the balancer applies at global write index `idx`
+  /// (0-based), as a pure function: (idx >> M) & 1. Used by the fast
+  /// simulator to reproduce the hardware schedule without stepping.
+  static bool phase_at(std::uint64_t idx, unsigned register_bits) noexcept {
+    return ((idx >> register_bits) & 1u) != 0;
+  }
+
+ private:
+  unsigned bits_;
+  std::uint32_t counter_ = 0;
+  bool phase_ = false;
+};
+
+}  // namespace dnnlife::core

@@ -1,0 +1,63 @@
+#include "core/experiment.hpp"
+
+#include "core/fast_simulator.hpp"
+#include "core/reference_simulator.hpp"
+#include "dnn/model_zoo.hpp"
+
+namespace dnnlife::core {
+
+std::string to_string(HardwareKind kind) {
+  switch (kind) {
+    case HardwareKind::kBaseline: return "baseline-accelerator";
+    case HardwareKind::kTpuNpu: return "tpu-like-npu";
+  }
+  return "unknown";
+}
+
+aging::AgingReport run_policy_on_stream(const sim::WriteStream& stream,
+                                        const PolicyConfig& policy,
+                                        unsigned inferences,
+                                        const aging::AgingModel& model,
+                                        const aging::AgingReportOptions& report,
+                                        bool use_reference_simulator) {
+  if (use_reference_simulator) {
+    ReferenceSimOptions options;
+    options.inferences = inferences;
+    options.verify_decode = false;
+    const auto tracker = simulate_reference(stream, policy, options);
+    return make_aging_report(tracker, model, report);
+  }
+  FastSimOptions options;
+  options.inferences = inferences;
+  const auto tracker = simulate_fast(stream, policy, options);
+  return make_aging_report(tracker, model, report);
+}
+
+Workbench::Workbench(const ExperimentConfig& config) : config_(config) {
+  network_ = std::make_unique<dnn::Network>(dnn::make_network(config.network));
+  streamer_ = std::make_unique<dnn::WeightStreamer>(*network_, config.weights);
+  codec_ = std::make_unique<quant::WeightWordCodec>(*streamer_, config.format);
+  switch (config.hardware) {
+    case HardwareKind::kBaseline:
+      stream_ = std::make_unique<sim::BaselineWeightStream>(*codec_,
+                                                            config.baseline);
+      break;
+    case HardwareKind::kTpuNpu:
+      stream_ = std::make_unique<sim::NpuWeightStream>(*codec_, config.npu);
+      break;
+  }
+}
+
+aging::AgingReport Workbench::evaluate(PolicyConfig policy) const {
+  // The barrel shifter rotates at weight-word granularity.
+  policy.weight_bits = codec_->bits();
+  const aging::CalibratedSnmModel model(config_.snm);
+  return run_policy_on_stream(*stream_, policy, config_.inferences, model,
+                              config_.report, config_.use_reference_simulator);
+}
+
+aging::AgingReport run_aging_experiment(const ExperimentConfig& config) {
+  return Workbench(config).evaluate(config.policy);
+}
+
+}  // namespace dnnlife::core

@@ -1,0 +1,74 @@
+// Top-level DNN-Life framework API: one call from (network, format,
+// hardware, policy) to an SNM-degradation aging report.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "aging/snm_histogram.hpp"
+#include "core/mitigation_policy.hpp"
+#include "dnn/weight_gen.hpp"
+#include "quant/word_codec.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/tpu_npu.hpp"
+
+namespace dnnlife::core {
+
+enum class HardwareKind { kBaseline, kTpuNpu };
+
+std::string to_string(HardwareKind kind);
+
+struct ExperimentConfig {
+  std::string network = "alexnet";
+  quant::WeightFormat format = quant::WeightFormat::kInt8Symmetric;
+  HardwareKind hardware = HardwareKind::kBaseline;
+  sim::BaselineAcceleratorConfig baseline;
+  sim::TpuNpuConfig npu;
+  PolicyConfig policy;
+  unsigned inferences = 100;  ///< paper: duty-cycles observed over 100
+  aging::SnmParams snm;
+  dnn::WeightGenConfig weights;
+  aging::AgingReportOptions report;
+  /// Use the literal simulator (small configs / validation).
+  bool use_reference_simulator = false;
+};
+
+/// Run one full experiment (builds the network, streamer, codec and write
+/// stream internally).
+aging::AgingReport run_aging_experiment(const ExperimentConfig& config);
+
+/// Run one policy against a pre-built write stream (benches share the
+/// stream across policies). `policy.weight_bits` must already match the
+/// stream's weight format.
+aging::AgingReport run_policy_on_stream(const sim::WriteStream& stream,
+                                        const PolicyConfig& policy,
+                                        unsigned inferences,
+                                        const aging::AgingModel& model,
+                                        const aging::AgingReportOptions& report,
+                                        bool use_reference_simulator = false);
+
+/// A reusable experiment workbench: owns the network / streamer / codec /
+/// stream for one (network, format, hardware) combination so several
+/// policies can be evaluated without re-deriving quantization parameters.
+class Workbench {
+ public:
+  explicit Workbench(const ExperimentConfig& config);
+
+  const sim::WriteStream& stream() const noexcept { return *stream_; }
+  const quant::WeightWordCodec& codec() const noexcept { return *codec_; }
+  const dnn::WeightStreamer& streamer() const noexcept { return *streamer_; }
+  const dnn::Network& network() const noexcept { return *network_; }
+  const ExperimentConfig& config() const noexcept { return config_; }
+
+  /// Evaluate one policy on the shared stream.
+  aging::AgingReport evaluate(PolicyConfig policy) const;
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<dnn::Network> network_;
+  std::unique_ptr<dnn::WeightStreamer> streamer_;
+  std::unique_ptr<quant::WeightWordCodec> codec_;
+  std::unique_ptr<sim::WriteStream> stream_;
+};
+
+}  // namespace dnnlife::core

@@ -1,0 +1,208 @@
+#include "core/fast_simulator.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/bias_balancer.hpp"
+#include "core/transducer.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace dnnlife::core {
+
+std::uint32_t sample_binomial(util::Xoshiro256ss& rng, std::uint32_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p == 0.5) {
+    // Exact: popcount of n fair bits.
+    std::uint32_t count = 0;
+    std::uint32_t remaining = n;
+    while (remaining >= 64) {
+      count += util::popcount(rng.next());
+      remaining -= 64;
+    }
+    if (remaining > 0)
+      count += util::popcount(rng.next() & util::low_mask(remaining));
+    return count;
+  }
+  const double variance = static_cast<double>(n) * p * (1.0 - p);
+  if (variance >= 9.0) {
+    // Normal approximation with continuity correction.
+    const double mean = static_cast<double>(n) * p;
+    const double draw = std::round(mean + std::sqrt(variance) * rng.next_gaussian());
+    if (draw < 0.0) return 0;
+    if (draw > static_cast<double>(n)) return n;
+    return static_cast<std::uint32_t>(draw);
+  }
+  std::uint32_t count = 0;
+  for (std::uint32_t i = 0; i < n; ++i)
+    count += rng.next_double() < p ? 1u : 0u;
+  return count;
+}
+
+namespace {
+
+/// Per-row pending write: everything needed to commit its duty
+/// contribution once its residency is known.
+struct PendingWrite {
+  std::uint32_t block = 0;
+  std::uint32_t inverted_inferences = 0;
+  unsigned rotate = 0;
+  bool valid = false;
+};
+
+class DnnLifeSampler {
+ public:
+  DnnLifeSampler(const PolicyConfig& config, std::uint64_t writes_per_inference,
+                 unsigned inferences)
+      : config_(config), writes_per_inference_(writes_per_inference),
+        inferences_(inferences), rng_(util::derive_seed(config.seed, 0x5a5aULL)) {}
+
+  /// Number of inferences (out of N) in which the write with within-
+  /// inference ordinal `ordinal` gets E = 1.
+  std::uint32_t sample(std::uint64_t ordinal) {
+    const double p = config_.trbg_bias;
+    if (!config_.bias_balancing)
+      return sample_binomial(rng_, inferences_, p);
+    // Hardware schedule: the balancer phase at global write index
+    // i*W + ordinal is ((idx >> M) & 1); phase 1 inverts the TRBG output.
+    std::uint32_t phase_one = 0;
+    for (unsigned i = 0; i < inferences_; ++i) {
+      const std::uint64_t idx =
+          static_cast<std::uint64_t>(i) * writes_per_inference_ + ordinal;
+      phase_one += BiasBalancer::phase_at(idx, config_.balancer_bits) ? 1u : 0u;
+    }
+    const std::uint32_t phase_zero = inferences_ - phase_one;
+    return sample_binomial(rng_, phase_zero, p) +
+           sample_binomial(rng_, phase_one, 1.0 - p);
+  }
+
+ private:
+  PolicyConfig config_;
+  std::uint64_t writes_per_inference_;
+  unsigned inferences_;
+  util::Xoshiro256ss rng_;
+};
+
+}  // namespace
+
+aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
+                                      const PolicyConfig& policy,
+                                      const FastSimOptions& options) {
+  DNNLIFE_EXPECTS(options.inferences >= 1, "need at least one inference");
+  const bool deterministic = policy.kind == PolicyKind::kInversion ||
+                             policy.kind == PolicyKind::kBarrelShifter;
+  DNNLIFE_EXPECTS(!deterministic || policy.reset_each_inference,
+                  "continuous-counter policies need the reference simulator");
+
+  const sim::MemoryGeometry geometry = stream.geometry();
+  const std::uint32_t blocks = stream.blocks_per_inference();
+  const std::uint32_t words_per_row = geometry.words_per_row();
+  const unsigned n_inf = options.inferences;
+
+  // Residency durations: prefix[k] = time elapsed before block k starts.
+  // Uniform (empty block_durations) degenerates to prefix[k] = k.
+  std::vector<std::uint32_t> durations = stream.block_durations();
+  DNNLIFE_EXPECTS(durations.empty() || durations.size() == blocks,
+                  "one duration per block");
+  std::vector<std::uint32_t> prefix(blocks + 1, 0);
+  for (std::uint32_t k = 0; k < blocks; ++k) {
+    const std::uint32_t d = durations.empty() ? 1u : durations[k];
+    DNNLIFE_EXPECTS(d > 0, "durations must be positive");
+    prefix[k + 1] = prefix[k] + d;
+  }
+  const std::uint32_t total_duration = prefix[blocks];
+  DNNLIFE_EXPECTS(static_cast<std::uint64_t>(total_duration) * n_inf <
+                      (std::uint64_t{1} << 32),
+                  "duration x inferences overflows the duty accumulators");
+
+  aging::DutyCycleTracker tracker(geometry.cells());
+  std::vector<std::uint32_t>& ones = tracker.ones_time();
+  std::vector<std::uint32_t>& total = tracker.total_time();
+
+  std::vector<PendingWrite> pending(geometry.rows);
+  std::vector<std::uint64_t> pending_words(
+      static_cast<std::size_t>(geometry.rows) * words_per_row, 0);
+  std::vector<std::uint32_t> first_block(geometry.rows, 0);
+  std::vector<std::uint32_t> row_write_index(geometry.rows, 0);
+
+  const RotateTransducer rotator(geometry.row_bits, policy.weight_bits);
+  DnnLifeSampler sampler(policy, stream.writes_per_inference(), n_inf);
+
+  const auto commit = [&](std::uint32_t row, std::uint32_t residency) {
+    const PendingWrite& entry = pending[row];
+    const std::span<const std::uint64_t> raw(
+        pending_words.data() + static_cast<std::size_t>(row) * words_per_row,
+        words_per_row);
+    std::vector<std::uint64_t> rotated;
+    std::span<const std::uint64_t> stored = raw;
+    if (entry.rotate != 0) {
+      rotated = rotator.rotate_row(raw, entry.rotate, /*left=*/true);
+      stored = rotated;
+    }
+    // A '1' bit stores '1' in the (n_inf - c) non-inverted inferences; a
+    // '0' bit stores '1' in the c inverted ones.
+    const std::uint32_t hi =
+        residency * (n_inf - entry.inverted_inferences);
+    const std::uint32_t lo = residency * entry.inverted_inferences;
+    const std::uint32_t slot_total = residency * n_inf;
+    std::size_t cell = geometry.cell_index(row, 0);
+    for (std::uint32_t w = 0; w < words_per_row; ++w) {
+      std::uint64_t word = stored[w];
+      const std::uint32_t bits_here =
+          w + 1 == words_per_row && geometry.row_bits % 64 != 0
+              ? geometry.row_bits % 64
+              : 64;
+      for (std::uint32_t b = 0; b < bits_here; ++b, ++cell, word >>= 1) {
+        ones[cell] += (word & 1u) ? hi : lo;
+        total[cell] += slot_total;
+      }
+    }
+  };
+
+  std::uint64_t ordinal = 0;
+  stream.for_each_write([&](const sim::RowWriteEvent& event) {
+    const std::uint32_t row = event.row;
+    if (pending[row].valid) {
+      DNNLIFE_EXPECTS(event.block >= pending[row].block,
+                      "stream blocks out of order");
+      commit(row, prefix[event.block] - prefix[pending[row].block]);
+    } else {
+      first_block[row] = event.block;
+    }
+    PendingWrite& entry = pending[row];
+    entry.block = event.block;
+    entry.valid = true;
+    entry.rotate = 0;
+    entry.inverted_inferences = 0;
+    switch (policy.kind) {
+      case PolicyKind::kNone:
+        break;
+      case PolicyKind::kInversion:
+        entry.inverted_inferences =
+            (row_write_index[row]++ & 1u) != 0 ? n_inf : 0;
+        break;
+      case PolicyKind::kBarrelShifter:
+        entry.rotate = row_write_index[row]++ % policy.weight_bits;
+        break;
+      case PolicyKind::kDnnLife:
+        entry.inverted_inferences = sampler.sample(ordinal);
+        break;
+    }
+    ++ordinal;
+    std::copy(event.words.begin(), event.words.end(),
+              pending_words.begin() +
+                  static_cast<std::size_t>(row) * words_per_row);
+  });
+
+  // Final writes wrap cyclically into the next (identical) inference.
+  for (std::uint32_t row = 0; row < geometry.rows; ++row) {
+    if (!pending[row].valid) continue;
+    const std::uint32_t residency =
+        total_duration - prefix[pending[row].block] + prefix[first_block[row]];
+    commit(row, residency);
+  }
+  return tracker;
+}
+
+}  // namespace dnnlife::core

@@ -1,0 +1,45 @@
+// Fast aging simulator.
+//
+// A naive replay of N inferences x K mappings x millions of cells is
+// O(10^11) bit operations for the paper's large configurations. This
+// simulator exploits two structural facts:
+//
+//  1. The write stream is identical every inference, so the per-cell duty
+//     contribution of one write can be aggregated across inferences: for a
+//     write whose row is inverted in c of the N inferences and resident for
+//     `res` mapping slots, a stored '1' bit contributes res*(N - c) slots
+//     of ones-time and a '0' bit contributes res*c.
+//  2. For the XOR-family policies c is exact (0, N, or the policy parity);
+//     for DNN-Life c is a sum of independent Bernoulli draws whose
+//     phase-dependent probabilities follow the bias balancer's hardware
+//     schedule, sampled as (at most two) binomials.
+//
+// Residency is steady-state cyclic: a write at block k holds until the
+// next write to the same row, wrapping into the next (identical)
+// inference. One O(cells x K) pass total.
+//
+// The schedule-driven (reset-per-inference) deterministic policies and
+// DNN-Life are supported; the continuous-counter ablation variants need
+// the reference simulator.
+#pragma once
+
+#include "aging/duty_cycle.hpp"
+#include "core/mitigation_policy.hpp"
+#include "sim/write_stream.hpp"
+
+namespace dnnlife::core {
+
+struct FastSimOptions {
+  unsigned inferences = 100;
+};
+
+aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
+                                      const PolicyConfig& policy,
+                                      const FastSimOptions& options);
+
+/// Internal helper, exposed for tests: draw Binomial(n, p) deterministically
+/// from `rng` (exact popcount path at p = 0.5, exact loop for small
+/// variance, normal approximation otherwise).
+std::uint32_t sample_binomial(util::Xoshiro256ss& rng, std::uint32_t n, double p);
+
+}  // namespace dnnlife::core

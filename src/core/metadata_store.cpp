@@ -1,0 +1,32 @@
+#include "core/metadata_store.hpp"
+
+namespace dnnlife::core {
+
+MetadataStore::MetadataStore(std::uint32_t rows)
+    : enable_(rows, 0), written_(rows, 0) {
+  DNNLIFE_EXPECTS(rows > 0, "metadata store needs rows");
+}
+
+void MetadataStore::record_write(std::uint32_t row, bool enable) {
+  DNNLIFE_EXPECTS(row < rows(), "row out of range");
+  enable_[row] = enable ? 1 : 0;
+  written_[row] = 1;
+}
+
+bool MetadataStore::enable_of(std::uint32_t row) const {
+  DNNLIFE_EXPECTS(row < rows(), "row out of range");
+  DNNLIFE_EXPECTS(written_[row] != 0, "reading metadata of unwritten row");
+  return enable_[row] != 0;
+}
+
+bool MetadataStore::row_written(std::uint32_t row) const {
+  DNNLIFE_EXPECTS(row < rows(), "row out of range");
+  return written_[row] != 0;
+}
+
+double MetadataStore::overhead_fraction(std::uint32_t row_bits) const {
+  DNNLIFE_EXPECTS(row_bits > 0, "row width");
+  return 1.0 / static_cast<double>(row_bits);
+}
+
+}  // namespace dnnlife::core

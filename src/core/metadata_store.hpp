@@ -1,0 +1,37 @@
+// Metadata storage for the DNN-Life scheme: the E bit used to encode the
+// data currently resident in each memory row, needed by the RDD to decode
+// reads. One bit per row — the scheme's entire storage overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dnnlife::core {
+
+class MetadataStore {
+ public:
+  explicit MetadataStore(std::uint32_t rows);
+
+  std::uint32_t rows() const noexcept {
+    return static_cast<std::uint32_t>(enable_.size());
+  }
+
+  void record_write(std::uint32_t row, bool enable);
+  /// E of the data currently stored in `row`. Precondition: row was written.
+  bool enable_of(std::uint32_t row) const;
+  bool row_written(std::uint32_t row) const;
+
+  /// Storage overhead of the scheme in bits (1 per row).
+  std::uint64_t overhead_bits() const noexcept { return enable_.size(); }
+
+  /// Overhead relative to a data array of `row_bits` columns.
+  double overhead_fraction(std::uint32_t row_bits) const;
+
+ private:
+  std::vector<std::uint8_t> enable_;
+  std::vector<std::uint8_t> written_;
+};
+
+}  // namespace dnnlife::core

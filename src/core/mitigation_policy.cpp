@@ -1,0 +1,100 @@
+#include "core/mitigation_policy.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace dnnlife::core {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNone: return "no-mitigation";
+    case PolicyKind::kInversion: return "inversion";
+    case PolicyKind::kBarrelShifter: return "barrel-shifter";
+    case PolicyKind::kDnnLife: return "dnn-life";
+  }
+  return "unknown";
+}
+
+std::string PolicyConfig::name() const {
+  std::string label = to_string(kind);
+  if (kind == PolicyKind::kDnnLife) {
+    label += " (bias=" + std::to_string(trbg_bias).substr(0, 4);
+    label += bias_balancing
+                 ? ", balancing M=" + std::to_string(balancer_bits) + ")"
+                 : ", no balancing)";
+  }
+  return label;
+}
+
+PolicyConfig PolicyConfig::none() { return PolicyConfig{}; }
+
+PolicyConfig PolicyConfig::inversion() {
+  PolicyConfig config;
+  config.kind = PolicyKind::kInversion;
+  return config;
+}
+
+PolicyConfig PolicyConfig::barrel_shifter(unsigned weight_bits) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kBarrelShifter;
+  config.weight_bits = weight_bits;
+  return config;
+}
+
+PolicyConfig PolicyConfig::dnn_life(double trbg_bias, bool bias_balancing,
+                                    unsigned balancer_bits, std::uint64_t seed) {
+  PolicyConfig config;
+  config.kind = PolicyKind::kDnnLife;
+  config.trbg_bias = trbg_bias;
+  config.bias_balancing = bias_balancing;
+  config.balancer_bits = balancer_bits;
+  config.seed = seed;
+  return config;
+}
+
+MitigationPolicy::MitigationPolicy(const PolicyConfig& config, std::uint32_t rows)
+    : config_(config) {
+  DNNLIFE_EXPECTS(rows > 0, "policy needs the memory row count");
+  if (config_.kind == PolicyKind::kInversion ||
+      config_.kind == PolicyKind::kBarrelShifter) {
+    row_write_counts_.assign(rows, 0);
+  }
+  if (config_.kind == PolicyKind::kDnnLife) {
+    trbg_ = std::make_unique<BiasedTrbg>(config_.trbg_bias, config_.seed);
+    controller_ = std::make_unique<AgingController>(
+        *trbg_, AgingControllerConfig{config_.bias_balancing,
+                                      config_.balancer_bits});
+  }
+}
+
+void MitigationPolicy::begin_inference() {
+  if (config_.reset_each_inference && !row_write_counts_.empty())
+    std::fill(row_write_counts_.begin(), row_write_counts_.end(), 0u);
+  // DNN-Life state is deliberately never reset: the controller's randomness
+  // accumulates across inferences.
+}
+
+WriteAction MitigationPolicy::on_write(std::uint32_t row) {
+  WriteAction action;
+  switch (config_.kind) {
+    case PolicyKind::kNone:
+      break;
+    case PolicyKind::kInversion: {
+      DNNLIFE_EXPECTS(row < row_write_counts_.size(), "row out of range");
+      action.invert = (row_write_counts_[row]++ & 1u) != 0;
+      break;
+    }
+    case PolicyKind::kBarrelShifter: {
+      DNNLIFE_EXPECTS(row < row_write_counts_.size(), "row out of range");
+      action.rotate = row_write_counts_[row]++ % config_.weight_bits;
+      break;
+    }
+    case PolicyKind::kDnnLife:
+      action.invert = controller_->next_enable();
+      break;
+  }
+  return action;
+}
+
+}  // namespace dnnlife::core

@@ -1,0 +1,91 @@
+// Aging-mitigation policies compared in the paper's evaluation (Sec. V-B):
+//
+//  kNone          — weights stored as-is.
+//  kInversion     — [19]-style periodic inversion: every other write to a
+//                   location is inverted. The inversion phase is driven by
+//                   the dataflow schedule, which restarts every inference,
+//                   so a given datum always arrives with the same phase —
+//                   exactly the "same data periodically reused" failure
+//                   mode the paper describes. A `continuous_counter`
+//                   variant (never reset) is kept as an ablation.
+//  kBarrelShifter — [15]-style bit rotation: each weight subword is rotated
+//                   by (per-location write index mod weight_bits). Balances
+//                   bit positions but cannot fix a biased average
+//                   '1'-probability (paper observation 3).
+//  kDnnLife       — the proposed scheme: E drawn from a TRBG through the
+//                   aging controller (optional bias balancing), fresh on
+//                   every write, never reset — randomness accumulates
+//                   across inferences, growing the effective K.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aging_controller.hpp"
+#include "core/trbg.hpp"
+
+namespace dnnlife::core {
+
+enum class PolicyKind { kNone, kInversion, kBarrelShifter, kDnnLife };
+
+std::string to_string(PolicyKind kind);
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kNone;
+
+  /// Barrel shifter: rotation granularity (the weight word width).
+  unsigned weight_bits = 8;
+
+  /// Inversion/barrel: reset per-location counters at inference boundaries
+  /// (the schedule-driven hardware realisation; see header comment).
+  bool reset_each_inference = true;
+
+  /// DNN-Life: TRBG '1'-probability.
+  double trbg_bias = 0.5;
+  /// DNN-Life: enable the M-bit bias-balancing register.
+  bool bias_balancing = true;
+  /// DNN-Life: M (the paper evaluates M = 4).
+  unsigned balancer_bits = 4;
+  std::uint64_t seed = 0xd00dfeedULL;
+
+  /// Human-readable label used by benches/reports.
+  std::string name() const;
+
+  static PolicyConfig none();
+  static PolicyConfig inversion();
+  static PolicyConfig barrel_shifter(unsigned weight_bits);
+  static PolicyConfig dnn_life(double trbg_bias = 0.5, bool bias_balancing = true,
+                               unsigned balancer_bits = 4,
+                               std::uint64_t seed = 0xd00dfeedULL);
+};
+
+/// What a policy does to one row write.
+struct WriteAction {
+  bool invert = false;    ///< XOR the row with all-ones (E = 1)
+  unsigned rotate = 0;    ///< left-rotate each weight subword by this amount
+};
+
+/// Stateful per-write policy engine (used by the reference simulator; the
+/// fast simulator reproduces the same schedules arithmetically).
+class MitigationPolicy {
+ public:
+  MitigationPolicy(const PolicyConfig& config, std::uint32_t rows);
+
+  const PolicyConfig& config() const noexcept { return config_; }
+
+  /// Signal an inference boundary (resets schedule-driven counters).
+  void begin_inference();
+
+  /// The action for the next write to `row` (advances internal state).
+  WriteAction on_write(std::uint32_t row);
+
+ private:
+  PolicyConfig config_;
+  std::vector<std::uint32_t> row_write_counts_;
+  std::unique_ptr<BiasedTrbg> trbg_;
+  std::unique_ptr<AgingController> controller_;
+};
+
+}  // namespace dnnlife::core

@@ -1,0 +1,102 @@
+#include "core/randomness_tests.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dnnlife::core {
+
+namespace {
+
+constexpr double kSqrt2 = 1.4142135623730951;
+
+}  // namespace
+
+double two_sided_normal_p(double z) {
+  return std::erfc(std::abs(z) / kSqrt2);
+}
+
+double chi_squared_upper_p(double statistic, unsigned dof) {
+  DNNLIFE_EXPECTS(statistic >= 0.0, "chi-squared statistic must be >= 0");
+  switch (dof) {
+    case 1:
+      return std::erfc(std::sqrt(statistic) / kSqrt2);
+    case 2:
+      return std::exp(-statistic / 2.0);
+    case 3:
+      // P(X > x) = erfc(sqrt(x/2)) + sqrt(2x/pi) exp(-x/2).
+      return std::erfc(std::sqrt(statistic / 2.0)) +
+             std::sqrt(2.0 * statistic / 3.14159265358979323846) *
+                 std::exp(-statistic / 2.0);
+    default:
+      throw std::invalid_argument("chi_squared_upper_p supports dof 1..3");
+  }
+}
+
+RandomnessTestResult monobit_test(std::span<const std::uint8_t> bits,
+                                  double alpha) {
+  DNNLIFE_EXPECTS(bits.size() >= 100, "monobit test needs >= 100 bits");
+  std::int64_t sum = 0;
+  for (std::uint8_t bit : bits) sum += bit != 0 ? 1 : -1;
+  const double z = static_cast<double>(sum) /
+                   std::sqrt(static_cast<double>(bits.size()));
+  const double p = two_sided_normal_p(z);
+  return {"monobit", p, p >= alpha};
+}
+
+RandomnessTestResult runs_test(std::span<const std::uint8_t> bits,
+                               double alpha) {
+  DNNLIFE_EXPECTS(bits.size() >= 100, "runs test needs >= 100 bits");
+  const double n = static_cast<double>(bits.size());
+  std::size_t ones = 0;
+  for (std::uint8_t bit : bits) ones += bit != 0 ? 1 : 0;
+  const double pi = static_cast<double>(ones) / n;
+  // Degenerate streams have no run structure to test.
+  if (pi == 0.0 || pi == 1.0) return {"runs", 0.0, false};
+  std::size_t runs = 1;
+  for (std::size_t i = 1; i < bits.size(); ++i)
+    runs += bits[i] != bits[i - 1] ? 1u : 0u;
+  const double expected = 2.0 * n * pi * (1.0 - pi);
+  const double z = (static_cast<double>(runs) - expected) /
+                   (2.0 * std::sqrt(2.0 * n) * pi * (1.0 - pi));
+  const double p = two_sided_normal_p(z);
+  return {"runs", p, p >= alpha};
+}
+
+RandomnessTestResult serial_test(std::span<const std::uint8_t> bits,
+                                 double alpha) {
+  DNNLIFE_EXPECTS(bits.size() >= 100, "serial test needs >= 100 bits");
+  // Overlapping 2-bit and 1-bit pattern counts (wrapping, per SP 800-22).
+  std::size_t count2[4] = {0, 0, 0, 0};
+  std::size_t count1[2] = {0, 0};
+  const std::size_t n = bits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned b0 = bits[i] != 0 ? 1u : 0u;
+    const unsigned b1 = bits[(i + 1) % n] != 0 ? 1u : 0u;
+    ++count2[(b0 << 1) | b1];
+    ++count1[b0];
+  }
+  const double dn = static_cast<double>(n);
+  double psi2 = 0.0;
+  for (std::size_t v : count2)
+    psi2 += static_cast<double>(v) * static_cast<double>(v);
+  psi2 = psi2 * 4.0 / dn - dn;
+  double psi1 = 0.0;
+  for (std::size_t v : count1)
+    psi1 += static_cast<double>(v) * static_cast<double>(v);
+  psi1 = psi1 * 2.0 / dn - dn;
+  const double delta = psi2 - psi1;  // chi-squared with 2 dof
+  const double p = chi_squared_upper_p(delta, 2);
+  return {"serial", p, p >= alpha};
+}
+
+std::vector<std::uint8_t> collect_bits(Trbg& trbg, std::size_t count) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    bits.push_back(trbg.next() ? 1 : 0);
+  return bits;
+}
+
+}  // namespace dnnlife::core

@@ -1,0 +1,48 @@
+// Statistical randomness tests for TRBG validation (NIST SP 800-22
+// style, the three cheapest tests). The aging controller's guarantees
+// rest on the TRBG emitting independent bits with a stable long-run bias;
+// these tests let an integrator qualify a TRBG model (or a captured
+// hardware bitstream) before trusting the duty-cycle math.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/trbg.hpp"
+
+namespace dnnlife::core {
+
+struct RandomnessTestResult {
+  std::string test_name;
+  double p_value = 0.0;   ///< probability of the observed statistic under H0
+  bool passed = false;    ///< p_value >= alpha
+};
+
+/// Monobit frequency test: are ones and zeros balanced?
+RandomnessTestResult monobit_test(std::span<const std::uint8_t> bits,
+                                  double alpha = 0.01);
+
+/// Runs test: is the number of 0/1 runs consistent with independence
+/// (given the observed proportion of ones)?
+RandomnessTestResult runs_test(std::span<const std::uint8_t> bits,
+                               double alpha = 0.01);
+
+/// Serial (2-bit pattern) test: are the four overlapping 2-bit patterns
+/// equally likely?
+RandomnessTestResult serial_test(std::span<const std::uint8_t> bits,
+                                 double alpha = 0.01);
+
+/// Collect `count` bits from a TRBG into a test-ready buffer.
+std::vector<std::uint8_t> collect_bits(Trbg& trbg, std::size_t count);
+
+/// Complement of the standard normal CDF for |z| (two-sided p-value
+/// helper), exposed for tests.
+double two_sided_normal_p(double z);
+
+/// Upper tail of the chi-squared distribution with `dof` in {1, 2, 3}
+/// degrees of freedom (closed forms), exposed for tests.
+double chi_squared_upper_p(double statistic, unsigned dof);
+
+}  // namespace dnnlife::core

@@ -1,0 +1,102 @@
+#include "core/reference_simulator.hpp"
+
+#include <vector>
+
+#include "core/metadata_store.hpp"
+#include "core/transducer.hpp"
+#include "sim/weight_memory.hpp"
+
+namespace dnnlife::core {
+
+namespace {
+
+struct StoredWrite {
+  std::uint32_t row;
+  std::uint32_t block;
+  std::vector<std::uint64_t> words;
+};
+
+}  // namespace
+
+aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
+                                           const PolicyConfig& policy_config,
+                                           const ReferenceSimOptions& options) {
+  DNNLIFE_EXPECTS(options.inferences >= 1, "need at least one inference");
+  const sim::MemoryGeometry geometry = stream.geometry();
+  const std::uint32_t blocks = stream.blocks_per_inference();
+
+  // Materialise one inference's write list (identical every inference).
+  std::vector<StoredWrite> writes;
+  writes.reserve(stream.writes_per_inference());
+  stream.for_each_write([&](const sim::RowWriteEvent& event) {
+    writes.push_back(StoredWrite{
+        event.row, event.block,
+        std::vector<std::uint64_t>(event.words.begin(), event.words.end())});
+  });
+
+  std::vector<std::uint32_t> durations = stream.block_durations();
+  DNNLIFE_EXPECTS(durations.empty() || durations.size() == blocks,
+                  "one duration per block");
+
+  sim::WeightMemory memory(geometry);
+  MetadataStore metadata(geometry.rows);
+  MitigationPolicy policy(policy_config, geometry.rows);
+  const XorTransducer wde(geometry.row_bits);
+  const RotateTransducer rotator(geometry.row_bits, policy_config.weight_bits);
+  // Rotation metadata for the barrel baseline's read path.
+  std::vector<unsigned> stored_rotation(geometry.rows, 0);
+
+  aging::DutyCycleTracker tracker(geometry.cells());
+
+  const unsigned total_inferences = options.warmup_inferences + options.inferences;
+  for (unsigned inf = 0; inf < total_inferences; ++inf) {
+    const bool accounting = inf >= options.warmup_inferences;
+    policy.begin_inference();
+    std::size_t next_write = 0;
+    for (std::uint32_t block = 0; block < blocks; ++block) {
+      // Apply this block's writes.
+      while (next_write < writes.size() && writes[next_write].block == block) {
+        const StoredWrite& write = writes[next_write];
+        const WriteAction action = policy.on_write(write.row);
+        std::vector<std::uint64_t> stored =
+            action.rotate != 0
+                ? rotator.rotate_row(write.words, action.rotate, /*left=*/true)
+                : write.words;
+        wde.apply(stored, action.invert);
+        memory.write_row(write.row, stored);
+        metadata.record_write(write.row, action.invert);
+        stored_rotation[write.row] = action.rotate;
+        if (options.verify_decode) {
+          // RDD path: undo inversion via metadata, then undo rotation.
+          std::vector<std::uint64_t> decoded =
+              wde.transform(memory.read_row(write.row),
+                            metadata.enable_of(write.row));
+          if (stored_rotation[write.row] != 0) {
+            decoded = rotator.rotate_row(decoded, stored_rotation[write.row],
+                                         /*left=*/false);
+          }
+          DNNLIFE_ENSURES(decoded == write.words,
+                          "RDD failed to recover the written row");
+        }
+        ++next_write;
+      }
+      // One residency slot (weighted by the block's duration) for the
+      // current memory contents.
+      if (!accounting) continue;
+      const std::uint32_t duration = durations.empty() ? 1u : durations[block];
+      for (std::uint32_t row = 0; row < geometry.rows; ++row) {
+        if (!memory.row_written(row)) continue;
+        for (std::uint32_t bit = 0; bit < geometry.row_bits; ++bit) {
+          const std::size_t cell = geometry.cell_index(row, bit);
+          tracker.add_total_time(cell, duration);
+          if (memory.bit(row, bit)) tracker.add_ones_time(cell, duration);
+        }
+      }
+    }
+    DNNLIFE_ENSURES(next_write == writes.size(),
+                    "write blocks out of order in stream");
+  }
+  return tracker;
+}
+
+}  // namespace dnnlife::core

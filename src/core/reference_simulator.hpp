@@ -1,0 +1,31 @@
+// Reference (literal) aging simulator.
+//
+// Replays every write of every inference through the behavioural WDE/RDD
+// transducers, a functional SRAM model and the metadata store, then
+// integrates duty-cycle block-by-block. O(cells * K * inferences) — used
+// for small configurations and as the oracle the fast simulator is
+// validated against. Optionally verifies on every write that the RDD
+// recovers the original row from the stored data plus metadata.
+#pragma once
+
+#include "aging/duty_cycle.hpp"
+#include "core/mitigation_policy.hpp"
+#include "sim/write_stream.hpp"
+
+namespace dnnlife::core {
+
+struct ReferenceSimOptions {
+  unsigned inferences = 100;
+  /// Un-accounted inferences run first so the memory starts in steady
+  /// state (a row's pre-first-write content is the previous inference's
+  /// final content, matching the fast simulator's cyclic residency).
+  unsigned warmup_inferences = 1;
+  /// Check RDD(WDE(x)) == x on every write.
+  bool verify_decode = true;
+};
+
+aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
+                                           const PolicyConfig& policy,
+                                           const ReferenceSimOptions& options);
+
+}  // namespace dnnlife::core

@@ -1,0 +1,59 @@
+#include "core/transducer.hpp"
+
+namespace dnnlife::core {
+
+XorTransducer::XorTransducer(std::uint32_t row_bits) : row_bits_(row_bits) {
+  DNNLIFE_EXPECTS(row_bits >= 1, "transducer width");
+  full_words_ = row_bits_ / 64;
+  const std::uint32_t tail = row_bits_ % 64;
+  tail_mask_ = tail == 0 ? 0 : util::low_mask(tail);
+}
+
+void XorTransducer::apply(std::span<std::uint64_t> words, bool enable) const {
+  DNNLIFE_EXPECTS(words.size() == util::ceil_div(row_bits_, 64),
+                  "row word count");
+  if (!enable) return;
+  for (std::uint32_t w = 0; w < full_words_; ++w) words[w] = ~words[w];
+  if (tail_mask_ != 0) words[full_words_] ^= tail_mask_;
+}
+
+std::vector<std::uint64_t> XorTransducer::transform(
+    std::span<const std::uint64_t> words, bool enable) const {
+  std::vector<std::uint64_t> out(words.begin(), words.end());
+  apply(out, enable);
+  return out;
+}
+
+RotateTransducer::RotateTransducer(std::uint32_t row_bits,
+                                   std::uint32_t word_bits)
+    : row_bits_(row_bits), word_bits_(word_bits) {
+  DNNLIFE_EXPECTS(word_bits >= 1 && word_bits <= 64, "weight word width");
+  DNNLIFE_EXPECTS(row_bits % word_bits == 0,
+                  "row must hold whole weight words");
+}
+
+std::vector<std::uint64_t> RotateTransducer::rotate_row(
+    std::span<const std::uint64_t> words, unsigned amount, bool left) const {
+  DNNLIFE_EXPECTS(words.size() == util::ceil_div(row_bits_, 64),
+                  "row word count");
+  std::vector<std::uint64_t> out(words.size(), 0);
+  const std::uint32_t subwords = row_bits_ / word_bits_;
+  for (std::uint32_t s = 0; s < subwords; ++s) {
+    const std::size_t bit_pos = static_cast<std::size_t>(s) * word_bits_;
+    const std::size_t word = bit_pos / 64;
+    const unsigned shift = bit_pos % 64;
+    // Extract the subword (may straddle a word boundary).
+    std::uint64_t value = words[word] >> shift;
+    if (shift + word_bits_ > 64)
+      value |= words[word + 1] << (64 - shift);
+    value &= util::low_mask(word_bits_);
+    const std::uint64_t rotated =
+        left ? util::rotate_left(value, amount, word_bits_)
+             : util::rotate_right(value, amount, word_bits_);
+    out[word] |= rotated << shift;
+    if (shift + word_bits_ > 64) out[word + 1] |= rotated >> (64 - shift);
+  }
+  return out;
+}
+
+}  // namespace dnnlife::core

@@ -1,0 +1,58 @@
+// Write Data Encoder / Read Data Decoder behavioural models (paper Fig. 8).
+//
+// The WDE XORs the outgoing row with the enable signal E replicated across
+// all bits; the RDD is the identical structure applied on the read path
+// with the stored E, so decode(encode(x, e), e) == x for every word. The
+// gate-level versions live in hw/wde_modules.*; these behavioural models
+// are what the simulators use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitops.hpp"
+
+namespace dnnlife::core {
+
+/// XOR-with-enable transducer over a row of `row_bits` bits stored as
+/// little-endian 64-bit words. Encoder and decoder are the same function.
+class XorTransducer {
+ public:
+  explicit XorTransducer(std::uint32_t row_bits);
+
+  std::uint32_t row_bits() const noexcept { return row_bits_; }
+
+  /// In-place transform: XOR every payload bit with `enable`. Bits above
+  /// row_bits stay zero.
+  void apply(std::span<std::uint64_t> words, bool enable) const;
+
+  /// Out-of-place convenience.
+  std::vector<std::uint64_t> transform(std::span<const std::uint64_t> words,
+                                       bool enable) const;
+
+ private:
+  std::uint32_t row_bits_;
+  std::uint32_t full_words_;
+  std::uint64_t tail_mask_;
+};
+
+/// Barrel-rotation transducer: rotates each `word_bits`-wide weight subword
+/// of the row left by `amount` (the [15]-style baseline; the decoder
+/// rotates right by the same amount).
+class RotateTransducer {
+ public:
+  RotateTransducer(std::uint32_t row_bits, std::uint32_t word_bits);
+
+  std::uint32_t row_bits() const noexcept { return row_bits_; }
+  std::uint32_t word_bits() const noexcept { return word_bits_; }
+
+  std::vector<std::uint64_t> rotate_row(std::span<const std::uint64_t> words,
+                                        unsigned amount, bool left) const;
+
+ private:
+  std::uint32_t row_bits_;
+  std::uint32_t word_bits_;
+};
+
+}  // namespace dnnlife::core

@@ -1,0 +1,32 @@
+#include "core/trbg.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dnnlife::core {
+
+BiasedTrbg::BiasedTrbg(double p_one, std::uint64_t seed)
+    : p_one_(p_one), rng_(seed) {
+  DNNLIFE_EXPECTS(p_one >= 0.0 && p_one <= 1.0, "TRBG bias out of [0,1]");
+}
+
+RingOscillatorTrbg::RingOscillatorTrbg(Params params)
+    : params_(params), rng_(params.seed) {
+  DNNLIFE_EXPECTS(params_.duty > 0.0 && params_.duty < 1.0,
+                  "ring duty must be in (0,1)");
+  DNNLIFE_EXPECTS(params_.sample_period > 0.0, "sample period");
+  DNNLIFE_EXPECTS(params_.jitter_sigma >= 0.0, "jitter sigma");
+}
+
+bool RingOscillatorTrbg::next() {
+  // Advance the ring phase by one sampler period plus accumulated jitter;
+  // only the fractional part matters.
+  phase_ += params_.sample_period +
+            params_.jitter_sigma * rng_.next_gaussian();
+  phase_ -= std::floor(phase_);
+  // The ring output is high for the first `duty` fraction of each period.
+  return phase_ < params_.duty;
+}
+
+}  // namespace dnnlife::core

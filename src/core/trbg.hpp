@@ -1,0 +1,68 @@
+// True Random Bit Generator models.
+//
+// The paper's hardware TRBG is a 5-stage ring oscillator sampled by a flop;
+// real TRBGs can be biased towards '0' or '1' (Sec. IV), which is exactly
+// what the bias-balancing register corrects. We model the TRBG at the
+// bit-stream level: a Bernoulli source with configurable bias, plus a
+// ring-oscillator flavour that derives its bias from jittered phase
+// sampling.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace dnnlife::core {
+
+class Trbg {
+ public:
+  virtual ~Trbg() = default;
+  /// Next random bit.
+  virtual bool next() = 0;
+  /// The long-run probability of emitting '1'.
+  virtual double bias() const = 0;
+};
+
+/// Bernoulli(p) source (deterministic given the seed).
+class BiasedTrbg final : public Trbg {
+ public:
+  BiasedTrbg(double p_one, std::uint64_t seed);
+
+  bool next() override { return rng_.next_bernoulli(p_one_); }
+  double bias() const override { return p_one_; }
+
+ private:
+  double p_one_;
+  util::Xoshiro256ss rng_;
+};
+
+/// Ring-oscillator model: a free-running oscillator of nominal period 1
+/// (arbitrary units) accumulates Gaussian per-sample jitter; the sampler
+/// reads the oscillator level, which is high for `duty` of each period.
+/// Large jitter gives an unbiased stream; the oscillator's duty-cycle
+/// asymmetry shows through as output bias.
+class RingOscillatorTrbg final : public Trbg {
+ public:
+  struct Params {
+    double duty = 0.5;          ///< high fraction of the ring period
+    double sample_period = 137.341;  ///< sampler period in ring periods
+    /// Jitter accumulated over one sampler period, in ring periods. A
+    /// sampler that spans many ring periods accumulates well over one
+    /// period of jitter, which is what decorrelates successive samples;
+    /// values << 1 model a failing (phase-locked) TRBG.
+    double jitter_sigma = 2.0;
+    std::uint64_t seed = 0x05cA11A7ULL;
+  };
+
+  explicit RingOscillatorTrbg(Params params);
+
+  bool next() override;
+  double bias() const override { return params_.duty; }
+
+ private:
+  Params params_;
+  util::Xoshiro256ss rng_;
+  double phase_ = 0.0;  ///< position within the ring period, [0, 1)
+};
+
+}  // namespace dnnlife::core

@@ -1,0 +1,28 @@
+#include "core/workload.hpp"
+
+#include "core/fast_simulator.hpp"
+#include "util/rng.hpp"
+
+namespace dnnlife::core {
+
+aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
+                                          const PolicyConfig& policy) {
+  DNNLIFE_EXPECTS(!phases.empty(), "workload needs at least one phase");
+  const sim::MemoryGeometry geometry = phases.front().stream->geometry();
+  aging::DutyCycleTracker combined(geometry.cells());
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const WorkloadPhase& phase = phases[p];
+    DNNLIFE_EXPECTS(phase.stream != nullptr, "phase without stream");
+    DNNLIFE_EXPECTS(phase.stream->geometry().rows == geometry.rows &&
+                        phase.stream->geometry().row_bits == geometry.row_bits,
+                    "phases must share the memory geometry");
+    PolicyConfig phase_policy = policy;
+    phase_policy.seed = util::derive_seed(policy.seed, p + 1);
+    FastSimOptions options;
+    options.inferences = phase.inferences;
+    combined.merge(simulate_fast(*phase.stream, phase_policy, options));
+  }
+  return combined;
+}
+
+}  // namespace dnnlife::core

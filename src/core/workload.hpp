@@ -1,0 +1,33 @@
+// Multi-DNN workload schedules (extension).
+//
+// The paper evaluates each network "individually" and assumes a single
+// DNN is used for the whole device lifetime. Real deployments interleave
+// models on the same accelerator; the lifetime duty-cycle of a cell is
+// then the time-weighted union of the phases. This module composes
+// per-phase simulations over a shared weight memory.
+#pragma once
+
+#include <span>
+
+#include "aging/duty_cycle.hpp"
+#include "core/mitigation_policy.hpp"
+#include "sim/write_stream.hpp"
+
+namespace dnnlife::core {
+
+/// One phase of the device lifetime: a network/accelerator write stream
+/// run for a number of inferences.
+struct WorkloadPhase {
+  const sim::WriteStream* stream = nullptr;  // non-owning
+  unsigned inferences = 100;
+};
+
+/// Simulate the phases in order on the same physical memory (all streams
+/// must share the memory geometry) and accumulate duty-cycle time across
+/// them. DNN-Life phases draw decorrelated randomness (the controller
+/// keeps running across phases in hardware; here each phase derives a
+/// sub-seed, which is statistically equivalent).
+aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
+                                          const PolicyConfig& policy);
+
+}  // namespace dnnlife::core

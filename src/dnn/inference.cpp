@@ -1,0 +1,165 @@
+#include "dnn/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dnnlife::dnn {
+
+namespace {
+
+std::uint32_t conv_out_dim(std::uint32_t in, std::uint32_t kernel,
+                           std::uint32_t stride, std::uint32_t padding) {
+  DNNLIFE_EXPECTS(in + 2 * padding >= kernel, "kernel larger than padded input");
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+Tensor3 conv_forward(const LayerSpec& layer, const Tensor3& in,
+                     const WeightSource& weights, std::uint64_t weight_base) {
+  DNNLIFE_EXPECTS(in.channels == layer.in_channels, "conv input channel mismatch");
+  const std::uint32_t oh = conv_out_dim(in.height, layer.kernel_h, layer.stride,
+                                        layer.padding);
+  const std::uint32_t ow = conv_out_dim(in.width, layer.kernel_w, layer.stride,
+                                        layer.padding);
+  Tensor3 out(layer.out_channels, oh, ow);
+  const std::uint32_t cpg = layer.channels_per_group();
+  const std::uint32_t filters_per_group = layer.out_channels / layer.groups;
+  const std::uint64_t weights_per_filter =
+      static_cast<std::uint64_t>(cpg) * layer.kernel_h * layer.kernel_w;
+  for (std::uint32_t f = 0; f < layer.out_channels; ++f) {
+    const std::uint32_t group = f / filters_per_group;
+    const std::uint32_t ch_base = group * cpg;
+    const std::uint64_t filter_base = weight_base + f * weights_per_filter;
+    for (std::uint32_t oy = 0; oy < oh; ++oy) {
+      for (std::uint32_t ox = 0; ox < ow; ++ox) {
+        float acc = 0.0f;
+        for (std::uint32_t c = 0; c < cpg; ++c) {
+          for (std::uint32_t ky = 0; ky < layer.kernel_h; ++ky) {
+            const std::int64_t iy = static_cast<std::int64_t>(oy) * layer.stride +
+                                    ky - layer.padding;
+            if (iy < 0 || iy >= static_cast<std::int64_t>(in.height)) continue;
+            for (std::uint32_t kx = 0; kx < layer.kernel_w; ++kx) {
+              const std::int64_t ix = static_cast<std::int64_t>(ox) * layer.stride +
+                                      kx - layer.padding;
+              if (ix < 0 || ix >= static_cast<std::int64_t>(in.width)) continue;
+              const std::uint64_t widx =
+                  filter_base +
+                  (static_cast<std::uint64_t>(c) * layer.kernel_h + ky) *
+                      layer.kernel_w +
+                  kx;
+              acc += weights.weight(widx) *
+                     in.at(ch_base + c, static_cast<std::uint32_t>(iy),
+                           static_cast<std::uint32_t>(ix));
+            }
+          }
+        }
+        out.at(f, oy, ox) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3 pool_forward(const LayerSpec& layer, const Tensor3& in, bool is_max) {
+  const std::uint32_t oh = conv_out_dim(in.height, layer.kernel_h, layer.stride, 0);
+  const std::uint32_t ow = conv_out_dim(in.width, layer.kernel_w, layer.stride, 0);
+  Tensor3 out(in.channels, oh, ow);
+  for (std::uint32_t c = 0; c < in.channels; ++c) {
+    for (std::uint32_t oy = 0; oy < oh; ++oy) {
+      for (std::uint32_t ox = 0; ox < ow; ++ox) {
+        float best = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+        for (std::uint32_t ky = 0; ky < layer.kernel_h; ++ky) {
+          for (std::uint32_t kx = 0; kx < layer.kernel_w; ++kx) {
+            const float v = in.at(c, oy * layer.stride + ky, ox * layer.stride + kx);
+            if (is_max)
+              best = std::max(best, v);
+            else
+              best += v;
+          }
+        }
+        if (!is_max)
+          best /= static_cast<float>(layer.kernel_h * layer.kernel_w);
+        out.at(c, oy, ox) = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor3 fc_forward(const LayerSpec& layer, const Tensor3& in,
+                   const WeightSource& weights, std::uint64_t weight_base) {
+  DNNLIFE_EXPECTS(in.size() == layer.in_features, "fc input size mismatch");
+  Tensor3 out(layer.out_features, 1, 1);
+  for (std::uint32_t o = 0; o < layer.out_features; ++o) {
+    float acc = 0.0f;
+    const std::uint64_t row_base =
+        weight_base + static_cast<std::uint64_t>(o) * layer.in_features;
+    for (std::uint32_t i = 0; i < layer.in_features; ++i)
+      acc += weights.weight(row_base + i) * in.data[i];
+    out.data[o] = acc;
+  }
+  return out;
+}
+
+void softmax_inplace(Tensor3& t) {
+  const float max_val = *std::max_element(t.data.begin(), t.data.end());
+  float sum = 0.0f;
+  for (float& v : t.data) {
+    v = std::exp(v - max_val);
+    sum += v;
+  }
+  for (float& v : t.data) v /= sum;
+}
+
+}  // namespace
+
+std::vector<float> run_inference(const Network& network,
+                                 const WeightSource& weights,
+                                 const Tensor3& input) {
+  Tensor3 current = input;
+  std::size_t weighted_index = 0;
+  for (const auto& layer : network.layers()) {
+    switch (layer.kind) {
+      case LayerKind::kConv:
+        current = conv_forward(layer, current, weights,
+                               network.weight_offset(weighted_index++));
+        break;
+      case LayerKind::kFullyConnected: {
+        // Implicit flatten.
+        Tensor3 flat(static_cast<std::uint32_t>(current.size()), 1, 1);
+        flat.data = current.data;
+        current = fc_forward(layer, flat, weights,
+                             network.weight_offset(weighted_index++));
+        break;
+      }
+      case LayerKind::kMaxPool:
+        current = pool_forward(layer, current, /*is_max=*/true);
+        break;
+      case LayerKind::kAvgPool:
+        current = pool_forward(layer, current, /*is_max=*/false);
+        break;
+      case LayerKind::kReLU:
+        for (float& v : current.data) v = std::max(v, 0.0f);
+        break;
+      case LayerKind::kSoftmax:
+        softmax_inplace(current);
+        break;
+      case LayerKind::kLocalResponseNorm:
+      case LayerKind::kBatchNorm:
+        // Normalisation layers are shape-preserving markers in this
+        // reference interpreter (weightless in the zoo descriptors).
+        break;
+    }
+  }
+  return current.data;
+}
+
+std::size_t argmax(const std::vector<float>& values) {
+  DNNLIFE_EXPECTS(!values.empty(), "argmax of empty vector");
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+}  // namespace dnnlife::dnn

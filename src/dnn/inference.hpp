@@ -1,0 +1,69 @@
+// Minimal reference forward pass.
+//
+// The aging study never needs activations (only the weight write stream),
+// but the examples use this small interpreter to run a real end-to-end
+// inference of the paper's custom MNIST network, demonstrating that the
+// WDE/RDD encode-decode path is value-preserving at the application level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/network.hpp"
+#include "dnn/weight_gen.hpp"
+
+namespace dnnlife::dnn {
+
+/// CHW feature map.
+struct Tensor3 {
+  std::uint32_t channels = 0;
+  std::uint32_t height = 0;
+  std::uint32_t width = 0;
+  std::vector<float> data;  // [c][h][w] row-major
+
+  Tensor3() = default;
+  Tensor3(std::uint32_t c, std::uint32_t h, std::uint32_t w)
+      : channels(c), height(h), width(w),
+        data(static_cast<std::size_t>(c) * h * w, 0.0f) {}
+
+  float& at(std::uint32_t c, std::uint32_t y, std::uint32_t x) {
+    return data[(static_cast<std::size_t>(c) * height + y) * width + x];
+  }
+  float at(std::uint32_t c, std::uint32_t y, std::uint32_t x) const {
+    return data[(static_cast<std::size_t>(c) * height + y) * width + x];
+  }
+  std::size_t size() const noexcept { return data.size(); }
+};
+
+/// Weight source abstraction so the interpreter can run either on raw
+/// streamed weights or on weights that took a round trip through the
+/// WDE -> SRAM -> RDD path.
+class WeightSource {
+ public:
+  virtual ~WeightSource() = default;
+  /// Value of global weight index `g`.
+  virtual float weight(std::uint64_t g) const = 0;
+};
+
+/// WeightSource backed directly by a WeightStreamer.
+class StreamerWeightSource final : public WeightSource {
+ public:
+  explicit StreamerWeightSource(const WeightStreamer& streamer)
+      : streamer_(&streamer) {}
+  float weight(std::uint64_t g) const override { return streamer_->weight(g); }
+
+ private:
+  const WeightStreamer* streamer_;
+};
+
+/// Interprets a network (conv / fc / relu / pools / softmax) on one input.
+/// Biases are taken as zero (the weight memory under study stores weights
+/// only). Returns the final layer's flattened output.
+std::vector<float> run_inference(const Network& network,
+                                 const WeightSource& weights,
+                                 const Tensor3& input);
+
+/// Index of the maximum element (argmax classification).
+std::size_t argmax(const std::vector<float>& values);
+
+}  // namespace dnnlife::dnn

@@ -1,0 +1,137 @@
+#include "dnn/layer.hpp"
+
+namespace dnnlife::dnn {
+
+std::string to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kReLU: return "relu";
+    case LayerKind::kLocalResponseNorm: return "lrn";
+    case LayerKind::kBatchNorm: return "batchnorm";
+    case LayerKind::kSoftmax: return "softmax";
+  }
+  return "unknown";
+}
+
+std::uint64_t LayerSpec::weight_count() const noexcept {
+  switch (kind) {
+    case LayerKind::kConv:
+      return static_cast<std::uint64_t>(out_channels) *
+             (in_channels / groups) * kernel_h * kernel_w;
+    case LayerKind::kFullyConnected:
+      return static_cast<std::uint64_t>(out_features) * in_features;
+    default:
+      return 0;
+  }
+}
+
+std::uint64_t LayerSpec::bias_count() const noexcept {
+  if (!has_bias) return 0;
+  switch (kind) {
+    case LayerKind::kConv: return out_channels;
+    case LayerKind::kFullyConnected: return out_features;
+    default: return 0;
+  }
+}
+
+std::uint32_t LayerSpec::channels_per_group() const {
+  DNNLIFE_EXPECTS(kind == LayerKind::kConv, "channels_per_group on non-conv");
+  return in_channels / groups;
+}
+
+std::uint64_t LayerSpec::fan_in() const noexcept {
+  switch (kind) {
+    case LayerKind::kConv:
+      return static_cast<std::uint64_t>(in_channels / groups) * kernel_h * kernel_w;
+    case LayerKind::kFullyConnected:
+      return in_features;
+    default:
+      return 0;
+  }
+}
+
+void LayerSpec::validate() const {
+  DNNLIFE_EXPECTS(!name.empty(), "layer must be named");
+  switch (kind) {
+    case LayerKind::kConv:
+      DNNLIFE_EXPECTS(out_channels > 0 && in_channels > 0, "conv channel counts");
+      DNNLIFE_EXPECTS(kernel_h > 0 && kernel_w > 0, "conv kernel dims");
+      DNNLIFE_EXPECTS(groups > 0 && in_channels % groups == 0,
+                      "conv groups must divide in_channels");
+      DNNLIFE_EXPECTS(out_channels % groups == 0,
+                      "conv groups must divide out_channels");
+      DNNLIFE_EXPECTS(stride > 0, "conv stride");
+      break;
+    case LayerKind::kFullyConnected:
+      DNNLIFE_EXPECTS(out_features > 0 && in_features > 0, "fc dims");
+      break;
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+      DNNLIFE_EXPECTS(kernel_h > 0 && stride > 0, "pool dims");
+      break;
+    default:
+      break;
+  }
+}
+
+LayerSpec LayerSpec::conv(std::string name, std::uint32_t out_channels,
+                          std::uint32_t in_channels, std::uint32_t kernel_h,
+                          std::uint32_t kernel_w, std::uint32_t stride,
+                          std::uint32_t padding, std::uint32_t groups) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.kind = LayerKind::kConv;
+  spec.out_channels = out_channels;
+  spec.in_channels = in_channels;
+  spec.kernel_h = kernel_h;
+  spec.kernel_w = kernel_w;
+  spec.stride = stride;
+  spec.padding = padding;
+  spec.groups = groups;
+  spec.validate();
+  return spec;
+}
+
+LayerSpec LayerSpec::fully_connected(std::string name, std::uint32_t out_features,
+                                     std::uint32_t in_features) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.kind = LayerKind::kFullyConnected;
+  spec.out_features = out_features;
+  spec.in_features = in_features;
+  spec.validate();
+  return spec;
+}
+
+LayerSpec LayerSpec::max_pool(std::string name, std::uint32_t kernel,
+                              std::uint32_t stride) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.kind = LayerKind::kMaxPool;
+  spec.kernel_h = kernel;
+  spec.kernel_w = kernel;
+  spec.stride = stride;
+  spec.has_bias = false;
+  spec.validate();
+  return spec;
+}
+
+LayerSpec LayerSpec::avg_pool(std::string name, std::uint32_t kernel,
+                              std::uint32_t stride) {
+  LayerSpec spec = max_pool(std::move(name), kernel, stride);
+  spec.kind = LayerKind::kAvgPool;
+  return spec;
+}
+
+LayerSpec LayerSpec::relu(std::string name) {
+  LayerSpec spec;
+  spec.name = std::move(name);
+  spec.kind = LayerKind::kReLU;
+  spec.has_bias = false;
+  return spec;
+}
+
+}  // namespace dnnlife::dnn

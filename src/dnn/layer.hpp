@@ -1,0 +1,95 @@
+// Layer descriptors for the DNN substrate.
+//
+// The aging evaluation only needs the *weight tensors* and the order in
+// which the dataflow streams them, so layers carry exact shape/parameter
+// information (enough to reproduce published parameter counts) plus the
+// spatial geometry needed by the reference forward pass.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace dnnlife::dnn {
+
+enum class LayerKind {
+  kConv,            ///< 2-D convolution (optionally grouped)
+  kFullyConnected,  ///< dense layer
+  kMaxPool,
+  kAvgPool,
+  kReLU,
+  kLocalResponseNorm,
+  kBatchNorm,
+  kSoftmax,
+};
+
+/// Human-readable name of a layer kind.
+std::string to_string(LayerKind kind);
+
+/// One layer of a network. Only kConv and kFullyConnected carry weights.
+struct LayerSpec {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+
+  // Convolution parameters (kConv): out_channels filters of size
+  // (in_channels / groups) x kernel_h x kernel_w.
+  std::uint32_t out_channels = 0;
+  std::uint32_t in_channels = 0;
+  std::uint32_t kernel_h = 0;
+  std::uint32_t kernel_w = 0;
+  std::uint32_t stride = 1;
+  std::uint32_t padding = 0;
+  std::uint32_t groups = 1;
+
+  // Fully-connected parameters (kFullyConnected): out_features x in_features.
+  std::uint32_t out_features = 0;
+  std::uint32_t in_features = 0;
+
+  bool has_bias = true;
+
+  /// True for layers that own weight tensors (conv / fully-connected).
+  bool is_weighted() const noexcept {
+    return kind == LayerKind::kConv || kind == LayerKind::kFullyConnected;
+  }
+
+  /// Number of weights (excluding biases). 0 for unweighted layers.
+  std::uint64_t weight_count() const noexcept;
+
+  /// Number of bias parameters. 0 for unweighted layers or has_bias=false.
+  std::uint64_t bias_count() const noexcept;
+
+  /// weight_count() + bias_count().
+  std::uint64_t parameter_count() const noexcept {
+    return weight_count() + bias_count();
+  }
+
+  /// Effective input channels per filter (in_channels / groups) for conv.
+  std::uint32_t channels_per_group() const;
+
+  /// Fan-in used for weight-initialisation scaling.
+  std::uint64_t fan_in() const noexcept;
+
+  /// Validate internal consistency; throws std::invalid_argument.
+  void validate() const;
+
+  // ---- Named constructors -------------------------------------------------
+
+  /// CONV(out, in, kh, kw) following the paper's notation.
+  static LayerSpec conv(std::string name, std::uint32_t out_channels,
+                        std::uint32_t in_channels, std::uint32_t kernel_h,
+                        std::uint32_t kernel_w, std::uint32_t stride = 1,
+                        std::uint32_t padding = 0, std::uint32_t groups = 1);
+
+  /// FC(out, in) following the paper's notation.
+  static LayerSpec fully_connected(std::string name, std::uint32_t out_features,
+                                   std::uint32_t in_features);
+
+  static LayerSpec max_pool(std::string name, std::uint32_t kernel,
+                            std::uint32_t stride);
+  static LayerSpec avg_pool(std::string name, std::uint32_t kernel,
+                            std::uint32_t stride);
+  static LayerSpec relu(std::string name);
+};
+
+}  // namespace dnnlife::dnn

@@ -1,0 +1,186 @@
+#include "dnn/model_zoo.hpp"
+
+#include <array>
+
+namespace dnnlife::dnn {
+
+namespace {
+
+using L = LayerSpec;
+
+/// Append one Inception-v1 module. `in` is the module input channel count;
+/// the six width parameters follow the GoogLeNet paper's table:
+/// #1x1, #3x3reduce, #3x3, #5x5reduce, #5x5, pool-proj.
+void add_inception(std::vector<LayerSpec>& layers, const std::string& name,
+                   std::uint32_t in, std::uint32_t n1x1, std::uint32_t n3r,
+                   std::uint32_t n3x3, std::uint32_t n5r, std::uint32_t n5x5,
+                   std::uint32_t pool_proj) {
+  layers.push_back(L::conv(name + "/1x1", n1x1, in, 1, 1));
+  layers.push_back(L::conv(name + "/3x3_reduce", n3r, in, 1, 1));
+  layers.push_back(L::conv(name + "/3x3", n3x3, n3r, 3, 3, 1, 1));
+  layers.push_back(L::conv(name + "/5x5_reduce", n5r, in, 1, 1));
+  layers.push_back(L::conv(name + "/5x5", n5x5, n5r, 5, 5, 1, 2));
+  layers.push_back(L::conv(name + "/pool_proj", pool_proj, in, 1, 1));
+}
+
+/// Append one ResNet bottleneck block: 1x1 (width) -> 3x3 (width) -> 1x1
+/// (4*width), with an optional 1x1 projection shortcut. ResNet convs carry
+/// no bias (folded into batch-norm).
+void add_bottleneck(std::vector<LayerSpec>& layers, const std::string& name,
+                    std::uint32_t in, std::uint32_t width, std::uint32_t stride,
+                    bool projection) {
+  auto no_bias = [](LayerSpec spec) {
+    spec.has_bias = false;
+    return spec;
+  };
+  const std::uint32_t out = width * 4;
+  layers.push_back(no_bias(L::conv(name + "/conv1", width, in, 1, 1)));
+  layers.push_back(no_bias(L::conv(name + "/conv2", width, width, 3, 3, stride, 1)));
+  layers.push_back(no_bias(L::conv(name + "/conv3", out, width, 1, 1)));
+  if (projection)
+    layers.push_back(no_bias(L::conv(name + "/shortcut", out, in, 1, 1, stride)));
+}
+
+}  // namespace
+
+Network make_alexnet() {
+  std::vector<LayerSpec> layers;
+  layers.push_back(L::conv("conv1", 96, 3, 11, 11, 4, 0));
+  layers.push_back(L::relu("relu1"));
+  layers.push_back(L::max_pool("pool1", 3, 2));
+  layers.push_back(L::conv("conv2", 256, 96, 5, 5, 1, 2, /*groups=*/2));
+  layers.push_back(L::relu("relu2"));
+  layers.push_back(L::max_pool("pool2", 3, 2));
+  layers.push_back(L::conv("conv3", 384, 256, 3, 3, 1, 1));
+  layers.push_back(L::relu("relu3"));
+  layers.push_back(L::conv("conv4", 384, 384, 3, 3, 1, 1, /*groups=*/2));
+  layers.push_back(L::relu("relu4"));
+  layers.push_back(L::conv("conv5", 256, 384, 3, 3, 1, 1, /*groups=*/2));
+  layers.push_back(L::relu("relu5"));
+  layers.push_back(L::max_pool("pool5", 3, 2));
+  layers.push_back(L::fully_connected("fc6", 4096, 9216));
+  layers.push_back(L::relu("relu6"));
+  layers.push_back(L::fully_connected("fc7", 4096, 4096));
+  layers.push_back(L::relu("relu7"));
+  layers.push_back(L::fully_connected("fc8", 1000, 4096));
+  return Network("alexnet", std::move(layers));
+}
+
+Network make_vgg16() {
+  std::vector<LayerSpec> layers;
+  const std::array<std::array<std::uint32_t, 2>, 13> convs = {{
+      {3, 64},    {64, 64},           // block 1
+      {64, 128},  {128, 128},         // block 2
+      {128, 256}, {256, 256}, {256, 256},  // block 3
+      {256, 512}, {512, 512}, {512, 512},  // block 4
+      {512, 512}, {512, 512}, {512, 512},  // block 5
+  }};
+  int block = 1;
+  int in_block = 1;
+  const std::array<int, 5> block_sizes = {2, 2, 3, 3, 3};
+  for (const auto& [in, out] : convs) {
+    layers.push_back(L::conv("conv" + std::to_string(block) + "_" +
+                                 std::to_string(in_block),
+                             out, in, 3, 3, 1, 1));
+    layers.push_back(L::relu("relu" + std::to_string(block) + "_" +
+                             std::to_string(in_block)));
+    if (in_block == block_sizes[static_cast<std::size_t>(block - 1)]) {
+      layers.push_back(L::max_pool("pool" + std::to_string(block), 2, 2));
+      ++block;
+      in_block = 1;
+    } else {
+      ++in_block;
+    }
+  }
+  layers.push_back(L::fully_connected("fc6", 4096, 25088));
+  layers.push_back(L::relu("relu6"));
+  layers.push_back(L::fully_connected("fc7", 4096, 4096));
+  layers.push_back(L::relu("relu7"));
+  layers.push_back(L::fully_connected("fc8", 1000, 4096));
+  return Network("vgg16", std::move(layers));
+}
+
+Network make_googlenet() {
+  std::vector<LayerSpec> layers;
+  layers.push_back(L::conv("conv1/7x7_s2", 64, 3, 7, 7, 2, 3));
+  layers.push_back(L::max_pool("pool1", 3, 2));
+  layers.push_back(L::conv("conv2/3x3_reduce", 64, 64, 1, 1));
+  layers.push_back(L::conv("conv2/3x3", 192, 64, 3, 3, 1, 1));
+  layers.push_back(L::max_pool("pool2", 3, 2));
+  add_inception(layers, "inception_3a", 192, 64, 96, 128, 16, 32, 32);
+  add_inception(layers, "inception_3b", 256, 128, 128, 192, 32, 96, 64);
+  layers.push_back(L::max_pool("pool3", 3, 2));
+  add_inception(layers, "inception_4a", 480, 192, 96, 208, 16, 48, 64);
+  add_inception(layers, "inception_4b", 512, 160, 112, 224, 24, 64, 64);
+  add_inception(layers, "inception_4c", 512, 128, 128, 256, 24, 64, 64);
+  add_inception(layers, "inception_4d", 512, 112, 144, 288, 32, 64, 64);
+  add_inception(layers, "inception_4e", 528, 256, 160, 320, 32, 128, 128);
+  layers.push_back(L::max_pool("pool4", 3, 2));
+  add_inception(layers, "inception_5a", 832, 256, 160, 320, 32, 128, 128);
+  add_inception(layers, "inception_5b", 832, 384, 192, 384, 48, 128, 128);
+  layers.push_back(L::avg_pool("pool5", 7, 1));
+  layers.push_back(L::fully_connected("loss3/classifier", 1000, 1024));
+  return Network("googlenet", std::move(layers));
+}
+
+Network make_resnet152() {
+  std::vector<LayerSpec> layers;
+  auto no_bias = [](LayerSpec spec) {
+    spec.has_bias = false;
+    return spec;
+  };
+  layers.push_back(no_bias(L::conv("conv1", 64, 3, 7, 7, 2, 3)));
+  layers.push_back(L::max_pool("pool1", 3, 2));
+  const std::array<std::uint32_t, 4> widths = {64, 128, 256, 512};
+  const std::array<std::uint32_t, 4> counts = {3, 8, 36, 3};
+  std::uint32_t in = 64;
+  for (std::size_t stage = 0; stage < 4; ++stage) {
+    for (std::uint32_t b = 0; b < counts[stage]; ++b) {
+      const std::string name = "res" + std::to_string(stage + 2) + "_" +
+                               std::to_string(b + 1);
+      const std::uint32_t stride = (b == 0 && stage != 0) ? 2 : 1;
+      add_bottleneck(layers, name, in, widths[stage], stride, /*projection=*/b == 0);
+      in = widths[stage] * 4;
+    }
+  }
+  layers.push_back(L::avg_pool("pool5", 7, 1));
+  layers.push_back(L::fully_connected("fc1000", 1000, 2048));
+  return Network("resnet152", std::move(layers));
+}
+
+Network make_custom_mnist() {
+  // Paper Sec. V-A: CONV(16,1,5,5), CONV(50,16,5,5), FC(256,800), FC(10,256);
+  // 2x2 max-pools give 28 -> 24 -> 12 -> 8 -> 4, so the flattened input to
+  // the first FC layer is 50 * 4 * 4 = 800.
+  std::vector<LayerSpec> layers;
+  layers.push_back(L::conv("conv1", 16, 1, 5, 5));
+  layers.push_back(L::relu("relu1"));
+  layers.push_back(L::max_pool("pool1", 2, 2));
+  layers.push_back(L::conv("conv2", 50, 16, 5, 5));
+  layers.push_back(L::relu("relu2"));
+  layers.push_back(L::max_pool("pool2", 2, 2));
+  layers.push_back(L::fully_connected("fc1", 256, 800));
+  layers.push_back(L::relu("relu3"));
+  layers.push_back(L::fully_connected("fc2", 10, 256));
+  return Network("custom_mnist", std::move(layers));
+}
+
+ReferenceAccuracy reference_accuracy(const std::string& network_name) {
+  // Cited constants (ImageNet validation), as plotted in the paper's Fig. 1a.
+  if (network_name == "alexnet") return {57.2, 80.2};
+  if (network_name == "googlenet") return {69.8, 89.5};
+  if (network_name == "vgg16") return {71.5, 90.4};
+  if (network_name == "resnet152") return {77.0, 93.3};
+  throw std::invalid_argument("no reference accuracy for " + network_name);
+}
+
+Network make_network(const std::string& name) {
+  if (name == "alexnet") return make_alexnet();
+  if (name == "vgg16") return make_vgg16();
+  if (name == "googlenet") return make_googlenet();
+  if (name == "resnet152") return make_resnet152();
+  if (name == "custom_mnist") return make_custom_mnist();
+  throw std::invalid_argument("unknown network: " + name);
+}
+
+}  // namespace dnnlife::dnn

@@ -1,0 +1,43 @@
+// Model zoo: architecture descriptors for the networks the paper uses.
+//
+// AlexNet and VGG-16 carry the exact published layer shapes (parameter
+// counts match the literature: ~61 M and ~138 M). GoogLeNet and ResNet-152
+// are included for the Fig. 1a motivation data. The "custom" network is the
+// paper's MNIST model: CONV(16,1,5,5), CONV(50,16,5,5), FC(256,800),
+// FC(10,256).
+#pragma once
+
+#include "dnn/network.hpp"
+
+namespace dnnlife::dnn {
+
+/// Single-tower (Caffe bvlc) AlexNet with grouped conv2/4/5; ~60.95 M weights.
+Network make_alexnet();
+
+/// VGG-16 (configuration D); ~138.3 M parameters.
+Network make_vgg16();
+
+/// GoogLeNet (Inception v1) built from the published inception table; ~7 M.
+Network make_googlenet();
+
+/// ResNet-152 bottleneck architecture ([3, 8, 36, 3] blocks); ~60 M.
+/// Projection shortcuts at each stage entry; batch-norm layers carried as
+/// unweighted markers (their parameters are not conv/fc weights).
+Network make_resnet152();
+
+/// The paper's custom MNIST network (Sec. V-A).
+Network make_custom_mnist();
+
+/// Reference top-1 / top-5 ImageNet accuracies used in Fig. 1a (cited
+/// constants from the literature; not computed by this library).
+struct ReferenceAccuracy {
+  double top1_percent;
+  double top5_percent;
+};
+ReferenceAccuracy reference_accuracy(const std::string& network_name);
+
+/// Look up a zoo network by name ("alexnet", "vgg16", "googlenet",
+/// "resnet152", "custom_mnist"). Throws std::invalid_argument on miss.
+Network make_network(const std::string& name);
+
+}  // namespace dnnlife::dnn

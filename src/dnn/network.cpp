@@ -1,0 +1,47 @@
+#include "dnn/network.hpp"
+
+#include <algorithm>
+
+#include "util/bitops.hpp"
+
+namespace dnnlife::dnn {
+
+Network::Network(std::string name, std::vector<LayerSpec> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  DNNLIFE_EXPECTS(!layers_.empty(), "network needs at least one layer");
+  offsets_.reserve(layers_.size() + 1);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].validate();
+    total_params_ += layers_[i].parameter_count();
+    if (layers_[i].is_weighted()) {
+      weighted_.push_back(i);
+      offsets_.push_back(total_weights_);
+      total_weights_ += layers_[i].weight_count();
+    }
+  }
+  offsets_.push_back(total_weights_);
+  DNNLIFE_EXPECTS(!weighted_.empty(), "network has no weighted layers");
+}
+
+std::uint64_t Network::weight_bytes(unsigned bits_per_weight) const {
+  DNNLIFE_EXPECTS(bits_per_weight > 0 && bits_per_weight <= 64,
+                  "bits per weight out of range");
+  return util::ceil_div(total_weights_ * bits_per_weight, 8);
+}
+
+double Network::size_mb_fp32() const {
+  return static_cast<double>(weight_bytes(32)) / (1024.0 * 1024.0);
+}
+
+std::uint64_t Network::weight_offset(std::size_t w) const {
+  DNNLIFE_EXPECTS(w < weighted_.size(), "weighted-layer index out of range");
+  return offsets_[w];
+}
+
+std::size_t Network::weighted_layer_of(std::uint64_t g) const {
+  DNNLIFE_EXPECTS(g < total_weights_, "global weight index out of range");
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), g);
+  return static_cast<std::size_t>(it - offsets_.begin()) - 1;
+}
+
+}  // namespace dnnlife::dnn

@@ -1,0 +1,56 @@
+// Network container: an ordered list of layers plus bookkeeping over the
+// weighted layers (the only ones the weight-memory simulator cares about).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hpp"
+
+namespace dnnlife::dnn {
+
+class Network {
+ public:
+  Network(std::string name, std::vector<LayerSpec> layers);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<LayerSpec>& layers() const noexcept { return layers_; }
+
+  /// Indices (into layers()) of weighted layers, in execution order.
+  const std::vector<std::size_t>& weighted_layers() const noexcept {
+    return weighted_;
+  }
+
+  /// Number of weights across all layers (excluding biases).
+  std::uint64_t total_weights() const noexcept { return total_weights_; }
+  /// Number of parameters (weights + biases).
+  std::uint64_t total_parameters() const noexcept { return total_params_; }
+
+  /// Model size in bytes when each weight takes `bits_per_weight` bits
+  /// (biases excluded: they never live in the weight memory under study).
+  std::uint64_t weight_bytes(unsigned bits_per_weight) const;
+
+  /// Model size in MB (1 MB = 2^20 bytes) at 32-bit weights, as in Fig. 1a.
+  double size_mb_fp32() const;
+
+  /// Global index of the first weight of weighted layer `w` (w indexes
+  /// weighted_layers()). Weights are numbered consecutively across layers
+  /// in execution order; within a layer the order is
+  /// [filter][channel][kh][kw] (conv) or [row][col] (fc).
+  std::uint64_t weight_offset(std::size_t w) const;
+
+  /// Locate the weighted layer containing global weight index `g`.
+  /// Returns the index into weighted_layers().
+  std::size_t weighted_layer_of(std::uint64_t g) const;
+
+ private:
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+  std::vector<std::size_t> weighted_;
+  std::vector<std::uint64_t> offsets_;  // per weighted layer, plus end sentinel
+  std::uint64_t total_weights_ = 0;
+  std::uint64_t total_params_ = 0;
+};
+
+}  // namespace dnnlife::dnn

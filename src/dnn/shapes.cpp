@@ -1,0 +1,81 @@
+#include "dnn/shapes.hpp"
+
+namespace dnnlife::dnn {
+
+namespace {
+
+std::uint32_t out_dim(std::uint32_t in, std::uint32_t kernel,
+                      std::uint32_t stride, std::uint32_t padding,
+                      const std::string& name) {
+  DNNLIFE_EXPECTS(in + 2 * padding >= kernel,
+                  "kernel larger than padded input in layer " + name);
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+}  // namespace
+
+SpatialShape default_input_shape(const std::string& network_name) {
+  if (network_name == "alexnet") return {3, 227, 227};
+  if (network_name == "vgg16") return {3, 224, 224};
+  if (network_name == "custom_mnist") return {1, 28, 28};
+  throw std::invalid_argument("no registered input shape for " + network_name);
+}
+
+std::vector<SpatialShape> propagate_shapes(const Network& network,
+                                           SpatialShape input) {
+  std::vector<SpatialShape> shapes;
+  shapes.reserve(network.layers().size());
+  SpatialShape current = input;
+  for (const auto& layer : network.layers()) {
+    switch (layer.kind) {
+      case LayerKind::kConv:
+        DNNLIFE_EXPECTS(current.channels == layer.in_channels,
+                        "channel mismatch at layer " + layer.name);
+        current = {layer.out_channels,
+                   out_dim(current.height, layer.kernel_h, layer.stride,
+                           layer.padding, layer.name),
+                   out_dim(current.width, layer.kernel_w, layer.stride,
+                           layer.padding, layer.name)};
+        break;
+      case LayerKind::kFullyConnected:
+        DNNLIFE_EXPECTS(current.elements() == layer.in_features,
+                        "flatten size mismatch at layer " + layer.name);
+        current = {layer.out_features, 1, 1};
+        break;
+      case LayerKind::kMaxPool:
+      case LayerKind::kAvgPool:
+        current = {current.channels,
+                   out_dim(current.height, layer.kernel_h, layer.stride,
+                           layer.padding, layer.name),
+                   out_dim(current.width, layer.kernel_w, layer.stride,
+                           layer.padding, layer.name)};
+        break;
+      case LayerKind::kReLU:
+      case LayerKind::kLocalResponseNorm:
+      case LayerKind::kBatchNorm:
+      case LayerKind::kSoftmax:
+        break;  // shape preserving
+    }
+    shapes.push_back(current);
+  }
+  return shapes;
+}
+
+std::vector<std::uint64_t> weighted_layer_positions(const Network& network,
+                                                    SpatialShape input) {
+  const std::vector<SpatialShape> shapes = propagate_shapes(network, input);
+  std::vector<std::uint64_t> positions;
+  positions.reserve(network.weighted_layers().size());
+  for (std::size_t index : network.weighted_layers()) {
+    const auto& layer = network.layers()[index];
+    if (layer.kind == LayerKind::kConv) {
+      positions.push_back(static_cast<std::uint64_t>(shapes[index].height) *
+                          shapes[index].width);
+    } else {
+      positions.push_back(1);
+    }
+  }
+  return positions;
+}
+
+}  // namespace dnnlife::dnn

@@ -1,0 +1,43 @@
+// Spatial shape propagation: walk a network's layers from an input shape
+// to per-layer output shapes. Used by the compute-time model (how long
+// each weight block stays resident) and validated against the published
+// flatten dimensions (AlexNet fc6 = 9216, VGG-16 fc6 = 25088, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dnn/network.hpp"
+
+namespace dnnlife::dnn {
+
+struct SpatialShape {
+  std::uint32_t channels = 0;
+  std::uint32_t height = 0;
+  std::uint32_t width = 0;
+
+  std::uint64_t elements() const noexcept {
+    return static_cast<std::uint64_t>(channels) * height * width;
+  }
+  bool operator==(const SpatialShape&) const = default;
+};
+
+/// Canonical input shape of a zoo network ("alexnet" -> 3x227x227, ...).
+/// Throws for networks without a registered shape.
+SpatialShape default_input_shape(const std::string& network_name);
+
+/// Output shape of every layer (same order as network.layers()).
+/// Throws std::invalid_argument if a layer is inconsistent with its input
+/// (e.g. a kernel larger than the padded feature map).
+std::vector<SpatialShape> propagate_shapes(const Network& network,
+                                           SpatialShape input);
+
+/// For each *weighted* layer: the number of output positions each weight
+/// participates in (out_h * out_w for conv, 1 for fully-connected) — the
+/// per-weight MAC count, i.e. the relative compute time of one resident
+/// weight.
+std::vector<std::uint64_t> weighted_layer_positions(const Network& network,
+                                                    SpatialShape input);
+
+}  // namespace dnnlife::dnn

@@ -1,0 +1,74 @@
+#include "dnn/weight_gen.hpp"
+
+#include <cmath>
+
+#include "util/statistics.hpp"
+
+namespace dnnlife::dnn {
+
+WeightStreamer::WeightStreamer(const Network& network, WeightGenConfig config)
+    : network_(&network), config_(config) {
+  DNNLIFE_EXPECTS(config_.tail_asymmetry >= 0.0 && config_.tail_asymmetry < 1.0,
+                  "tail asymmetry out of [0, 1)");
+  DNNLIFE_EXPECTS(config_.sigma_scale > 0.0, "sigma scale must be positive");
+  const auto& weighted = network.weighted_layers();
+  layer_rngs_.reserve(weighted.size());
+  sigmas_.reserve(weighted.size());
+  stats_cache_.resize(weighted.size());
+  for (std::size_t w = 0; w < weighted.size(); ++w) {
+    layer_rngs_.emplace_back(util::derive_seed(config_.seed, w + 1));
+    const auto& layer = network.layers()[weighted[w]];
+    const double fan_in = static_cast<double>(layer.fan_in());
+    sigmas_.push_back(config_.sigma_scale * std::sqrt(2.0 / fan_in));
+  }
+}
+
+float WeightStreamer::weight(std::uint64_t g) const {
+  const std::size_t w = network_->weighted_layer_of(g);
+  const std::uint64_t local = g - network_->weight_offset(w);
+  const double sigma = sigmas_[w];
+  double value = 0.0;
+  switch (config_.distribution) {
+    case WeightDistribution::kGaussian:
+      value = sigma * layer_rngs_[w].gaussian_at(local);
+      break;
+    case WeightDistribution::kLaplace:
+      // Laplace with stddev sigma has scale b = sigma / sqrt(2).
+      value = layer_rngs_[w].laplace_at(local, sigma / std::sqrt(2.0));
+      break;
+  }
+  const double gamma = config_.tail_asymmetry;
+  if (gamma != 0.0) {
+    // Skew the two half-distributions, renormalised to keep stddev sigma:
+    // Var[skewed] = sigma^2 * ((1+g)^2 + (1-g)^2) / 2 = sigma^2 (1 + g^2).
+    value *= (value > 0.0 ? 1.0 + gamma : 1.0 - gamma) /
+             std::sqrt(1.0 + gamma * gamma);
+  }
+  return static_cast<float>(value);
+}
+
+const LayerWeightStats& WeightStreamer::layer_stats(std::size_t w) const {
+  DNNLIFE_EXPECTS(w < stats_cache_.size(), "weighted-layer index out of range");
+  if (!stats_cache_[w]) {
+    const std::uint64_t begin = network_->weight_offset(w);
+    const std::uint64_t end =
+        begin + network_->layers()[network_->weighted_layers()[w]].weight_count();
+    util::RunningStats acc;
+    for (std::uint64_t g = begin; g < end; ++g) acc.add(weight(g));
+    auto stats = std::make_unique<LayerWeightStats>();
+    stats->min = acc.min();
+    stats->max = acc.max();
+    stats->abs_max = std::max(std::abs(acc.min()), std::abs(acc.max()));
+    stats->mean = acc.mean();
+    stats->stddev = acc.stddev();
+    stats_cache_[w] = std::move(stats);
+  }
+  return *stats_cache_[w];
+}
+
+double WeightStreamer::layer_sigma(std::size_t w) const {
+  DNNLIFE_EXPECTS(w < sigmas_.size(), "weighted-layer index out of range");
+  return sigmas_[w];
+}
+
+}  // namespace dnnlife::dnn

@@ -1,0 +1,92 @@
+#include "hw/activity.hpp"
+
+#include <algorithm>
+
+namespace dnnlife::hw {
+
+namespace {
+
+double gate_p_one(const Gate& gate, const std::vector<double>& p) {
+  const auto in = [&](std::size_t i) { return p[gate.inputs[i]]; };
+  switch (gate.type) {
+    case CellType::kInv: return 1.0 - in(0);
+    case CellType::kBuf: return in(0);
+    case CellType::kNand2: return 1.0 - in(0) * in(1);
+    case CellType::kNor2: return (1.0 - in(0)) * (1.0 - in(1));
+    case CellType::kAnd2: return in(0) * in(1);
+    case CellType::kOr2: return 1.0 - (1.0 - in(0)) * (1.0 - in(1));
+    case CellType::kXor2: return in(0) * (1.0 - in(1)) + in(1) * (1.0 - in(0));
+    case CellType::kXnor2: return 1.0 - (in(0) * (1.0 - in(1)) + in(1) * (1.0 - in(0)));
+    case CellType::kMux2: return (1.0 - in(2)) * in(0) + in(2) * in(1);
+    case CellType::kDff: return in(0);
+    case CellType::kTrbg: return 0.5;  // overridden by caller
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+ActivityResult estimate_activity(const Netlist& netlist,
+                                 const std::unordered_map<NetId, double>& input_p_one,
+                                 double trbg_p_one, unsigned iterations) {
+  DNNLIFE_EXPECTS(iterations >= 1, "need at least one iteration");
+  std::vector<double> p(netlist.net_count(), 0.5);
+  // Pin primary inputs and constants.
+  for (NetId net : netlist.primary_inputs()) {
+    const auto it = input_p_one.find(net);
+    p[net] = it == input_p_one.end() ? 0.5 : it->second;
+  }
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    const auto& name = netlist.net_name(net);
+    if (name == "const0") p[net] = 0.0;
+    if (name == "const1") p[net] = 1.0;
+  }
+  const std::vector<std::size_t> order = netlist.combinational_order();
+  for (unsigned it = 0; it < iterations; ++it) {
+    // Sequential outputs first (previous iteration's D probability).
+    for (const auto& gate : netlist.gates()) {
+      if (gate.type == CellType::kTrbg) {
+        p[gate.output] = trbg_p_one;
+      } else if (gate.type == CellType::kDff) {
+        p[gate.output] = p[gate.inputs[0]];
+      }
+    }
+    for (std::size_t g : order) {
+      const auto& gate = netlist.gates()[g];
+      p[gate.output] = gate_p_one(gate, p);
+    }
+  }
+  ActivityResult result;
+  result.p_one = std::move(p);
+  result.toggle_rate.resize(netlist.net_count());
+  for (NetId net = 0; net < netlist.net_count(); ++net) {
+    const double p1 = result.p_one[net];
+    result.toggle_rate[net] = 2.0 * p1 * (1.0 - p1);
+  }
+  return result;
+}
+
+double dynamic_energy_per_cycle_fj(const Netlist& netlist, const CellLibrary& lib,
+                                   const ActivityResult& activity) {
+  double energy = 0.0;
+  for (const auto& gate : netlist.gates()) {
+    energy += activity.toggle_rate[gate.output] *
+              lib.info(gate.type).switch_energy_fj;
+  }
+  return energy;
+}
+
+double estimate_power_nw(const Netlist& netlist, const CellLibrary& lib,
+                         const ActivityResult& activity, double clock_ghz) {
+  DNNLIFE_EXPECTS(clock_ghz > 0.0, "clock must be positive");
+  double power = 0.0;
+  for (const auto& gate : netlist.gates()) {
+    const auto& info = lib.info(gate.type);
+    power += info.leakage_nw + info.intrinsic_dynamic_nw;
+  }
+  // fJ per cycle * cycles per ns = uW; convert to nW (1 fJ/ns = 1 uW).
+  power += dynamic_energy_per_cycle_fj(netlist, lib, activity) * clock_ghz * 1000.0;
+  return power;
+}
+
+}  // namespace dnnlife::hw

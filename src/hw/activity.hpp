@@ -1,0 +1,40 @@
+// Switching-activity estimation for power analysis.
+//
+// Standard probabilistic propagation: each net carries a signal probability
+// P1 (probability of logic '1' in a random cycle); assuming spatial and
+// temporal independence, the per-cycle toggle rate of a net is
+// 2 * P1 * (1 - P1). Sequential loops (counters) are resolved by
+// fixed-point iteration. This is the textbook estimator synthesis tools
+// use at this abstraction level; correlations are ignored (documented).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "hw/netlist.hpp"
+
+namespace dnnlife::hw {
+
+struct ActivityResult {
+  std::vector<double> p_one;        ///< per net
+  std::vector<double> toggle_rate;  ///< per net, toggles per cycle
+};
+
+/// Estimate activities. `input_p_one` maps primary-input nets to their '1'
+/// probability (unlisted inputs default to 0.5). TRBG outputs use
+/// `trbg_p_one` (a fair TRBG toggles with rate 0.5).
+ActivityResult estimate_activity(const Netlist& netlist,
+                                 const std::unordered_map<NetId, double>& input_p_one,
+                                 double trbg_p_one = 0.5,
+                                 unsigned iterations = 16);
+
+/// Total power in nW: leakage + intrinsic + sum over gates of
+/// toggle_rate(output) * switch_energy * clock.
+double estimate_power_nw(const Netlist& netlist, const CellLibrary& lib,
+                         const ActivityResult& activity, double clock_ghz);
+
+/// Energy per clock cycle in fJ (dynamic only).
+double dynamic_energy_per_cycle_fj(const Netlist& netlist, const CellLibrary& lib,
+                                   const ActivityResult& activity);
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,42 @@
+#include "hw/cell_library.hpp"
+
+#include "util/check.hpp"
+
+namespace dnnlife::hw {
+
+CellLibrary::CellLibrary() {
+  auto set = [this](CellType type, CellInfo info) {
+    cells_[static_cast<std::size_t>(type)] = info;
+  };
+  //                 name     in  area  delay  leak  E_sw  intrinsic
+  set(CellType::kInv,   {"INV",   1, 0.67,  20.0, 1.5, 0.6, 0.0});
+  set(CellType::kBuf,   {"BUF",   1, 1.00,  35.0, 2.0, 0.9, 0.0});
+  set(CellType::kNand2, {"NAND2", 2, 1.00,  25.0, 2.0, 0.8, 0.0});
+  set(CellType::kNor2,  {"NOR2",  2, 1.00,  30.0, 2.0, 0.8, 0.0});
+  set(CellType::kAnd2,  {"AND2",  2, 1.33,  40.0, 2.5, 1.0, 0.0});
+  set(CellType::kOr2,   {"OR2",   2, 1.33,  45.0, 2.5, 1.0, 0.0});
+  set(CellType::kXor2,  {"XOR2",  2, 2.00,  55.0, 4.0, 1.6, 0.0});
+  set(CellType::kXnor2, {"XNOR2", 2, 2.00,  55.0, 4.0, 1.6, 0.0});
+  set(CellType::kMux2,  {"MUX2",  3, 2.33,  50.0, 4.5, 1.5, 0.0});
+  set(CellType::kDff,   {"DFF",   1, 4.33, 150.0, 8.0, 4.0, 0.0});
+  // Ring-oscillator TRBG macro: 5 INV + sampling DFF; the ring is gated and
+  // sampled, its duty-cycled oscillation is charged as intrinsic power.
+  set(CellType::kTrbg,  {"TRBG",  0, 7.68, 150.0, 15.5, 4.0, 2000.0});
+}
+
+const CellLibrary& CellLibrary::generic65() {
+  static const CellLibrary library;
+  return library;
+}
+
+const CellInfo& CellLibrary::info(CellType type) const {
+  const auto index = static_cast<std::size_t>(type);
+  DNNLIFE_EXPECTS(index < kCellTypeCount, "unknown cell type");
+  return cells_[index];
+}
+
+std::string to_string(CellType type) {
+  return CellLibrary::generic65().info(type).name;
+}
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,56 @@
+#include "hw/wde_modules.hpp"
+
+#include "util/bitops.hpp"
+
+namespace dnnlife::hw {
+
+namespace {
+
+/// options[s] = in[(j + width - s) % width]  =>  out[j] = rotate_left(in, s)[j].
+std::vector<NetId> rotation_options(const Bus& data, unsigned j) {
+  const auto width = static_cast<unsigned>(data.size());
+  std::vector<NetId> options(width);
+  for (unsigned s = 0; s < width; ++s)
+    options[s] = data[(j + width - s) % width];
+  return options;
+}
+
+}  // namespace
+
+WdeModule build_barrel_shifter_wde(unsigned width, BarrelStyle style) {
+  DNNLIFE_EXPECTS(util::is_power_of_two(width), "barrel width must be 2^k");
+  WdeModule module;
+  module.name = "barrel_wde" + std::to_string(width);
+  Netlist& nl = module.netlist;
+  module.data_in = add_input_bus(nl, "d", width);
+  const unsigned sel_bits = util::ceil_log2(width);
+  NetId wrap = 0;
+  const Bus shift = add_counter(nl, sel_bits, wrap, "shift");
+
+  module.data_out.reserve(width);
+  if (style == BarrelStyle::kCrossbar) {
+    for (unsigned j = 0; j < width; ++j) {
+      module.data_out.push_back(add_mux_tree(nl, rotation_options(module.data_in, j),
+                                             shift, "rot" + std::to_string(j)));
+    }
+  } else {
+    // Logarithmic: stage s rotates by 2^s when select bit s is set.
+    Bus current = module.data_in;
+    for (unsigned s = 0; s < sel_bits; ++s) {
+      const unsigned amount = 1u << s;
+      Bus next(width);
+      for (unsigned j = 0; j < width; ++j) {
+        const NetId pass = current[j];
+        const NetId rotated = current[(j + width - amount) % width];
+        next[j] = nl.add_gate(CellType::kMux2, {pass, rotated, shift[s]},
+                              "st" + std::to_string(s) + "_b" + std::to_string(j));
+      }
+      current = std::move(next);
+    }
+    module.data_out = std::move(current);
+  }
+  mark_output_bus(nl, module.data_out, "q");
+  return module;
+}
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,33 @@
+#include "hw/wde_modules.hpp"
+
+namespace dnnlife::hw {
+
+WdeModule build_dnnlife_wde(unsigned width, unsigned balancer_bits) {
+  DNNLIFE_EXPECTS(width >= 1, "WDE width");
+  DNNLIFE_EXPECTS(balancer_bits >= 1, "balancer register width");
+  WdeModule module;
+  module.name = "dnnlife_wde" + std::to_string(width);
+  Netlist& nl = module.netlist;
+  module.data_in = add_input_bus(nl, "d", width);
+
+  // Aging mitigation controller (paper Fig. 8):
+  //  * TRBG macro (5-stage ring oscillator + sampler).
+  //  * M-bit register counting writes; its wrap toggles the bias-balancing
+  //    phase, periodically inverting the TRBG output.
+  //  * 1-bit register holding the enable (metadata) for the current write.
+  const NetId trbg = nl.add_gate(CellType::kTrbg, {}, "trbg");
+  NetId wrap = 0;
+  (void)add_counter(nl, balancer_bits, wrap, "balance");
+  const NetId phase = add_toggle_flop(nl, wrap, "phase");
+  const NetId e_next = nl.add_gate(CellType::kXor2, {trbg, phase}, "e_mix");
+  const NetId e_reg = nl.add_gate(CellType::kDff, {e_next}, "e_reg");
+
+  module.data_out = xor_with_control(nl, module.data_in, e_reg, "enc");
+  mark_output_bus(nl, module.data_out, "q");
+  module.enable_out = e_reg;
+  module.has_enable = true;
+  nl.mark_output(e_reg, "e_meta");
+  return module;
+}
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,22 @@
+#include "hw/wde_modules.hpp"
+
+namespace dnnlife::hw {
+
+WdeModule build_inversion_wde(unsigned width) {
+  DNNLIFE_EXPECTS(width >= 1, "WDE width");
+  WdeModule module;
+  module.name = "inversion_wde" + std::to_string(width);
+  Netlist& nl = module.netlist;
+  module.data_in = add_input_bus(nl, "d", width);
+  // Polarity flop: toggles on every write.
+  const NetId one = nl.add_const(true);
+  const NetId polarity = add_toggle_flop(nl, one, "polarity");
+  module.data_out = xor_with_control(nl, module.data_in, polarity, "enc");
+  mark_output_bus(nl, module.data_out, "q");
+  module.enable_out = polarity;
+  module.has_enable = true;
+  nl.mark_output(polarity, "e_meta");
+  return module;
+}
+
+}  // namespace dnnlife::hw

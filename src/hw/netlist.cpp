@@ -1,0 +1,208 @@
+#include "hw/netlist.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dnnlife::hw {
+
+NetId Netlist::new_net(std::string name, std::int64_t driver) {
+  const auto id = static_cast<NetId>(net_names_.size());
+  net_names_.push_back(std::move(name));
+  drivers_.push_back(driver);
+  return id;
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId net = new_net(std::move(name), -1);
+  inputs_.push_back(net);
+  return net;
+}
+
+NetId Netlist::add_const(bool value) {
+  return new_net(value ? "const1" : "const0", value ? -3 : -2);
+}
+
+NetId Netlist::add_gate(CellType type, std::vector<NetId> inputs,
+                        std::string name) {
+  const auto& info = CellLibrary::generic65().info(type);
+  DNNLIFE_EXPECTS(inputs.size() == info.input_count, "gate input arity");
+  for (NetId in : inputs)
+    DNNLIFE_EXPECTS(in < net_names_.size(), "gate input net unknown");
+  const auto gate_index = static_cast<std::int64_t>(gates_.size());
+  if (name.empty()) name = std::string(info.name) + "_" + std::to_string(gate_index);
+  const NetId out = new_net(name + "_o", gate_index);
+  gates_.push_back(Gate{type, std::move(inputs), out, std::move(name)});
+  return out;
+}
+
+void Netlist::mark_output(NetId net, std::string name) {
+  DNNLIFE_EXPECTS(net < net_names_.size(), "output net unknown");
+  outputs_.push_back(net);
+  if (!name.empty()) net_names_[net] = std::move(name);
+}
+
+void Netlist::patch_sequential_input(std::size_t gate_index, NetId net) {
+  DNNLIFE_EXPECTS(gate_index < gates_.size(), "gate index unknown");
+  DNNLIFE_EXPECTS(net < net_names_.size(), "net unknown");
+  Gate& gate = gates_[gate_index];
+  DNNLIFE_EXPECTS(is_sequential_cell(gate.type),
+                  "only sequential inputs may be patched");
+  DNNLIFE_EXPECTS(gate.inputs.size() == 1, "DFF has a single D input");
+  gate.inputs[0] = net;
+}
+
+const std::string& Netlist::net_name(NetId net) const {
+  DNNLIFE_EXPECTS(net < net_names_.size(), "net unknown");
+  return net_names_[net];
+}
+
+std::array<std::size_t, kCellTypeCount> Netlist::cell_histogram() const {
+  std::array<std::size_t, kCellTypeCount> histogram{};
+  for (const auto& gate : gates_)
+    ++histogram[static_cast<std::size_t>(gate.type)];
+  return histogram;
+}
+
+std::vector<std::size_t> Netlist::combinational_order() const {
+  // Kahn's algorithm over combinational gates only; sequential outputs are
+  // sources. fanin_pending counts unresolved *combinational* drivers.
+  std::vector<std::size_t> pending(gates_.size(), 0);
+  std::vector<std::vector<std::size_t>> dependents(net_names_.size());
+  std::queue<std::size_t> ready;
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    const auto& gate = gates_[i];
+    if (is_sequential_cell(gate.type)) continue;
+    std::size_t unresolved = 0;
+    for (NetId in : gate.inputs) {
+      const std::int64_t driver = drivers_[in];
+      if (driver >= 0 && !is_sequential_cell(
+                             gates_[static_cast<std::size_t>(driver)].type)) {
+        ++unresolved;
+        dependents[in].push_back(i);
+      }
+    }
+    pending[i] = unresolved;
+    if (unresolved == 0) ready.push(i);
+  }
+  std::vector<std::size_t> order;
+  order.reserve(gates_.size());
+  while (!ready.empty()) {
+    const std::size_t g = ready.front();
+    ready.pop();
+    order.push_back(g);
+    for (std::size_t dep : dependents[gates_[g].output]) {
+      if (--pending[dep] == 0) ready.push(dep);
+    }
+  }
+  std::size_t combinational = 0;
+  for (const auto& gate : gates_)
+    if (!is_sequential_cell(gate.type)) ++combinational;
+  DNNLIFE_ENSURES(order.size() == combinational,
+                  "combinational cycle in netlist");
+  return order;
+}
+
+double Netlist::total_area(const CellLibrary& lib) const {
+  double area = 0.0;
+  for (const auto& gate : gates_) area += lib.info(gate.type).area;
+  return area;
+}
+
+std::vector<double> Netlist::arrival_times_ps(const CellLibrary& lib) const {
+  std::vector<double> arrival(net_names_.size(), 0.0);
+  // Sources: primary inputs arrive at 0; sequential outputs at clk-to-q.
+  for (const auto& gate : gates_) {
+    if (is_sequential_cell(gate.type))
+      arrival[gate.output] = lib.info(gate.type).delay_ps;
+  }
+  for (std::size_t g : combinational_order()) {
+    const auto& gate = gates_[g];
+    double latest = 0.0;
+    for (NetId in : gate.inputs) latest = std::max(latest, arrival[in]);
+    arrival[gate.output] = latest + lib.info(gate.type).delay_ps;
+  }
+  return arrival;
+}
+
+double Netlist::critical_path_ps(const CellLibrary& lib) const {
+  const std::vector<double> arrival = arrival_times_ps(lib);
+  double critical = 0.0;
+  for (NetId out : outputs_) critical = std::max(critical, arrival[out]);
+  for (const auto& gate : gates_) {
+    if (gate.type == CellType::kDff)
+      critical = std::max(critical, arrival[gate.inputs[0]] + lib.dff_setup_ps());
+  }
+  return critical;
+}
+
+// ---- Simulator --------------------------------------------------------------
+
+Simulator::Simulator(const Netlist& netlist)
+    : netlist_(&netlist), order_(netlist.combinational_order()),
+      values_(netlist.net_count(), 0) {
+  for (NetId net = 0; net < netlist_->net_count(); ++net) {
+    if (netlist_->drivers_[net] == -3) values_[net] = 1;
+  }
+}
+
+void Simulator::set_input(NetId net, bool value) {
+  DNNLIFE_EXPECTS(netlist_->drivers_[net] == -1, "net is not a primary input");
+  values_[net] = value ? 1 : 0;
+}
+
+void Simulator::set_source(NetId net, bool value) {
+  const std::int64_t driver = netlist_->drivers_[net];
+  DNNLIFE_EXPECTS(driver >= 0 && netlist_->is_sequential_cell(
+                                     netlist_->gates_[static_cast<std::size_t>(
+                                         driver)].type),
+                  "net is not a sequential/TRBG output");
+  values_[net] = value ? 1 : 0;
+}
+
+void Simulator::settle() {
+  for (std::size_t g : order_) {
+    const auto& gate = netlist_->gates_[g];
+    const auto in = [&](std::size_t i) {
+      return values_[gate.inputs[i]] != 0;
+    };
+    bool out = false;
+    switch (gate.type) {
+      case CellType::kInv: out = !in(0); break;
+      case CellType::kBuf: out = in(0); break;
+      case CellType::kNand2: out = !(in(0) && in(1)); break;
+      case CellType::kNor2: out = !(in(0) || in(1)); break;
+      case CellType::kAnd2: out = in(0) && in(1); break;
+      case CellType::kOr2: out = in(0) || in(1); break;
+      case CellType::kXor2: out = in(0) != in(1); break;
+      case CellType::kXnor2: out = in(0) == in(1); break;
+      case CellType::kMux2: out = in(2) ? in(1) : in(0); break;
+      case CellType::kDff:
+      case CellType::kTrbg:
+        DNNLIFE_ENSURES(false, "sequential cell in combinational order");
+    }
+    values_[gate.output] = out ? 1 : 0;
+  }
+}
+
+void Simulator::tick() {
+  // Two-phase: sample all D inputs, then update outputs.
+  std::vector<std::pair<NetId, std::uint8_t>> updates;
+  for (const auto& gate : netlist_->gates_) {
+    if (gate.type == CellType::kDff)
+      updates.emplace_back(gate.output, values_[gate.inputs[0]]);
+  }
+  for (const auto& [net, value] : updates) values_[net] = value;
+}
+
+void Simulator::reset() {
+  for (const auto& gate : netlist_->gates_) {
+    if (netlist_->is_sequential_cell(gate.type)) values_[gate.output] = 0;
+  }
+}
+
+bool Simulator::value(NetId net) const {
+  DNNLIFE_EXPECTS(net < values_.size(), "net unknown");
+  return values_[net] != 0;
+}
+
+}  // namespace dnnlife::hw

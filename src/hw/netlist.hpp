@@ -1,0 +1,121 @@
+// Gate-level netlist with static timing, area accounting and functional
+// (cycle-accurate) simulation.
+//
+// Sequential elements (DFF, TRBG macro) break combinational paths: their
+// outputs are timing sources (clk-to-q) and their D inputs are timing
+// endpoints (setup). Combinational cycles are rejected.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cell_library.hpp"
+#include "util/check.hpp"
+
+namespace dnnlife::hw {
+
+using NetId = std::uint32_t;
+
+struct Gate {
+  CellType type;
+  std::vector<NetId> inputs;
+  NetId output;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  /// Primary input; returns its net.
+  NetId add_input(std::string name);
+
+  /// Constant-driven net.
+  NetId add_const(bool value);
+
+  /// Instantiate a gate; returns its output net. Input arity is checked
+  /// against the library. DFF takes {d}; TRBG takes {}.
+  NetId add_gate(CellType type, std::vector<NetId> inputs, std::string name = "");
+
+  /// Mark a net as a primary output (timing endpoint).
+  void mark_output(NetId net, std::string name);
+
+  /// Rewire one input of a *sequential* gate (DFF). Netlists are otherwise
+  /// append-only; feedback through a register (counters, toggle flops) is
+  /// the one legal back-edge, created by instantiating the flop with a
+  /// placeholder D and patching it once the feedback logic exists.
+  void patch_sequential_input(std::size_t gate_index, NetId net);
+
+  // ---- Structure ----------------------------------------------------------
+  std::size_t gate_count() const noexcept { return gates_.size(); }
+  std::size_t net_count() const noexcept { return net_names_.size(); }
+  const std::vector<Gate>& gates() const noexcept { return gates_; }
+  const std::vector<NetId>& primary_inputs() const noexcept { return inputs_; }
+  const std::vector<NetId>& primary_outputs() const noexcept { return outputs_; }
+  const std::string& net_name(NetId net) const;
+
+  /// Per-cell-type instance counts.
+  std::array<std::size_t, kCellTypeCount> cell_histogram() const;
+
+  /// Indices of combinational gates in topological order. Throws
+  /// std::logic_error if a combinational cycle exists.
+  std::vector<std::size_t> combinational_order() const;
+
+  // ---- Analysis -----------------------------------------------------------
+  /// Total cell area (library units).
+  double total_area(const CellLibrary& lib) const;
+
+  /// Critical path: max over (source -> endpoint) paths, where sources are
+  /// primary inputs / sequential outputs (with clk-to-q) and endpoints are
+  /// primary outputs / D inputs (with setup).
+  double critical_path_ps(const CellLibrary& lib) const;
+
+  /// Arrival time of each net under the same timing model.
+  std::vector<double> arrival_times_ps(const CellLibrary& lib) const;
+
+  bool is_sequential_cell(CellType type) const noexcept {
+    return type == CellType::kDff || type == CellType::kTrbg;
+  }
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<std::string> net_names_;
+  // Driver of each net: -1 primary input, -2 const0, -3 const1, else gate idx.
+  std::vector<std::int64_t> drivers_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+
+  NetId new_net(std::string name, std::int64_t driver);
+
+  friend class Simulator;
+};
+
+/// Functional simulator: set inputs, settle combinational logic, tick the
+/// clock to advance sequential state. TRBG macro outputs are external
+/// stochastic sources set via set_source().
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& netlist);
+
+  void set_input(NetId net, bool value);
+  /// Drive a sequential/TRBG output directly (next settle uses it).
+  void set_source(NetId net, bool value);
+
+  /// Evaluate all combinational logic from current inputs + state.
+  void settle();
+
+  /// Latch every DFF's D value into its output (call after settle()).
+  void tick();
+
+  /// Reset all sequential state to 0.
+  void reset();
+
+  bool value(NetId net) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<std::size_t> order_;
+  std::vector<std::uint8_t> values_;
+};
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,113 @@
+#include "hw/netlist_builder.hpp"
+
+#include "util/bitops.hpp"
+
+namespace dnnlife::hw {
+
+Bus add_input_bus(Netlist& netlist, const std::string& name, unsigned width) {
+  Bus bus;
+  bus.reserve(width);
+  for (unsigned i = 0; i < width; ++i)
+    bus.push_back(netlist.add_input(name + "[" + std::to_string(i) + "]"));
+  return bus;
+}
+
+void mark_output_bus(Netlist& netlist, const Bus& bus, const std::string& name) {
+  for (std::size_t i = 0; i < bus.size(); ++i)
+    netlist.mark_output(bus[i], name + "[" + std::to_string(i) + "]");
+}
+
+Bus xor_with_control(Netlist& netlist, const Bus& data, NetId control,
+                     const std::string& name) {
+  Bus out;
+  out.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out.push_back(netlist.add_gate(CellType::kXor2, {data[i], control},
+                                   name + "_xor" + std::to_string(i)));
+  }
+  return out;
+}
+
+Bus add_register(Netlist& netlist, const Bus& d, const std::string& name) {
+  Bus q;
+  q.reserve(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    q.push_back(netlist.add_gate(CellType::kDff, {d[i]},
+                                 name + "_ff" + std::to_string(i)));
+  }
+  return q;
+}
+
+Bus add_incrementer(Netlist& netlist, const Bus& value, NetId& carry_out,
+                    const std::string& name) {
+  DNNLIFE_EXPECTS(!value.empty(), "incrementer needs at least one bit");
+  Bus sum;
+  sum.reserve(value.size());
+  // +1: bit0 flips; carry into bit i is AND of bits 0..i-1.
+  NetId carry = netlist.add_const(true);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    sum.push_back(netlist.add_gate(CellType::kXor2, {value[i], carry},
+                                   name + "_sum" + std::to_string(i)));
+    carry = netlist.add_gate(CellType::kAnd2, {value[i], carry},
+                             name + "_carry" + std::to_string(i));
+  }
+  carry_out = carry;
+  return sum;
+}
+
+NetId add_mux_tree(Netlist& netlist, const std::vector<NetId>& options,
+                   const Bus& select, const std::string& name) {
+  DNNLIFE_EXPECTS(util::is_power_of_two(options.size()),
+                  "mux tree needs a power-of-two option count");
+  DNNLIFE_EXPECTS((std::size_t{1} << select.size()) == options.size(),
+                  "select width mismatch");
+  std::vector<NetId> level = options;
+  unsigned stage = 0;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      next.push_back(netlist.add_gate(
+          CellType::kMux2, {level[i], level[i + 1], select[stage]},
+          name + "_s" + std::to_string(stage) + "_m" + std::to_string(i / 2)));
+    }
+    level = std::move(next);
+    ++stage;
+  }
+  return level[0];
+}
+
+Bus add_counter(Netlist& netlist, unsigned width, NetId& wrap,
+                const std::string& name) {
+  DNNLIFE_EXPECTS(width >= 1, "counter width");
+  // Register feedback: instantiate the flops with a placeholder D, build
+  // the incrementer on their Q bus, then patch each D (the one legal
+  // back-edge, see Netlist::patch_sequential_input).
+  const NetId zero = netlist.add_const(false);
+  Bus q;
+  std::vector<std::size_t> flop_index;
+  q.reserve(width);
+  for (unsigned i = 0; i < width; ++i) {
+    flop_index.push_back(netlist.gate_count());
+    q.push_back(netlist.add_gate(CellType::kDff, {zero},
+                                 name + "_cnt" + std::to_string(i)));
+  }
+  // Pass 2: incrementer on Q, then patch each flop's D.
+  NetId carry = zero;
+  Bus next = add_incrementer(netlist, q, carry, name + "_inc");
+  for (unsigned i = 0; i < width; ++i)
+    netlist.patch_sequential_input(flop_index[i], next[i]);
+  wrap = carry;
+  return q;
+}
+
+NetId add_toggle_flop(Netlist& netlist, NetId toggle, const std::string& name) {
+  const NetId zero = netlist.add_const(false);
+  const std::size_t flop = netlist.gate_count();
+  const NetId q = netlist.add_gate(CellType::kDff, {zero}, name);
+  const NetId d = netlist.add_gate(CellType::kXor2, {q, toggle}, name + "_t");
+  netlist.patch_sequential_input(flop, d);
+  return q;
+}
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,45 @@
+// Composition helpers for building multi-bit structures out of gates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/netlist.hpp"
+
+namespace dnnlife::hw {
+
+using Bus = std::vector<NetId>;
+
+/// `width` named primary inputs: name[0] .. name[width-1].
+Bus add_input_bus(Netlist& netlist, const std::string& name, unsigned width);
+
+/// Mark every net of `bus` as primary output name[i].
+void mark_output_bus(Netlist& netlist, const Bus& bus, const std::string& name);
+
+/// Bitwise XOR of a bus with a single control net (the inversion array of
+/// the paper's WDE/RDD, Fig. 8).
+Bus xor_with_control(Netlist& netlist, const Bus& data, NetId control,
+                     const std::string& name);
+
+/// A register: one DFF per bit; returns the Q bus.
+Bus add_register(Netlist& netlist, const Bus& d, const std::string& name);
+
+/// Ripple incrementer: out = value + 1 (mod 2^width); also returns the
+/// carry-out (AND of all input bits) through `carry_out`.
+Bus add_incrementer(Netlist& netlist, const Bus& value, NetId& carry_out,
+                    const std::string& name);
+
+/// Binary-select multiplexer tree: out = options[sel] for a power-of-two
+/// option count; `sel` is little-endian. Uses MUX2 cells.
+NetId add_mux_tree(Netlist& netlist, const std::vector<NetId>& options,
+                   const Bus& select, const std::string& name);
+
+/// Free-running binary counter of `width` bits (DFF + incrementer);
+/// returns the Q bus and the wrap (carry-out) net through `wrap`.
+Bus add_counter(Netlist& netlist, unsigned width, NetId& wrap,
+                const std::string& name);
+
+/// Toggle flop: q' = q XOR t. Returns q.
+NetId add_toggle_flop(Netlist& netlist, NetId toggle, const std::string& name);
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,55 @@
+#include "hw/synthesis.hpp"
+
+#include <sstream>
+
+namespace dnnlife::hw {
+
+namespace {
+
+ActivityResult activity_for(const Netlist& netlist, const SynthesisOptions& options) {
+  std::unordered_map<NetId, double> p_one = options.input_p_one;
+  for (NetId net : netlist.primary_inputs()) {
+    if (p_one.find(net) == p_one.end())
+      p_one.emplace(net, options.default_input_p_one);
+  }
+  return estimate_activity(netlist, p_one, options.trbg_p_one);
+}
+
+}  // namespace
+
+std::string SynthesisReport::to_string() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  out << module_name << ": delay " << delay_ps << " ps, power " << power_nw
+      << " nW, area " << area_cells << " cells (" << cell_count
+      << " instances:";
+  for (std::size_t t = 0; t < kCellTypeCount; ++t) {
+    if (cells_by_type[t] == 0) continue;
+    out << ' ' << hw::to_string(static_cast<CellType>(t)) << 'x'
+        << cells_by_type[t];
+  }
+  out << ")";
+  return out.str();
+}
+
+SynthesisReport synthesize(const Netlist& netlist, const std::string& name,
+                           const CellLibrary& lib, const SynthesisOptions& options) {
+  SynthesisReport report;
+  report.module_name = name;
+  report.delay_ps = netlist.critical_path_ps(lib);
+  report.area_cells = netlist.total_area(lib);
+  report.cell_count = netlist.gate_count();
+  report.cells_by_type = netlist.cell_histogram();
+  report.power_nw =
+      estimate_power_nw(netlist, lib, activity_for(netlist, options),
+                        options.clock_ghz);
+  return report;
+}
+
+double encode_energy_fj(const Netlist& netlist, const CellLibrary& lib,
+                        const SynthesisOptions& options) {
+  return dynamic_energy_per_cycle_fj(netlist, lib, activity_for(netlist, options));
+}
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,47 @@
+// Synthesis-style reporting: area / delay / power for a netlist, in the
+// shape of the paper's Table II rows.
+#pragma once
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+#include "hw/activity.hpp"
+#include "hw/netlist.hpp"
+
+namespace dnnlife::hw {
+
+struct SynthesisOptions {
+  /// Effective toggle clock of the weight write port. 0.2 GHz reflects a
+  /// memory interface that does not switch every core cycle and lands the
+  /// absolute power numbers in the paper's Table II range.
+  double clock_ghz = 0.2;
+  /// '1'-probability assumed for primary inputs without an explicit entry.
+  double default_input_p_one = 0.5;
+  /// TRBG output '1'-probability (bias).
+  double trbg_p_one = 0.5;
+  std::unordered_map<NetId, double> input_p_one;
+};
+
+struct SynthesisReport {
+  std::string module_name;
+  double delay_ps = 0.0;
+  double area_cells = 0.0;  ///< NAND2-equivalent units
+  double power_nw = 0.0;
+  std::size_t cell_count = 0;
+  std::array<std::size_t, kCellTypeCount> cells_by_type{};
+
+  std::string to_string() const;
+};
+
+SynthesisReport synthesize(const Netlist& netlist, const std::string& name,
+                           const CellLibrary& lib = CellLibrary::generic65(),
+                           const SynthesisOptions& options = {});
+
+/// Per-write dynamic energy of the module in fJ (used by the system-level
+/// energy-overhead analysis).
+double encode_energy_fj(const Netlist& netlist,
+                        const CellLibrary& lib = CellLibrary::generic65(),
+                        const SynthesisOptions& options = {});
+
+}  // namespace dnnlife::hw

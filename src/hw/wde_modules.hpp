@@ -1,0 +1,51 @@
+// Gate-level generators for the three Write Data Encoder variants compared
+// in the paper's Table II. The Read Data Decoder of the inversion family is
+// structurally identical to its WDE (paper Sec. IV), so one generator
+// covers both transducers.
+#pragma once
+
+#include <string>
+
+#include "hw/netlist.hpp"
+#include "hw/netlist_builder.hpp"
+
+namespace dnnlife::hw {
+
+/// A generated transducer module and its interface nets.
+struct WdeModule {
+  std::string name;
+  Netlist netlist;
+  Bus data_in;
+  Bus data_out;
+  /// The E (encoding metadata) net for designs that export it; data_out[0]
+  /// otherwise unused designs leave it == data_out[0]'s id semantics; check
+  /// has_enable.
+  NetId enable_out = 0;
+  bool has_enable = false;
+};
+
+/// Inversion-based WDE ([19]-style): a toggle flop flips polarity on every
+/// write; the data bus is XORed with it.
+WdeModule build_inversion_wde(unsigned width);
+
+enum class BarrelStyle {
+  /// One width:1 binary-select mux tree per output bit — the flat structure
+  /// a synthesis run of "out = in rotated by s" produces; matches the
+  /// paper's Table II magnitude.
+  kCrossbar,
+  /// Logarithmic shifter: log2(width) stages of width MUX2 each (the
+  /// area-optimised variant; kept as an ablation point).
+  kLogStages,
+};
+
+/// Barrel-shifter WDE ([15]-style): rotate the word by a per-write counter.
+/// `width` must be a power of two.
+WdeModule build_barrel_shifter_wde(unsigned width,
+                                   BarrelStyle style = BarrelStyle::kCrossbar);
+
+/// The proposed DNN-Life WDE (paper Fig. 8): XOR array driven by an aging
+/// mitigation controller = TRBG + M-bit bias-balancing counter + phase
+/// toggle flop + E register.
+WdeModule build_dnnlife_wde(unsigned width, unsigned balancer_bits = 4);
+
+}  // namespace dnnlife::hw

@@ -1,0 +1,74 @@
+#include "quant/bit_distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/bitops.hpp"
+
+namespace dnnlife::quant {
+
+double BitDistribution::max_deviation_from_half() const {
+  double dev = 0.0;
+  for (double p : p_one) dev = std::max(dev, std::abs(p - 0.5));
+  return dev;
+}
+
+std::string BitDistribution::to_string() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(4);
+  for (std::size_t i = p_one.size(); i-- > 0;) {
+    out << "  bit " << i << ": " << p_one[i] << '\n';
+  }
+  out << "  average: " << average_p_one << "  (" << samples << " samples)\n";
+  return out.str();
+}
+
+BitDistribution analyze_bits(const WeightWordCodec& codec, std::uint64_t begin,
+                             std::uint64_t end, std::uint64_t stride) {
+  DNNLIFE_EXPECTS(begin < end, "empty analysis range");
+  DNNLIFE_EXPECTS(stride >= 1, "stride must be positive");
+  const unsigned width = codec.bits();
+  std::vector<std::uint64_t> ones(width, 0);
+  std::uint64_t samples = 0;
+  for (std::uint64_t g = begin; g < end; g += stride) {
+    const std::uint64_t word = codec.encode(g);
+    for (unsigned b = 0; b < width; ++b) ones[b] += (word >> b) & 1u;
+    ++samples;
+  }
+  BitDistribution dist;
+  dist.p_one.resize(width);
+  double sum = 0.0;
+  for (unsigned b = 0; b < width; ++b) {
+    dist.p_one[b] =
+        static_cast<double>(ones[b]) / static_cast<double>(samples);
+    sum += dist.p_one[b];
+  }
+  dist.average_p_one = sum / static_cast<double>(width);
+  dist.samples = samples;
+  return dist;
+}
+
+BitDistribution analyze_network_bits(const WeightWordCodec& codec,
+                                     std::uint64_t max_samples) {
+  const std::uint64_t total = codec.streamer().network().total_weights();
+  std::uint64_t stride = 1;
+  if (max_samples > 0 && total > max_samples)
+    stride = util::ceil_div(total, max_samples);
+  return analyze_bits(codec, 0, total, stride);
+}
+
+BitDistribution analyze_layer_bits(const WeightWordCodec& codec, std::size_t w,
+                                   std::uint64_t max_samples) {
+  const auto& network = codec.streamer().network();
+  const std::uint64_t begin = network.weight_offset(w);
+  const std::uint64_t count =
+      network.layers()[network.weighted_layers()[w]].weight_count();
+  std::uint64_t stride = 1;
+  if (max_samples > 0 && count > max_samples)
+    stride = util::ceil_div(count, max_samples);
+  return analyze_bits(codec, begin, begin + count, stride);
+}
+
+}  // namespace dnnlife::quant

@@ -1,0 +1,45 @@
+// Per-bit-location '1'-probability analysis (reproduces the paper's Fig. 6
+// and drives the Sec. III insights).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quant/word_codec.hpp"
+
+namespace dnnlife::quant {
+
+/// Result of a bit-distribution analysis over a set of weight words.
+struct BitDistribution {
+  /// p_one[i] = probability of a '1' at bit-location i (0 = LSB).
+  std::vector<double> p_one;
+  /// Mean of p_one across bit-locations (the paper's observation 3:
+  /// this average is not guaranteed to be 0.5 either).
+  double average_p_one = 0.0;
+  /// Number of weight words analysed.
+  std::uint64_t samples = 0;
+
+  /// Largest absolute deviation of any bit-location from 0.5.
+  double max_deviation_from_half() const;
+
+  /// Render one line per bit-location, MSB first (matching Fig. 6's axes).
+  std::string to_string() const;
+};
+
+/// Analyse weights [begin, end) of the codec's network, visiting every
+/// `stride`-th weight (stride > 1 subsamples large models; the counter-based
+/// streamer makes any subsample deterministic).
+BitDistribution analyze_bits(const WeightWordCodec& codec, std::uint64_t begin,
+                             std::uint64_t end, std::uint64_t stride = 1);
+
+/// Analyse the whole network. `max_samples` caps the number of words by
+/// choosing an appropriate stride (0 = no cap).
+BitDistribution analyze_network_bits(const WeightWordCodec& codec,
+                                     std::uint64_t max_samples = 0);
+
+/// Analyse a single weighted layer (index into weighted_layers()).
+BitDistribution analyze_layer_bits(const WeightWordCodec& codec, std::size_t w,
+                                   std::uint64_t max_samples = 0);
+
+}  // namespace dnnlife::quant

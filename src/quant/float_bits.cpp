@@ -1,0 +1,14 @@
+// float_bits is header-only; this translation unit pins the header into the
+// build so its constexpr definitions are compiled at least once.
+#include "quant/float_bits.hpp"
+
+namespace dnnlife::quant {
+
+static_assert(float_to_bits(0.0f) == 0u);
+static_assert(float_to_bits(1.0f) == 0x3f800000u);
+static_assert(float_to_bits(-2.0f) == 0xc0000000u);
+static_assert(decompose(1.5f).exponent == 127u);
+static_assert(decompose(1.5f).mantissa == 0x400000u);
+static_assert(compose({false, 127u, 0u}) == 1.0f);
+
+}  // namespace dnnlife::quant

@@ -1,0 +1,51 @@
+// IEEE-754 single-precision bit-level views (Sec. III-A of the paper
+// analyses the sign / exponent / mantissa fields separately).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace dnnlife::quant {
+
+/// Raw bit pattern of a float (IEEE 754 binary32).
+constexpr std::uint32_t float_to_bits(float value) noexcept {
+  return std::bit_cast<std::uint32_t>(value);
+}
+
+/// Float from a raw bit pattern.
+constexpr float bits_to_float(std::uint32_t bits) noexcept {
+  return std::bit_cast<float>(bits);
+}
+
+/// Decomposed binary32 fields.
+struct Float32Fields {
+  bool sign;               ///< bit 31
+  std::uint32_t exponent;  ///< bits 30..23 (biased)
+  std::uint32_t mantissa;  ///< bits 22..0
+};
+
+constexpr Float32Fields decompose(float value) noexcept {
+  const std::uint32_t bits = float_to_bits(value);
+  return Float32Fields{
+      (bits >> 31) != 0,
+      (bits >> 23) & 0xffu,
+      bits & 0x7fffffu,
+  };
+}
+
+constexpr float compose(const Float32Fields& fields) noexcept {
+  const std::uint32_t bits = (static_cast<std::uint32_t>(fields.sign) << 31) |
+                             ((fields.exponent & 0xffu) << 23) |
+                             (fields.mantissa & 0x7fffffu);
+  return bits_to_float(bits);
+}
+
+/// Classification helpers on the bit pattern.
+constexpr bool is_denormal_bits(std::uint32_t bits) noexcept {
+  return ((bits >> 23) & 0xffu) == 0 && (bits & 0x7fffffu) != 0;
+}
+constexpr bool is_nan_bits(std::uint32_t bits) noexcept {
+  return ((bits >> 23) & 0xffu) == 0xffu && (bits & 0x7fffffu) != 0;
+}
+
+}  // namespace dnnlife::quant

@@ -1,0 +1,86 @@
+#include "quant/word_codec.hpp"
+
+#include "quant/float_bits.hpp"
+#include "util/bitops.hpp"
+
+namespace dnnlife::quant {
+
+unsigned bits_per_weight(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kFloat32: return 32;
+    case WeightFormat::kInt8Symmetric:
+    case WeightFormat::kInt8Asymmetric: return 8;
+  }
+  throw std::invalid_argument("unknown weight format");
+}
+
+std::string to_string(WeightFormat format) {
+  switch (format) {
+    case WeightFormat::kFloat32: return "float32";
+    case WeightFormat::kInt8Symmetric: return "int8-symmetric";
+    case WeightFormat::kInt8Asymmetric: return "int8-asymmetric";
+  }
+  return "unknown";
+}
+
+WeightWordCodec::WeightWordCodec(const dnn::WeightStreamer& streamer,
+                                 WeightFormat format)
+    : streamer_(&streamer), format_(format), bits_(bits_per_weight(format)) {
+  params_cache_.resize(streamer.network().weighted_layers().size());
+}
+
+const QuantParams& WeightWordCodec::layer_params(std::size_t w) const {
+  DNNLIFE_EXPECTS(format_ != WeightFormat::kFloat32,
+                  "float32 has no quantization parameters");
+  DNNLIFE_EXPECTS(w < params_cache_.size(), "weighted-layer index out of range");
+  if (!params_cache_[w]) {
+    const auto& stats = streamer_->layer_stats(w);
+    auto params = std::make_unique<QuantParams>(
+        format_ == WeightFormat::kInt8Symmetric
+            ? make_symmetric_int8(stats.abs_max)
+            : make_asymmetric_uint8(stats.min, stats.max));
+    params_cache_[w] = std::move(params);
+  }
+  return *params_cache_[w];
+}
+
+const QuantParams& WeightWordCodec::params_for(std::uint64_t g) const {
+  return layer_params(streamer_->network().weighted_layer_of(g));
+}
+
+std::uint64_t WeightWordCodec::encode(std::uint64_t g) const {
+  const float value = streamer_->weight(g);
+  switch (format_) {
+    case WeightFormat::kFloat32:
+      return float_to_bits(value);
+    case WeightFormat::kInt8Symmetric: {
+      const std::int32_t code = quantize(params_for(g), value);
+      // Two's-complement low byte.
+      return static_cast<std::uint64_t>(static_cast<std::uint8_t>(code));
+    }
+    case WeightFormat::kInt8Asymmetric: {
+      const std::int32_t code = quantize(params_for(g), value);
+      return static_cast<std::uint64_t>(static_cast<std::uint8_t>(code));
+    }
+  }
+  throw std::logic_error("unknown weight format");
+}
+
+double WeightWordCodec::decode(std::uint64_t g, std::uint64_t word) const {
+  DNNLIFE_EXPECTS((word & ~util::low_mask(bits_)) == 0, "word wider than format");
+  switch (format_) {
+    case WeightFormat::kFloat32:
+      return static_cast<double>(bits_to_float(static_cast<std::uint32_t>(word)));
+    case WeightFormat::kInt8Symmetric: {
+      const auto code = static_cast<std::int8_t>(static_cast<std::uint8_t>(word));
+      return dequantize(params_for(g), code);
+    }
+    case WeightFormat::kInt8Asymmetric: {
+      const auto code = static_cast<std::int32_t>(word & 0xffu);
+      return dequantize(params_for(g), code);
+    }
+  }
+  throw std::logic_error("unknown weight format");
+}
+
+}  // namespace dnnlife::quant

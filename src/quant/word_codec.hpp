@@ -1,0 +1,59 @@
+// Weight-word codecs: map a network's weights to the bit words that are
+// written into the on-chip weight memory, for each of the paper's three
+// data representation formats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/weight_gen.hpp"
+#include "quant/quantizer.hpp"
+
+namespace dnnlife::quant {
+
+/// The three representation formats studied in Sec. III / Sec. V.
+enum class WeightFormat {
+  kFloat32,        ///< IEEE 754 binary32
+  kInt8Symmetric,  ///< two's-complement int8, symmetric range-linear
+  kInt8Asymmetric, ///< uint8 with zero-point, asymmetric range-linear
+};
+
+/// Storage width of one weight in the given format.
+unsigned bits_per_weight(WeightFormat format);
+
+std::string to_string(WeightFormat format);
+
+/// Encodes weights of one network into memory words. Quantization
+/// parameters are per-layer (per-tensor granularity, the standard
+/// post-training setting), computed lazily from the streamer's layer
+/// statistics.
+class WeightWordCodec {
+ public:
+  WeightWordCodec(const dnn::WeightStreamer& streamer, WeightFormat format);
+
+  WeightFormat format() const noexcept { return format_; }
+  unsigned bits() const noexcept { return bits_; }
+  const dnn::WeightStreamer& streamer() const noexcept { return *streamer_; }
+
+  /// The stored word (low `bits()` bits) for global weight index `g`.
+  std::uint64_t encode(std::uint64_t g) const;
+
+  /// Reconstructed real value of a stored word belonging to weight `g`
+  /// (g selects the layer and hence the quantization parameters).
+  double decode(std::uint64_t g, std::uint64_t word) const;
+
+  /// Quantization parameters of weighted layer `w` (int8 formats only).
+  const QuantParams& layer_params(std::size_t w) const;
+
+ private:
+  const dnn::WeightStreamer* streamer_;  // non-owning
+  WeightFormat format_;
+  unsigned bits_;
+  mutable std::vector<std::unique_ptr<QuantParams>> params_cache_;
+
+  const QuantParams& params_for(std::uint64_t g) const;
+};
+
+}  // namespace dnnlife::quant

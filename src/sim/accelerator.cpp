@@ -1,0 +1,71 @@
+#include "sim/accelerator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/compute_model.hpp"
+
+namespace dnnlife::sim {
+
+void pack_row_words(const quant::WeightWordCodec& codec,
+                    std::span<const std::int64_t> slots,
+                    std::span<std::uint64_t> words) {
+  std::fill(words.begin(), words.end(), 0);
+  const unsigned wb = codec.bits();
+  for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+    if (slots[slot] < 0) continue;  // padding: zero bits
+    const std::uint64_t value =
+        codec.encode(static_cast<std::uint64_t>(slots[slot]));
+    const std::size_t bit_pos = slot * wb;
+    const std::size_t word = bit_pos / 64;
+    const unsigned shift = bit_pos % 64;
+    words[word] |= value << shift;
+    if (shift + wb > 64) words[word + 1] |= value >> (64 - shift);
+  }
+}
+
+BaselineWeightStream::BaselineWeightStream(const quant::WeightWordCodec& codec,
+                                           BaselineAcceleratorConfig config)
+    : codec_(&codec), config_(config),
+      rows_(codec.streamer().network(),
+            DataflowConfig{config.pe_count, config.multipliers_per_pe}) {
+  const std::uint32_t row_bits =
+      config_.pe_count * config_.multipliers_per_pe * codec.bits();
+  geometry_ = geometry_from_capacity(config_.weight_memory_bytes, row_bits);
+  // Double buffering fills the memory half-image by half-image; the
+  // geometry (the physical cells under study) is unchanged.
+  image_rows_ = config_.double_buffered ? geometry_.rows / 2 : geometry_.rows;
+  DNNLIFE_EXPECTS(image_rows_ >= 1, "memory too small for double buffering");
+  blocks_ = static_cast<std::uint32_t>(
+      util::ceil_div(rows_.total_rows(), image_rows_));
+  DNNLIFE_ENSURES(blocks_ >= 1, "network produced no weight rows");
+  if (config_.compute_weighted_residency) {
+    const auto& network = codec.streamer().network();
+    const auto segments = dataflow_row_costs(
+        network, rows_.config(), dnn::default_input_shape(network.name()));
+    durations_ = block_durations_from_costs(segments, image_rows_);
+    DNNLIFE_ENSURES(durations_.size() == blocks_,
+                    "duration/block count mismatch");
+  }
+}
+
+void BaselineWeightStream::for_each_write(
+    const std::function<void(const RowWriteEvent&)>& visit) const {
+  std::vector<std::uint64_t> words(geometry_.words_per_row());
+  rows_.for_each_row([&](std::uint64_t row_index,
+                         std::span<const std::int64_t> slots) {
+    pack_row_words(*codec_, slots, words);
+    RowWriteEvent event;
+    const auto block = static_cast<std::uint32_t>(row_index / image_rows_);
+    const auto image_row = static_cast<std::uint32_t>(row_index % image_rows_);
+    // Double buffering: odd blocks land in the upper half.
+    event.row = config_.double_buffered
+                    ? image_row + (block % 2) * image_rows_
+                    : image_row;
+    event.block = block;
+    event.words = std::span<const std::uint64_t>(words);
+    visit(event);
+  });
+}
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,73 @@
+#include "sim/compute_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hpp"
+
+namespace dnnlife::sim {
+
+std::vector<RowCostSegment> dataflow_row_costs(const dnn::Network& network,
+                                               const DataflowConfig& config,
+                                               dnn::SpatialShape input) {
+  const std::vector<std::uint64_t> positions =
+      dnn::weighted_layer_positions(network, input);
+  std::vector<RowCostSegment> segments;
+  segments.reserve(positions.size());
+  for (std::size_t w = 0; w < network.weighted_layers().size(); ++w) {
+    const auto& layer = network.layers()[network.weighted_layers()[w]];
+    const std::uint64_t filters = layer.kind == dnn::LayerKind::kConv
+                                      ? layer.out_channels
+                                      : layer.out_features;
+    const std::uint64_t wpf = layer.weight_count() / filters;
+    const std::uint64_t sets = util::ceil_div(filters, config.filters_per_set);
+    const std::uint64_t rows_per_set =
+        util::ceil_div(wpf, config.weights_per_filter_per_row);
+    segments.push_back(
+        RowCostSegment{sets * rows_per_set, static_cast<double>(positions[w])});
+  }
+  return segments;
+}
+
+std::vector<std::uint32_t> block_durations_from_costs(
+    std::span<const RowCostSegment> segments, std::uint64_t rows_per_block,
+    std::uint32_t target_mean) {
+  DNNLIFE_EXPECTS(rows_per_block > 0, "rows per block");
+  DNNLIFE_EXPECTS(target_mean > 0, "target mean");
+  // Pass 1: per-block raw cost.
+  std::vector<double> raw;
+  double current = 0.0;
+  std::uint64_t rows_in_block = 0;
+  for (const auto& segment : segments) {
+    DNNLIFE_EXPECTS(segment.cost > 0.0, "row cost must be positive");
+    std::uint64_t remaining = segment.rows;
+    while (remaining > 0) {
+      const std::uint64_t take =
+          std::min(remaining, rows_per_block - rows_in_block);
+      current += static_cast<double>(take) * segment.cost;
+      rows_in_block += take;
+      remaining -= take;
+      if (rows_in_block == rows_per_block) {
+        raw.push_back(current);
+        current = 0.0;
+        rows_in_block = 0;
+      }
+    }
+  }
+  if (rows_in_block > 0) raw.push_back(current);
+  DNNLIFE_EXPECTS(!raw.empty(), "no rows in cost segments");
+  // Pass 2: quantise to positive integers with the requested mean.
+  double sum = 0.0;
+  for (double value : raw) sum += value;
+  const double scale =
+      static_cast<double>(target_mean) * static_cast<double>(raw.size()) / sum;
+  std::vector<std::uint32_t> durations;
+  durations.reserve(raw.size());
+  for (double value : raw) {
+    durations.push_back(static_cast<std::uint32_t>(
+        std::max<long>(1, std::lround(value * scale))));
+  }
+  return durations;
+}
+
+}  // namespace dnnlife::sim

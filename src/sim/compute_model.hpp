@@ -1,0 +1,40 @@
+// Compute-time model for block residency.
+//
+// The paper's probabilistic analysis assumes every weight block stays
+// resident for equal time (assumption (b)), while Sec. III-C notes that
+// real layers take very different amounts of time. This model relaxes
+// the assumption: a resident weight of a conv layer participates in
+// out_h * out_w MACs (one per output position) vs 1 for a fully-connected
+// layer, so a block's residency is proportional to the summed per-row
+// compute of the rows it holds.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dnn/shapes.hpp"
+#include "sim/dataflow.hpp"
+
+namespace dnnlife::sim {
+
+/// A run of consecutive dataflow rows sharing one per-row compute cost.
+struct RowCostSegment {
+  std::uint64_t rows = 0;
+  double cost = 1.0;
+};
+
+/// Dataflow-ordered row costs of `network` under the Fig. 5 tiling.
+/// The segment list covers exactly TiledRowSource::total_rows() rows.
+std::vector<RowCostSegment> dataflow_row_costs(const dnn::Network& network,
+                                               const DataflowConfig& config,
+                                               dnn::SpatialShape input);
+
+/// Slice the row costs into per-block durations (rows_per_block dataflow
+/// rows per mapping), quantised to positive integers with mean ~
+/// `target_mean` (small integers keep the duty-cycle accumulators well
+/// inside 32 bits).
+std::vector<std::uint32_t> block_durations_from_costs(
+    std::span<const RowCostSegment> segments, std::uint64_t rows_per_block,
+    std::uint32_t target_mean = 64);
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,52 @@
+// The Fig. 5 tiled dataflow: filters of every weighted layer are divided
+// into sets of f; each set's weights stream as memory rows carrying N
+// consecutive weights of each of the f filters (the Fig. 4b row layout
+// W1<1>..WN<1> ... W1<f>..WN<f>).
+//
+// Sets narrower than f and filter tails shorter than N are zero-padded
+// (hardware alignment padding). The resulting global row sequence is what
+// both accelerator models slice into memory mappings; packing rows until
+// the memory is full realises the paper's assumption (c) ("each block ...
+// fits perfectly" to the on-chip memory).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "dnn/network.hpp"
+
+namespace dnnlife::sim {
+
+struct DataflowConfig {
+  std::uint32_t filters_per_set = 8;          ///< f
+  std::uint32_t weights_per_filter_per_row = 8;  ///< N
+};
+
+/// Enumerates the dataflow's row sequence as weight indices.
+class TiledRowSource {
+ public:
+  TiledRowSource(const dnn::Network& network, DataflowConfig config);
+
+  const DataflowConfig& config() const noexcept { return config_; }
+  /// Weight slots per row (f * N).
+  std::uint32_t slots_per_row() const noexcept {
+    return config_.filters_per_set * config_.weights_per_filter_per_row;
+  }
+
+  /// Total rows one inference streams through the weight memory.
+  std::uint64_t total_rows() const noexcept { return total_rows_; }
+
+  /// Visit rows in dataflow order. `slots[j]` is the global weight index in
+  /// slot j, or -1 for a padding slot (stored as zero bits).
+  void for_each_row(
+      const std::function<void(std::uint64_t row_index,
+                               std::span<const std::int64_t> slots)>& visit) const;
+
+ private:
+  const dnn::Network* network_;
+  DataflowConfig config_;
+  std::uint64_t total_rows_ = 0;
+};
+
+}  // namespace dnnlife::sim

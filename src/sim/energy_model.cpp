@@ -1,0 +1,34 @@
+#include "sim/energy_model.hpp"
+
+namespace dnnlife::sim {
+
+EnergyModel::EnergyModel(AccessEnergyParams params) : params_(params) {
+  DNNLIFE_EXPECTS(params_.sram32_pj > 0.0 && params_.dram32_pj > 0.0,
+                  "access energies must be positive");
+}
+
+double EnergyModel::sram_access_pj(std::uint64_t bits) const {
+  return params_.sram32_pj * static_cast<double>(bits) / 32.0;
+}
+
+double EnergyModel::dram_access_pj(std::uint64_t bits) const {
+  return params_.dram32_pj * static_cast<double>(bits) / 32.0;
+}
+
+double EnergyModel::inference_weight_write_pj(const WriteStream& stream) const {
+  const double per_row = sram_access_pj(stream.geometry().row_bits);
+  return per_row * static_cast<double>(stream.writes_per_inference());
+}
+
+double EnergyModel::transducer_overhead_pj(const WriteStream& stream,
+                                           double encode_energy_fj_per_row,
+                                           double decode_energy_fj_per_row,
+                                           double reads_per_write) const {
+  DNNLIFE_EXPECTS(reads_per_write >= 0.0, "negative read rate");
+  const double writes = static_cast<double>(stream.writes_per_inference());
+  const double fj = writes * (encode_energy_fj_per_row +
+                              reads_per_write * decode_energy_fj_per_row);
+  return fj / 1000.0;  // fJ -> pJ
+}
+
+}  // namespace dnnlife::sim

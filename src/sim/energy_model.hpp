@@ -1,0 +1,49 @@
+// Access-energy model (paper Fig. 1b) and the per-inference energy
+// overhead of a mitigation scheme (the paper's "minimal energy overhead"
+// claim, quantified).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/write_stream.hpp"
+
+namespace dnnlife::sim {
+
+/// Access energies per 32-bit word (source: Sze et al. survey, the paper's
+/// [1]; the Fig. 1b data points).
+struct AccessEnergyParams {
+  double sram32_pj = 5.0;    ///< 32-bit read from a 32 KB SRAM
+  double dram32_pj = 640.0;  ///< 32-bit DRAM access
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(AccessEnergyParams params = {});
+
+  const AccessEnergyParams& params() const noexcept { return params_; }
+
+  /// Energy of accessing `bits` bits of SRAM / DRAM (linear scaling from
+  /// the 32-bit reference point).
+  double sram_access_pj(std::uint64_t bits) const;
+  double dram_access_pj(std::uint64_t bits) const;
+
+  /// Weight-memory write energy of one inference of `stream` (every row
+  /// write charges an SRAM access of row_bits).
+  double inference_weight_write_pj(const WriteStream& stream) const;
+
+  /// Overhead energy of a transducer pair for one inference: every row
+  /// write passes the encoder once and is decoded on read `reads_per_write`
+  /// times (>= 1; reuse within the array reads each stored row many times,
+  /// but for the weight-stationary dataflows modelled here each row is
+  /// fetched once per mapping, i.e. reads_per_write = 1).
+  double transducer_overhead_pj(const WriteStream& stream,
+                                double encode_energy_fj_per_row,
+                                double decode_energy_fj_per_row,
+                                double reads_per_write = 1.0) const;
+
+ private:
+  AccessEnergyParams params_;
+};
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,18 @@
+#include "sim/memory_geometry.hpp"
+
+namespace dnnlife::sim {
+
+MemoryGeometry geometry_from_capacity(std::uint64_t capacity_bytes,
+                                      std::uint32_t row_bits) {
+  DNNLIFE_EXPECTS(row_bits > 0 && row_bits % 8 == 0,
+                  "row width must be a whole number of bytes");
+  const std::uint64_t row_bytes = row_bits / 8;
+  DNNLIFE_EXPECTS(capacity_bytes >= row_bytes, "memory smaller than one row");
+  MemoryGeometry geometry;
+  geometry.rows = static_cast<std::uint32_t>(capacity_bytes / row_bytes);
+  geometry.row_bits = row_bits;
+  geometry.validate();
+  return geometry;
+}
+
+}  // namespace dnnlife::sim

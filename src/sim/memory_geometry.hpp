@@ -1,0 +1,44 @@
+// Geometry of an on-chip weight memory: I rows x J bit-columns of 6T cells.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitops.hpp"
+
+namespace dnnlife::sim {
+
+struct MemoryGeometry {
+  std::uint32_t rows = 0;
+  std::uint32_t row_bits = 0;
+
+  /// Total number of 6T cells (I x J in the paper's notation).
+  std::uint64_t cells() const noexcept {
+    return static_cast<std::uint64_t>(rows) * row_bits;
+  }
+
+  /// 64-bit words needed to hold one row.
+  std::uint32_t words_per_row() const noexcept {
+    return static_cast<std::uint32_t>(util::ceil_div(row_bits, 64));
+  }
+
+  /// Capacity in bytes (row_bits need not be byte-aligned; rounds down
+  /// per-row like a real array would not — geometry rows*row_bits is exact).
+  std::uint64_t capacity_bits() const noexcept { return cells(); }
+
+  /// Flat cell index of (row, bit).
+  std::uint64_t cell_index(std::uint32_t row, std::uint32_t bit) const {
+    DNNLIFE_EXPECTS(row < rows && bit < row_bits, "cell out of range");
+    return static_cast<std::uint64_t>(row) * row_bits + bit;
+  }
+
+  void validate() const {
+    DNNLIFE_EXPECTS(rows > 0, "memory needs rows");
+    DNNLIFE_EXPECTS(row_bits > 0, "memory needs columns");
+  }
+};
+
+/// Geometry from a byte capacity and a row width in bits.
+MemoryGeometry geometry_from_capacity(std::uint64_t capacity_bytes,
+                                      std::uint32_t row_bits);
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,41 @@
+#include "sim/tpu_npu.hpp"
+
+#include <vector>
+
+#include "sim/accelerator.hpp"
+
+namespace dnnlife::sim {
+
+NpuWeightStream::NpuWeightStream(const quant::WeightWordCodec& codec,
+                                 TpuNpuConfig config)
+    : codec_(&codec), config_(config),
+      rows_(codec.streamer().network(),
+            // f = array_dim filters in parallel, one weight each per row.
+            DataflowConfig{config.array_dim, 1}) {
+  DNNLIFE_EXPECTS(config_.fifo_tiles >= 1, "FIFO depth");
+  geometry_.rows = config_.fifo_tiles * config_.tile_rows();
+  geometry_.row_bits = config_.array_dim * codec.bits();
+  geometry_.validate();
+  tiles_ = static_cast<std::uint32_t>(
+      util::ceil_div(rows_.total_rows(), config_.tile_rows()));
+  DNNLIFE_ENSURES(tiles_ >= 1, "network produced no weight rows");
+}
+
+void NpuWeightStream::for_each_write(
+    const std::function<void(const RowWriteEvent&)>& visit) const {
+  std::vector<std::uint64_t> words(geometry_.words_per_row());
+  const std::uint32_t tile_rows = config_.tile_rows();
+  rows_.for_each_row([&](std::uint64_t row_index,
+                         std::span<const std::int64_t> slots) {
+    pack_row_words(*codec_, slots, words);
+    const std::uint32_t tile = static_cast<std::uint32_t>(row_index / tile_rows);
+    const std::uint32_t slot = tile % config_.fifo_tiles;
+    RowWriteEvent event;
+    event.row = slot * tile_rows + static_cast<std::uint32_t>(row_index % tile_rows);
+    event.block = tile;
+    event.words = std::span<const std::uint64_t>(words);
+    visit(event);
+  });
+}
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,50 @@
+// TPU-like NPU model (paper Sec. V-B, Fig. 11): a 256x256 MAC array fed by
+// an on-chip weight FIFO that is four tiles deep, managed as a circular
+// buffer. One tile holds the weights for the whole PE array
+// (256 x 256 weights); tile t lands in FIFO slot t mod depth.
+//
+// Table I configuration: 256 KB weight FIFO (4 tiles x 64 KB at 8-bit),
+// 24 MB activation memory, f = 256.
+#pragma once
+
+#include <cstdint>
+
+#include "quant/word_codec.hpp"
+#include "sim/dataflow.hpp"
+#include "sim/write_stream.hpp"
+
+namespace dnnlife::sim {
+
+struct TpuNpuConfig {
+  std::uint32_t array_dim = 256;  ///< PE array is array_dim x array_dim
+  std::uint32_t fifo_tiles = 4;   ///< FIFO depth in tiles
+  std::uint64_t activation_memory_bytes = 24 * 1024 * 1024;
+
+  /// Rows of one tile (one row per PE-array row).
+  std::uint32_t tile_rows() const noexcept { return array_dim; }
+};
+
+class NpuWeightStream final : public WriteStream {
+ public:
+  NpuWeightStream(const quant::WeightWordCodec& codec, TpuNpuConfig config = {});
+
+  MemoryGeometry geometry() const override { return geometry_; }
+  /// One mapping slot per tile streamed through the FIFO.
+  std::uint32_t blocks_per_inference() const override { return tiles_; }
+  std::uint64_t writes_per_inference() const override {
+    return rows_.total_rows();
+  }
+  void for_each_write(
+      const std::function<void(const RowWriteEvent&)>& visit) const override;
+
+  const TpuNpuConfig& config() const noexcept { return config_; }
+
+ private:
+  const quant::WeightWordCodec* codec_;  // non-owning
+  TpuNpuConfig config_;
+  TiledRowSource rows_;
+  MemoryGeometry geometry_;
+  std::uint32_t tiles_ = 0;
+};
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,44 @@
+#include "sim/weight_memory.hpp"
+
+#include <algorithm>
+
+namespace dnnlife::sim {
+
+WeightMemory::WeightMemory(MemoryGeometry geometry) : geometry_(geometry) {
+  geometry_.validate();
+  storage_.assign(static_cast<std::size_t>(geometry_.rows) *
+                      geometry_.words_per_row(),
+                  0);
+  written_.assign(geometry_.rows, 0);
+}
+
+void WeightMemory::write_row(std::uint32_t row,
+                             std::span<const std::uint64_t> words) {
+  DNNLIFE_EXPECTS(row < geometry_.rows, "row out of range");
+  DNNLIFE_EXPECTS(words.size() == geometry_.words_per_row(), "row word count");
+  std::copy(words.begin(), words.end(),
+            storage_.begin() +
+                static_cast<std::ptrdiff_t>(row) * geometry_.words_per_row());
+  written_[row] = 1;
+}
+
+std::span<const std::uint64_t> WeightMemory::read_row(std::uint32_t row) const {
+  DNNLIFE_EXPECTS(row < geometry_.rows, "row out of range");
+  return std::span<const std::uint64_t>(
+      storage_.data() +
+          static_cast<std::size_t>(row) * geometry_.words_per_row(),
+      geometry_.words_per_row());
+}
+
+bool WeightMemory::row_written(std::uint32_t row) const {
+  DNNLIFE_EXPECTS(row < geometry_.rows, "row out of range");
+  return written_[row] != 0;
+}
+
+bool WeightMemory::bit(std::uint32_t row, std::uint32_t column) const {
+  DNNLIFE_EXPECTS(column < geometry_.row_bits, "column out of range");
+  const auto word = read_row(row)[column / 64];
+  return ((word >> (column % 64)) & 1u) != 0;
+}
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,35 @@
+// Functional model of the on-chip weight SRAM: row-addressable storage used
+// by the reference simulator and the examples (the fast simulator never
+// materialises the array).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/memory_geometry.hpp"
+
+namespace dnnlife::sim {
+
+class WeightMemory {
+ public:
+  explicit WeightMemory(MemoryGeometry geometry);
+
+  const MemoryGeometry& geometry() const noexcept { return geometry_; }
+
+  void write_row(std::uint32_t row, std::span<const std::uint64_t> words);
+  std::span<const std::uint64_t> read_row(std::uint32_t row) const;
+
+  /// Has the row been written at least once since construction?
+  bool row_written(std::uint32_t row) const;
+
+  /// Stored bit at (row, column).
+  bool bit(std::uint32_t row, std::uint32_t column) const;
+
+ private:
+  MemoryGeometry geometry_;
+  std::vector<std::uint64_t> storage_;  // rows * words_per_row
+  std::vector<std::uint8_t> written_;
+};
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,69 @@
+// Small bit-manipulation helpers shared across modules.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.hpp"
+
+namespace dnnlife::util {
+
+/// Extract bit `pos` (0 = LSB) of `word`.
+constexpr bool bit_at(std::uint64_t word, unsigned pos) noexcept {
+  return ((word >> pos) & 1u) != 0;
+}
+
+/// Set bit `pos` (0 = LSB) of `word` to `value`.
+constexpr std::uint64_t with_bit(std::uint64_t word, unsigned pos, bool value) noexcept {
+  const std::uint64_t mask = std::uint64_t{1} << pos;
+  return value ? (word | mask) : (word & ~mask);
+}
+
+/// Number of set bits.
+constexpr unsigned popcount(std::uint64_t word) noexcept {
+  return static_cast<unsigned>(std::popcount(word));
+}
+
+/// Mask with the lowest `n` bits set (n in [0, 64]).
+constexpr std::uint64_t low_mask(unsigned n) noexcept {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Rotate the low `width` bits of `word` left by `amount`; upper bits must be 0.
+inline std::uint64_t rotate_left(std::uint64_t word, unsigned amount, unsigned width) {
+  DNNLIFE_EXPECTS(width >= 1 && width <= 64, "rotate width out of range");
+  DNNLIFE_EXPECTS((word & ~low_mask(width)) == 0, "word has bits above width");
+  amount %= width;
+  if (amount == 0) return word;
+  return ((word << amount) | (word >> (width - amount))) & low_mask(width);
+}
+
+/// Rotate the low `width` bits of `word` right by `amount`.
+inline std::uint64_t rotate_right(std::uint64_t word, unsigned amount, unsigned width) {
+  DNNLIFE_EXPECTS(width >= 1 && width <= 64, "rotate width out of range");
+  amount %= width;
+  return rotate_left(word, width - amount == width ? 0 : width - amount, width);
+}
+
+/// True if `v` is a power of two (v > 0).
+constexpr bool is_power_of_two(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Ceiling division for unsigned integers.
+constexpr std::uint64_t ceil_div(std::uint64_t num, std::uint64_t den) noexcept {
+  return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+/// ceil(log2(v)) for v >= 1.
+constexpr unsigned ceil_log2(std::uint64_t v) noexcept {
+  unsigned bits = 0;
+  std::uint64_t cap = 1;
+  while (cap < v) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace dnnlife::util

@@ -1,0 +1,41 @@
+// Contract-check helpers (Core Guidelines I.5/I.7 style).
+//
+// DNNLIFE_EXPECTS(cond, msg): precondition; throws std::invalid_argument.
+// DNNLIFE_ENSURES(cond, msg): postcondition/invariant; throws std::logic_error.
+//
+// These are always on: the library is a research instrument and silent
+// contract violations would corrupt experiment results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dnnlife::util {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw std::invalid_argument(std::string("precondition failed: ") + expr +
+                              " at " + file + ":" + std::to_string(line) +
+                              (msg.empty() ? "" : " (" + msg + ")"));
+}
+
+[[noreturn]] inline void throw_postcondition(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  throw std::logic_error(std::string("invariant failed: ") + expr + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : " (" + msg + ")"));
+}
+
+}  // namespace dnnlife::util
+
+#define DNNLIFE_EXPECTS(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::dnnlife::util::throw_precondition(#cond, __FILE__, __LINE__, msg); \
+  } while (false)
+
+#define DNNLIFE_ENSURES(cond, msg)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::dnnlife::util::throw_postcondition(#cond, __FILE__, __LINE__, msg); \
+  } while (false)

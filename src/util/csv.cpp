@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace dnnlife::util {
+
+namespace {
+
+void write_row(std::ofstream& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out << ',';
+    out << CsvWriter::escape(row[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  DNNLIFE_EXPECTS(arity_ > 0, "csv needs at least one column");
+  if (!out_) throw std::runtime_error("cannot open CSV output: " + path);
+  write_row(out_, header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  DNNLIFE_EXPECTS(row.size() == arity_, "csv row arity mismatch");
+  write_row(out_, row);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace dnnlife::util

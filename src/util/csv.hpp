@@ -1,0 +1,27 @@
+// CSV writer for experiment outputs (machine-readable companion to the
+// ASCII tables the benches print).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dnnlife::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a data row; must match the header arity.
+  void add_row(const std::vector<std::string>& row);
+
+  /// Quote a field per RFC 4180 if it contains separators/quotes/newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace dnnlife::util

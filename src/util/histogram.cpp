@@ -1,0 +1,73 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dnnlife::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DNNLIFE_EXPECTS(bins >= 1, "histogram needs at least one bin");
+  DNNLIFE_EXPECTS(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double value, std::uint64_t count) {
+  counts_[bin_of(value)] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::count_in_bin(std::size_t bin) const {
+  DNNLIFE_EXPECTS(bin < counts_.size(), "bin index out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  DNNLIFE_EXPECTS(bin < counts_.size(), "bin index out of range");
+  return lo_ + static_cast<double>(bin) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + bin_width_; }
+
+double Histogram::bin_mid(std::size_t bin) const {
+  return bin_lo(bin) + 0.5 * bin_width_;
+}
+
+double Histogram::fraction_in_bin(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count_in_bin(bin)) / static_cast<double>(total_);
+}
+
+std::size_t Histogram::bin_of(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  auto bin = static_cast<std::size_t>((value - lo_) / bin_width_);
+  return std::min(bin, counts_.size() - 1);
+}
+
+std::string Histogram::to_string(int edge_precision, std::size_t bar_width) const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double pct = 100.0 * fraction_in_bin(b);
+    out.precision(edge_precision);
+    out << "  [" << bin_lo(b) << ", " << bin_hi(b) << (b + 1 == counts_.size() ? "]" : ")");
+    out.precision(2);
+    out << "  " << counts_[b] << "  " << pct << "%  ";
+    const auto bar = static_cast<std::size_t>(std::lround(
+        pct / 100.0 * static_cast<double>(bar_width)));
+    out << std::string(bar, '#') << '\n';
+  }
+  return out.str();
+}
+
+void Histogram::merge(const Histogram& other) {
+  DNNLIFE_EXPECTS(other.counts_.size() == counts_.size() && other.lo_ == lo_ &&
+                      other.hi_ == hi_,
+                  "histogram geometries differ");
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+}
+
+}  // namespace dnnlife::util

@@ -1,0 +1,61 @@
+// Fixed-bin histogram over a closed value range.
+//
+// Used throughout the evaluation to bucket per-cell SNM degradation and
+// duty-cycle values the way the paper's Fig. 9 / Fig. 11 bar graphs do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dnnlife::util {
+
+class Histogram {
+ public:
+  /// Histogram over [lo, hi] with `bins` equal-width bins. Values outside
+  /// the range are clamped into the first/last bin (the evaluation ranges
+  /// are chosen to cover the model output, clamping only guards round-off).
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, std::uint64_t count = 1);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count_in_bin(std::size_t bin) const;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Inclusive lower edge of bin `bin`.
+  double bin_lo(std::size_t bin) const;
+  /// Exclusive upper edge of bin `bin` (inclusive for the last bin).
+  double bin_hi(std::size_t bin) const;
+  /// Midpoint of bin `bin`.
+  double bin_mid(std::size_t bin) const;
+
+  /// Fraction (0..1) of samples in bin `bin`; 0 if the histogram is empty.
+  double fraction_in_bin(std::size_t bin) const;
+
+  /// Bin index a value falls into (after clamping).
+  std::size_t bin_of(double value) const;
+
+  /// Render as an ASCII bar chart, one line per bin:
+  ///   [lo, hi)  count  percent  bar
+  /// `label_format` controls the numeric precision of the edges.
+  std::string to_string(int edge_precision = 2, std::size_t bar_width = 40) const;
+
+  /// Merge another histogram with identical geometry.
+  void merge(const Histogram& other);
+
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dnnlife::util

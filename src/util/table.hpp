@@ -1,0 +1,33 @@
+// Minimal ASCII table printer used by the benchmark harnesses to emit the
+// paper's tables and figure series in a readable, diffable form.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dnnlife::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with `precision` digits.
+  static std::string num(double value, int precision = 3);
+  /// Convenience: format an integer.
+  static std::string num(std::uint64_t value);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment and a separator under the header.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dnnlife::util

@@ -1,0 +1,280 @@
+// Tests for the DNN-Life core components: TRBG, bias balancer, aging
+// controller, transducers, metadata store and mitigation policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aging_controller.hpp"
+#include "core/bias_balancer.hpp"
+#include "core/metadata_store.hpp"
+#include "core/mitigation_policy.hpp"
+#include "core/transducer.hpp"
+#include "core/trbg.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace dnnlife::core {
+namespace {
+
+TEST(BiasedTrbg, MatchesConfiguredBias) {
+  BiasedTrbg trbg(0.7, 1);
+  const int n = 100000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += trbg.next() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.7, 0.01);
+  EXPECT_DOUBLE_EQ(trbg.bias(), 0.7);
+}
+
+TEST(BiasedTrbg, RejectsBadBias) {
+  EXPECT_THROW(BiasedTrbg(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(BiasedTrbg(1.1, 1), std::invalid_argument);
+}
+
+TEST(RingOscillatorTrbg, BiasFollowsDuty) {
+  RingOscillatorTrbg::Params params;
+  params.duty = 0.7;
+  RingOscillatorTrbg trbg(params);
+  const int n = 100000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += trbg.next() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.7, 0.02);
+}
+
+TEST(RingOscillatorTrbg, FairDutyGivesUnbiasedStream) {
+  RingOscillatorTrbg trbg(RingOscillatorTrbg::Params{});
+  const int n = 100000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += trbg.next() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.02);
+}
+
+TEST(BiasBalancer, PhaseTogglesEveryPeriod) {
+  BiasBalancer balancer(2);  // period 4
+  EXPECT_EQ(balancer.period(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(balancer.phase());
+    balancer.transform(true);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(balancer.phase());
+    balancer.transform(true);
+  }
+  EXPECT_FALSE(balancer.phase());
+}
+
+TEST(BiasBalancer, TransformXorsPhase) {
+  BiasBalancer balancer(1);  // period 2
+  EXPECT_TRUE(balancer.transform(true));    // phase 0
+  EXPECT_TRUE(balancer.transform(true));    // phase 0
+  EXPECT_FALSE(balancer.transform(true));   // phase 1
+  EXPECT_TRUE(balancer.transform(false));   // phase 1
+}
+
+TEST(BiasBalancer, PhaseAtMatchesStepping) {
+  const unsigned m = 3;
+  BiasBalancer balancer(m);
+  for (std::uint64_t idx = 0; idx < 100; ++idx) {
+    EXPECT_EQ(balancer.phase(), BiasBalancer::phase_at(idx, m)) << idx;
+    balancer.transform(false);
+  }
+}
+
+TEST(BiasBalancer, BalancesBiasedStream) {
+  BiasBalancer balancer(4);
+  BiasedTrbg trbg(0.7, 99);
+  const int n = 160000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += balancer.transform(trbg.next()) ? 1 : 0;
+  // Paper Sec. IV: periodic inversion cancels TRBG bias.
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.01);
+}
+
+TEST(BiasBalancer, RejectsBadWidth) {
+  EXPECT_THROW(BiasBalancer(0), std::invalid_argument);
+  EXPECT_THROW(BiasBalancer(40), std::invalid_argument);
+}
+
+TEST(AgingController, UnbiasedWithBalancing) {
+  BiasedTrbg trbg(0.7, 7);
+  AgingController controller(trbg, {true, 4});
+  const int n = 160000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += controller.next_enable() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.01);
+  EXPECT_DOUBLE_EQ(controller.effective_bias(), 0.5);
+  EXPECT_EQ(controller.write_count(), static_cast<std::uint64_t>(n));
+}
+
+TEST(AgingController, BiasedWithoutBalancing) {
+  BiasedTrbg trbg(0.7, 7);
+  AgingController controller(trbg, {false, 4});
+  const int n = 100000;
+  int ones = 0;
+  for (int i = 0; i < n; ++i) ones += controller.next_enable() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.7, 0.01);
+  EXPECT_DOUBLE_EQ(controller.effective_bias(), 0.7);
+}
+
+// ---- transducers ------------------------------------------------------------
+
+TEST(XorTransducer, EncodeDecodeInvolution) {
+  const XorTransducer transducer(100);  // non-word-aligned width
+  util::Xoshiro256ss rng(3);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint64_t> row = {rng.next(),
+                                      rng.next() & util::low_mask(36)};
+    const auto original = row;
+    transducer.apply(row, true);
+    EXPECT_NE(row, original);
+    transducer.apply(row, true);
+    EXPECT_EQ(row, original);
+  }
+}
+
+TEST(XorTransducer, DisabledIsIdentity) {
+  const XorTransducer transducer(64);
+  std::vector<std::uint64_t> row = {0x1234u};
+  transducer.apply(row, false);
+  EXPECT_EQ(row[0], 0x1234u);
+}
+
+TEST(XorTransducer, KeepsBitsAboveWidthZero) {
+  const XorTransducer transducer(8);
+  std::vector<std::uint64_t> row = {0xabu};
+  transducer.apply(row, true);
+  EXPECT_EQ(row[0], static_cast<std::uint64_t>(static_cast<std::uint8_t>(~0xab)));
+}
+
+TEST(RotateTransducer, RotatesEachSubword) {
+  const RotateTransducer transducer(32, 8);  // 4 subwords of 8 bits
+  const std::vector<std::uint64_t> row = {0x04030201ULL};
+  const auto rotated = transducer.rotate_row(row, 1, /*left=*/true);
+  EXPECT_EQ(rotated[0] & 0xffu, 0x02u);          // 0x01 rol 1
+  EXPECT_EQ((rotated[0] >> 8) & 0xffu, 0x04u);   // 0x02 rol 1
+  EXPECT_EQ((rotated[0] >> 16) & 0xffu, 0x06u);  // 0x03 rol 1
+  EXPECT_EQ((rotated[0] >> 24) & 0xffu, 0x08u);  // 0x04 rol 1
+}
+
+TEST(RotateTransducer, LeftThenRightIsIdentity) {
+  const RotateTransducer transducer(128, 32);
+  util::Xoshiro256ss rng(9);
+  for (unsigned amount = 0; amount < 32; ++amount) {
+    const std::vector<std::uint64_t> row = {rng.next(), rng.next()};
+    const auto there = transducer.rotate_row(row, amount, true);
+    const auto back = transducer.rotate_row(there, amount, false);
+    EXPECT_EQ(back, row);
+  }
+}
+
+TEST(RotateTransducer, StraddlesWordBoundaries) {
+  // 24-bit subwords in a 96-bit row straddle the 64-bit word boundary.
+  const RotateTransducer transducer(96, 24);
+  util::Xoshiro256ss rng(13);
+  const std::vector<std::uint64_t> row = {rng.next(),
+                                          rng.next() & util::low_mask(32)};
+  const auto there = transducer.rotate_row(row, 7, true);
+  const auto back = transducer.rotate_row(there, 7, false);
+  EXPECT_EQ(back, row);
+}
+
+TEST(RotateTransducer, RejectsIndivisibleRow) {
+  EXPECT_THROW(RotateTransducer(100, 8), std::invalid_argument);
+}
+
+// ---- metadata ---------------------------------------------------------------
+
+TEST(MetadataStore, TracksCurrentEnable) {
+  MetadataStore store(4);
+  EXPECT_FALSE(store.row_written(2));
+  EXPECT_THROW(store.enable_of(2), std::invalid_argument);
+  store.record_write(2, true);
+  EXPECT_TRUE(store.enable_of(2));
+  store.record_write(2, false);
+  EXPECT_FALSE(store.enable_of(2));
+}
+
+TEST(MetadataStore, OverheadIsOneBitPerRow) {
+  MetadataStore store(8192);
+  EXPECT_EQ(store.overhead_bits(), 8192u);
+  // 1 bit of metadata per 512-bit row ~ 0.2% overhead.
+  EXPECT_NEAR(store.overhead_fraction(512), 1.0 / 512.0, 1e-12);
+}
+
+// ---- policies ---------------------------------------------------------------
+
+TEST(PolicyConfig, NamesAreDescriptive) {
+  EXPECT_EQ(PolicyConfig::none().name(), "no-mitigation");
+  EXPECT_EQ(PolicyConfig::inversion().name(), "inversion");
+  EXPECT_EQ(PolicyConfig::barrel_shifter(8).name(), "barrel-shifter");
+  const auto dnn = PolicyConfig::dnn_life(0.7, true, 4);
+  EXPECT_NE(dnn.name().find("dnn-life"), std::string::npos);
+  EXPECT_NE(dnn.name().find("0.7"), std::string::npos);
+}
+
+TEST(MitigationPolicy, NoneNeverActs) {
+  MitigationPolicy policy(PolicyConfig::none(), 4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const auto action = policy.on_write(i % 4);
+    EXPECT_FALSE(action.invert);
+    EXPECT_EQ(action.rotate, 0u);
+  }
+}
+
+TEST(MitigationPolicy, InversionAlternatesPerLocation) {
+  MitigationPolicy policy(PolicyConfig::inversion(), 2);
+  policy.begin_inference();
+  EXPECT_FALSE(policy.on_write(0).invert);
+  EXPECT_FALSE(policy.on_write(1).invert);  // independent counter
+  EXPECT_TRUE(policy.on_write(0).invert);
+  EXPECT_TRUE(policy.on_write(1).invert);
+  EXPECT_FALSE(policy.on_write(0).invert);
+}
+
+TEST(MitigationPolicy, InversionResetsEachInference) {
+  MitigationPolicy policy(PolicyConfig::inversion(), 1);
+  policy.begin_inference();
+  EXPECT_FALSE(policy.on_write(0).invert);
+  policy.begin_inference();
+  // Reset: the same datum always arrives with the same phase — the
+  // paper's periodic-reuse failure mode.
+  EXPECT_FALSE(policy.on_write(0).invert);
+}
+
+TEST(MitigationPolicy, ContinuousInversionCarriesOver) {
+  auto config = PolicyConfig::inversion();
+  config.reset_each_inference = false;
+  MitigationPolicy policy(config, 1);
+  policy.begin_inference();
+  EXPECT_FALSE(policy.on_write(0).invert);
+  policy.begin_inference();
+  EXPECT_TRUE(policy.on_write(0).invert);
+}
+
+TEST(MitigationPolicy, BarrelCyclesRotations) {
+  MitigationPolicy policy(PolicyConfig::barrel_shifter(8), 1);
+  policy.begin_inference();
+  for (unsigned i = 0; i < 20; ++i)
+    EXPECT_EQ(policy.on_write(0).rotate, i % 8);
+}
+
+TEST(MitigationPolicy, DnnLifeDrawsFreshRandomness) {
+  MitigationPolicy policy(PolicyConfig::dnn_life(0.5), 1);
+  int ones = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    policy.begin_inference();
+    ones += policy.on_write(0).invert ? 1 : 0;
+  }
+  // Not reset by inference boundaries; unbiased overall.
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.03);
+}
+
+TEST(MitigationPolicy, DnnLifeSeedReproducible) {
+  MitigationPolicy a(PolicyConfig::dnn_life(0.5), 1);
+  MitigationPolicy b(PolicyConfig::dnn_life(0.5), 1);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(a.on_write(0).invert, b.on_write(0).invert);
+}
+
+}  // namespace
+}  // namespace dnnlife::core

@@ -1,0 +1,131 @@
+// Tests for layer descriptors, the network container and the model zoo
+// (published parameter counts are the ground truth).
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hpp"
+#include "dnn/network.hpp"
+
+namespace dnnlife::dnn {
+namespace {
+
+TEST(LayerSpec, ConvWeightCount) {
+  const auto conv = LayerSpec::conv("c", 16, 3, 5, 5);
+  EXPECT_EQ(conv.weight_count(), 16u * 3 * 5 * 5);
+  EXPECT_EQ(conv.bias_count(), 16u);
+  EXPECT_EQ(conv.fan_in(), 75u);
+}
+
+TEST(LayerSpec, GroupedConvWeightCount) {
+  // AlexNet conv2: 256 filters over 96 channels in 2 groups.
+  const auto conv = LayerSpec::conv("c2", 256, 96, 5, 5, 1, 2, 2);
+  EXPECT_EQ(conv.weight_count(), 256u * 48 * 5 * 5);
+  EXPECT_EQ(conv.channels_per_group(), 48u);
+}
+
+TEST(LayerSpec, FullyConnectedWeightCount) {
+  const auto fc = LayerSpec::fully_connected("fc", 256, 800);
+  EXPECT_EQ(fc.weight_count(), 256u * 800);
+  EXPECT_EQ(fc.bias_count(), 256u);
+  EXPECT_EQ(fc.fan_in(), 800u);
+}
+
+TEST(LayerSpec, UnweightedLayersHaveNoParameters) {
+  EXPECT_EQ(LayerSpec::relu("r").weight_count(), 0u);
+  EXPECT_EQ(LayerSpec::max_pool("p", 2, 2).parameter_count(), 0u);
+}
+
+TEST(LayerSpec, ValidatesGroups) {
+  EXPECT_THROW(LayerSpec::conv("bad", 10, 7, 3, 3, 1, 0, 2),
+               std::invalid_argument);
+}
+
+TEST(Network, WeightOffsetsAreCumulative) {
+  Network net("tiny", {LayerSpec::conv("c1", 2, 1, 3, 3),
+                       LayerSpec::relu("r"),
+                       LayerSpec::fully_connected("fc", 4, 18)});
+  ASSERT_EQ(net.weighted_layers().size(), 2u);
+  EXPECT_EQ(net.weight_offset(0), 0u);
+  EXPECT_EQ(net.weight_offset(1), 18u);
+  EXPECT_EQ(net.total_weights(), 18u + 72u);
+}
+
+TEST(Network, WeightedLayerOfLocatesLayer) {
+  Network net("tiny", {LayerSpec::conv("c1", 2, 1, 3, 3),
+                       LayerSpec::fully_connected("fc", 4, 18)});
+  EXPECT_EQ(net.weighted_layer_of(0), 0u);
+  EXPECT_EQ(net.weighted_layer_of(17), 0u);
+  EXPECT_EQ(net.weighted_layer_of(18), 1u);
+  EXPECT_EQ(net.weighted_layer_of(89), 1u);
+  EXPECT_THROW(net.weighted_layer_of(90), std::invalid_argument);
+}
+
+TEST(Network, WeightBytesByFormat) {
+  Network net("tiny", {LayerSpec::fully_connected("fc", 10, 10)});
+  EXPECT_EQ(net.weight_bytes(32), 400u);
+  EXPECT_EQ(net.weight_bytes(8), 100u);
+}
+
+TEST(ModelZoo, AlexNetParameterCount) {
+  const Network net = make_alexnet();
+  // Published single-tower AlexNet: 60,954,656 weights + 10,568 biases.
+  EXPECT_EQ(net.total_weights(), 60954656u);
+  EXPECT_EQ(net.total_parameters(), 60965224u);
+  // ~232 MB at fp32 (Fig. 1a plots ~240 MB including framework overheads).
+  EXPECT_NEAR(net.size_mb_fp32(), 232.5, 1.0);
+}
+
+TEST(ModelZoo, Vgg16ParameterCount) {
+  const Network net = make_vgg16();
+  // Published VGG-16: 138,357,544 parameters (weights + biases).
+  EXPECT_EQ(net.total_parameters(), 138357544u);
+  EXPECT_NEAR(net.size_mb_fp32(), 527.8, 1.0);
+}
+
+TEST(ModelZoo, GoogLeNetParameterCountIsNear7M) {
+  const Network net = make_googlenet();
+  EXPECT_GT(net.total_parameters(), 6500000u);
+  EXPECT_LT(net.total_parameters(), 7200000u);
+}
+
+TEST(ModelZoo, ResNet152ParameterCountIsNear60M) {
+  const Network net = make_resnet152();
+  EXPECT_GT(net.total_parameters(), 57000000u);
+  EXPECT_LT(net.total_parameters(), 62000000u);
+}
+
+TEST(ModelZoo, CustomMnistMatchesPaperShapes) {
+  const Network net = make_custom_mnist();
+  // CONV(16,1,5,5) + CONV(50,16,5,5) + FC(256,800) + FC(10,256).
+  EXPECT_EQ(net.total_weights(), 400u + 20000u + 204800u + 2560u);
+  ASSERT_EQ(net.weighted_layers().size(), 4u);
+  const auto& fc1 = net.layers()[net.weighted_layers()[2]];
+  EXPECT_EQ(fc1.in_features, 800u);
+  EXPECT_EQ(fc1.out_features, 256u);
+}
+
+TEST(ModelZoo, LookupByName) {
+  EXPECT_EQ(make_network("alexnet").name(), "alexnet");
+  EXPECT_EQ(make_network("custom_mnist").name(), "custom_mnist");
+  EXPECT_THROW(make_network("lenet"), std::invalid_argument);
+}
+
+TEST(ModelZoo, ReferenceAccuracies) {
+  const auto acc = reference_accuracy("vgg16");
+  EXPECT_GT(acc.top5_percent, acc.top1_percent);
+  EXPECT_THROW(reference_accuracy("unknown"), std::invalid_argument);
+}
+
+TEST(ModelZoo, SizesOrderMatchesFig1a) {
+  // Fig. 1a: VGG-16 is by far the largest; GoogLeNet much smaller than all.
+  const double alexnet = make_alexnet().size_mb_fp32();
+  const double vgg = make_vgg16().size_mb_fp32();
+  const double googlenet = make_googlenet().size_mb_fp32();
+  const double resnet = make_resnet152().size_mb_fp32();
+  EXPECT_GT(vgg, alexnet);
+  EXPECT_GT(vgg, resnet);
+  EXPECT_LT(googlenet, alexnet);
+  EXPECT_LT(googlenet, resnet);
+}
+
+}  // namespace
+}  // namespace dnnlife::dnn

@@ -1,0 +1,293 @@
+// Tests for the gate-level netlist: structure, timing, simulation, power
+// estimation and the builder helpers.
+#include <gtest/gtest.h>
+
+#include "hw/activity.hpp"
+#include "hw/cell_library.hpp"
+#include "hw/netlist.hpp"
+#include "hw/netlist_builder.hpp"
+#include "util/bitops.hpp"
+
+namespace dnnlife::hw {
+namespace {
+
+TEST(CellLibrary, AllCellsDefined) {
+  const auto& lib = CellLibrary::generic65();
+  for (std::size_t t = 0; t < kCellTypeCount; ++t) {
+    const auto& info = lib.info(static_cast<CellType>(t));
+    EXPECT_GT(info.area, 0.0);
+    EXPECT_GE(info.delay_ps, 0.0);
+  }
+  EXPECT_EQ(lib.info(CellType::kNand2).area, 1.0);  // NAND2-equivalent unit
+}
+
+TEST(Netlist, GateArityChecked) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(CellType::kXor2, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(CellType::kInv, {a, a}), std::invalid_argument);
+}
+
+TEST(Netlist, SimulatesBasicGates) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId and_o = nl.add_gate(CellType::kAnd2, {a, b});
+  const NetId xor_o = nl.add_gate(CellType::kXor2, {a, b});
+  const NetId nand_o = nl.add_gate(CellType::kNand2, {a, b});
+  const NetId mux_o = nl.add_gate(CellType::kMux2, {a, b, xor_o});
+  Simulator sim(nl);
+  for (int av = 0; av <= 1; ++av) {
+    for (int bv = 0; bv <= 1; ++bv) {
+      sim.set_input(a, av != 0);
+      sim.set_input(b, bv != 0);
+      sim.settle();
+      EXPECT_EQ(sim.value(and_o), (av & bv) != 0);
+      EXPECT_EQ(sim.value(xor_o), (av ^ bv) != 0);
+      EXPECT_EQ(sim.value(nand_o), !((av & bv) != 0));
+      const bool sel = (av ^ bv) != 0;
+      EXPECT_EQ(sim.value(mux_o), sel ? bv != 0 : av != 0);
+    }
+  }
+}
+
+TEST(Netlist, ConstantsDrive) {
+  Netlist nl;
+  const NetId one = nl.add_const(true);
+  const NetId zero = nl.add_const(false);
+  const NetId out = nl.add_gate(CellType::kAnd2, {one, zero});
+  Simulator sim(nl);
+  sim.settle();
+  EXPECT_FALSE(sim.value(out));
+  EXPECT_TRUE(sim.value(one));
+}
+
+TEST(Netlist, DffLatchesOnTick) {
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_gate(CellType::kDff, {d});
+  Simulator sim(nl);
+  sim.set_input(d, true);
+  sim.settle();
+  EXPECT_FALSE(sim.value(q));  // not yet clocked
+  sim.tick();
+  EXPECT_TRUE(sim.value(q));
+  sim.set_input(d, false);
+  sim.settle();
+  sim.tick();
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(Netlist, CombinationalCycleRejected) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  // Create a cycle by patching is impossible for combinational gates; build
+  // one via two XORs where the second feeds... the netlist is append-only,
+  // so a combinational cycle cannot be expressed except through the DFF
+  // patch hook — verify the hook rejects combinational gates instead.
+  const NetId x = nl.add_gate(CellType::kXor2, {a, a});
+  (void)x;
+  EXPECT_THROW(nl.patch_sequential_input(1, a), std::invalid_argument);
+}
+
+TEST(Netlist, PatchRejectsUnknownGate) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  (void)a;
+  EXPECT_THROW(nl.patch_sequential_input(5, a), std::invalid_argument);
+}
+
+TEST(Netlist, CriticalPathOfChain) {
+  const auto& lib = CellLibrary::generic65();
+  Netlist nl;
+  NetId net = nl.add_input("a");
+  for (int i = 0; i < 4; ++i) net = nl.add_gate(CellType::kInv, {net});
+  nl.mark_output(net, "out");
+  EXPECT_NEAR(nl.critical_path_ps(lib), 4 * lib.info(CellType::kInv).delay_ps,
+              1e-9);
+}
+
+TEST(Netlist, CriticalPathIncludesClkQAndSetup) {
+  const auto& lib = CellLibrary::generic65();
+  Netlist nl;
+  const NetId d = nl.add_input("d");
+  const NetId q = nl.add_gate(CellType::kDff, {d});
+  const NetId x = nl.add_gate(CellType::kInv, {q});
+  const NetId q2 = nl.add_gate(CellType::kDff, {x});
+  (void)q2;
+  // Path: DFF clk-q + INV + setup.
+  const double expected = lib.info(CellType::kDff).delay_ps +
+                          lib.info(CellType::kInv).delay_ps +
+                          lib.dff_setup_ps();
+  EXPECT_NEAR(nl.critical_path_ps(lib), expected, 1e-9);
+}
+
+TEST(Netlist, AreaSumsCells) {
+  const auto& lib = CellLibrary::generic65();
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_gate(CellType::kInv, {a});
+  nl.add_gate(CellType::kXor2, {a, a});
+  EXPECT_NEAR(nl.total_area(lib),
+              lib.info(CellType::kInv).area + lib.info(CellType::kXor2).area,
+              1e-12);
+  const auto histogram = nl.cell_histogram();
+  EXPECT_EQ(histogram[static_cast<std::size_t>(CellType::kInv)], 1u);
+  EXPECT_EQ(histogram[static_cast<std::size_t>(CellType::kXor2)], 1u);
+}
+
+TEST(Activity, InverterFlipsProbability) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId out = nl.add_gate(CellType::kInv, {a});
+  const auto activity = estimate_activity(nl, {{a, 0.8}});
+  EXPECT_NEAR(activity.p_one[out], 0.2, 1e-12);
+  EXPECT_NEAR(activity.toggle_rate[out], 2.0 * 0.2 * 0.8, 1e-12);
+}
+
+TEST(Activity, AndGateProbability) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId out = nl.add_gate(CellType::kAnd2, {a, b});
+  const auto activity = estimate_activity(nl, {{a, 0.5}, {b, 0.4}});
+  EXPECT_NEAR(activity.p_one[out], 0.2, 1e-12);
+}
+
+TEST(Activity, XorOfIndependentHalvesIsHalf) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId out = nl.add_gate(CellType::kXor2, {a, b});
+  const auto activity = estimate_activity(nl, {});
+  EXPECT_NEAR(activity.p_one[out], 0.5, 1e-12);
+}
+
+TEST(Activity, DffPropagatesThroughIterations) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const std::size_t flop = nl.gate_count();
+  const NetId q = nl.add_gate(CellType::kDff, {a});
+  (void)flop;
+  const auto activity = estimate_activity(nl, {{a, 0.9}});
+  EXPECT_NEAR(activity.p_one[q], 0.9, 1e-12);
+}
+
+TEST(Activity, PowerIsPositiveAndScalesWithClock) {
+  const auto& lib = CellLibrary::generic65();
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_gate(CellType::kXor2, {a, nl.add_input("b")});
+  const auto activity = estimate_activity(nl, {});
+  const double p1 = estimate_power_nw(nl, lib, activity, 1.0);
+  const double p2 = estimate_power_nw(nl, lib, activity, 2.0);
+  EXPECT_GT(p1, 0.0);
+  EXPECT_GT(p2, p1);
+}
+
+// ---- builders ---------------------------------------------------------------
+
+TEST(Builder, XorWithControlFunction) {
+  Netlist nl;
+  const Bus data = add_input_bus(nl, "d", 4);
+  const NetId control = nl.add_input("e");
+  const Bus out = xor_with_control(nl, data, control, "enc");
+  Simulator sim(nl);
+  for (unsigned value = 0; value < 16; ++value) {
+    for (int e = 0; e <= 1; ++e) {
+      for (unsigned b = 0; b < 4; ++b)
+        sim.set_input(data[b], ((value >> b) & 1u) != 0);
+      sim.set_input(control, e != 0);
+      sim.settle();
+      for (unsigned b = 0; b < 4; ++b) {
+        const bool expected = (((value >> b) & 1u) != 0) != (e != 0);
+        EXPECT_EQ(sim.value(out[b]), expected);
+      }
+    }
+  }
+}
+
+TEST(Builder, IncrementerAddsOne) {
+  Netlist nl;
+  const Bus value = add_input_bus(nl, "v", 4);
+  NetId carry = 0;
+  const Bus sum = add_incrementer(nl, value, carry, "inc");
+  Simulator sim(nl);
+  for (unsigned v = 0; v < 16; ++v) {
+    for (unsigned b = 0; b < 4; ++b)
+      sim.set_input(value[b], ((v >> b) & 1u) != 0);
+    sim.settle();
+    unsigned result = 0;
+    for (unsigned b = 0; b < 4; ++b)
+      result |= (sim.value(sum[b]) ? 1u : 0u) << b;
+    EXPECT_EQ(result, (v + 1) % 16);
+    EXPECT_EQ(sim.value(carry), v == 15);
+  }
+}
+
+TEST(Builder, CounterCountsThroughTicks) {
+  Netlist nl;
+  NetId wrap = 0;
+  const Bus q = add_counter(nl, 3, wrap, "cnt");
+  Simulator sim(nl);
+  sim.reset();
+  for (unsigned expected = 0; expected < 20; ++expected) {
+    sim.settle();
+    unsigned value = 0;
+    for (unsigned b = 0; b < 3; ++b)
+      value |= (sim.value(q[b]) ? 1u : 0u) << b;
+    EXPECT_EQ(value, expected % 8);
+    EXPECT_EQ(sim.value(wrap), value == 7);
+    sim.tick();
+  }
+}
+
+TEST(Builder, ToggleFlopTogglesOnDemand) {
+  Netlist nl;
+  const NetId t = nl.add_input("t");
+  const NetId q = add_toggle_flop(nl, t, "tog");
+  Simulator sim(nl);
+  sim.set_input(t, false);
+  sim.settle();
+  sim.tick();
+  EXPECT_FALSE(sim.value(q));
+  sim.set_input(t, true);
+  for (int i = 1; i <= 4; ++i) {
+    sim.settle();
+    sim.tick();
+    EXPECT_EQ(sim.value(q), i % 2 == 1);
+  }
+}
+
+TEST(Builder, MuxTreeSelects) {
+  Netlist nl;
+  const Bus options_bus = add_input_bus(nl, "o", 8);
+  const Bus select = add_input_bus(nl, "s", 3);
+  const NetId out = add_mux_tree(
+      nl, std::vector<NetId>(options_bus.begin(), options_bus.end()), select,
+      "mux");
+  Simulator sim(nl);
+  const unsigned pattern = 0b10110010;
+  for (unsigned b = 0; b < 8; ++b)
+    sim.set_input(options_bus[b], ((pattern >> b) & 1u) != 0);
+  for (unsigned sel = 0; sel < 8; ++sel) {
+    for (unsigned b = 0; b < 3; ++b)
+      sim.set_input(select[b], ((sel >> b) & 1u) != 0);
+    sim.settle();
+    EXPECT_EQ(sim.value(out), ((pattern >> sel) & 1u) != 0);
+  }
+}
+
+TEST(Builder, MuxTreeRequiresPowerOfTwo) {
+  Netlist nl;
+  const Bus options_bus = add_input_bus(nl, "o", 3);
+  const Bus select = add_input_bus(nl, "s", 2);
+  EXPECT_THROW(add_mux_tree(nl,
+                            std::vector<NetId>(options_bus.begin(),
+                                               options_bus.end()),
+                            select, "bad"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnnlife::hw

@@ -1,0 +1,136 @@
+// Tests for the lifetime model (paper title metric) and the combined
+// NBTI+PBTI extension model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aging/lifetime.hpp"
+#include "aging/snm_model.hpp"
+
+namespace dnnlife::aging {
+namespace {
+
+TEST(LifetimeModel, ThresholdCrossingsMatchSnmModel) {
+  const LifetimeModel model;
+  const CalibratedSnmModel snm;
+  for (double duty : {0.5, 0.6, 0.8, 1.0}) {
+    const double years = model.years_to_failure(duty);
+    // At the failure time, the SNM degradation equals the threshold.
+    EXPECT_NEAR(snm.snm_degradation(duty, years),
+                model.params().snm_failure_threshold, 1e-9)
+        << "duty " << duty;
+  }
+}
+
+TEST(LifetimeModel, BalancedDutyMaximisesLifetime) {
+  const LifetimeModel model;
+  const double best = model.best_case_years();
+  for (int step = 0; step <= 20; ++step)
+    EXPECT_LE(model.years_to_failure(0.05 * step), best + 1e-9);
+  EXPECT_GT(best, model.worst_case_years());
+}
+
+TEST(LifetimeModel, PowerLawImprovementFactor) {
+  // t(0.5)/t(1.0) = (26.12/10.82)^(1/beta) with beta = 1/6.
+  const LifetimeModel model;
+  const double expected = std::pow(26.12 / 10.82, 6.0);
+  EXPECT_NEAR(model.best_case_years() / model.worst_case_years(), expected,
+              expected * 1e-9);
+}
+
+TEST(LifetimeModel, RejectsUnreachableThreshold) {
+  LifetimeParams params;
+  params.snm_failure_threshold = 5.0;  // below the balanced anchor
+  EXPECT_THROW(LifetimeModel({}, params), std::invalid_argument);
+}
+
+TEST(LifetimeReport, DeviceDiesWithFirstCell) {
+  DutyCycleTracker tracker(3);
+  tracker.add_total_time(0, 10);
+  tracker.add_ones_time(0, 5);  // balanced
+  tracker.add_total_time(1, 10);
+  tracker.add_ones_time(1, 9);  // duty 0.9
+  // cell 2 unused.
+  const LifetimeModel model;
+  const auto report = make_lifetime_report(tracker, model);
+  EXPECT_NEAR(report.device_lifetime_years, model.years_to_failure(0.9), 1e-9);
+  EXPECT_EQ(report.cell_lifetime.count(), 2u);
+  EXPECT_GT(report.improvement_over_worst_case, 1.0);
+  EXPECT_LT(report.fraction_of_ideal, 1.0);
+}
+
+TEST(LifetimeReport, AllBalancedReachesIdeal) {
+  DutyCycleTracker tracker(4);
+  for (std::size_t cell = 0; cell < 4; ++cell) {
+    tracker.add_total_time(cell, 8);
+    tracker.add_ones_time(cell, 4);
+  }
+  const LifetimeModel model;
+  const auto report = make_lifetime_report(tracker, model);
+  EXPECT_NEAR(report.fraction_of_ideal, 1.0, 1e-12);
+}
+
+TEST(LifetimeReport, RejectsEmptyTracker) {
+  DutyCycleTracker tracker(2);
+  EXPECT_THROW(make_lifetime_report(tracker, LifetimeModel{}),
+               std::invalid_argument);
+}
+
+// ---- dual BTI ---------------------------------------------------------------
+
+TEST(DualBti, SymmetricAroundHalf) {
+  const DualBtiSnmModel model;
+  for (double d : {0.0, 0.2, 0.35}) {
+    EXPECT_NEAR(model.snm_degradation(d, 7.0),
+                model.snm_degradation(1.0 - d, 7.0), 1e-12);
+  }
+}
+
+TEST(DualBti, MinimumAtBalancedDuty) {
+  const DualBtiSnmModel model;
+  const double at_half = model.snm_degradation(0.5, 7.0);
+  for (int step = 0; step <= 20; ++step)
+    EXPECT_GE(model.snm_degradation(0.05 * step, 7.0), at_half - 1e-12);
+}
+
+TEST(DualBti, ZeroPbtiReducesToNbti) {
+  DualBtiSnmModel::Params params;
+  params.pbti_ratio = 0.0;
+  const DualBtiSnmModel dual(params);
+  const CalibratedSnmModel nbti;
+  for (int step = 0; step <= 10; ++step) {
+    const double d = 0.1 * step;
+    EXPECT_NEAR(dual.snm_degradation(d, 7.0), nbti.snm_degradation(d, 7.0),
+                1e-9);
+  }
+}
+
+TEST(DualBti, PbtiFlattensDutyContrast) {
+  // PBTI stresses the complementary transistor, so adding it narrows the
+  // gap between worst-case and balanced aging.
+  DualBtiSnmModel::Params with_pbti;
+  with_pbti.pbti_ratio = 0.5;
+  const DualBtiSnmModel dual(with_pbti);
+  const CalibratedSnmModel nbti_only;
+  const double contrast_dual =
+      dual.snm_degradation(1.0, 7.0) / dual.snm_degradation(0.5, 7.0);
+  const double contrast_nbti =
+      nbti_only.snm_degradation(1.0, 7.0) / nbti_only.snm_degradation(0.5, 7.0);
+  EXPECT_LT(contrast_dual, contrast_nbti);
+  EXPECT_GT(contrast_dual, 1.0);  // duty still matters
+}
+
+TEST(DualBti, FullStressAnchorPreserved) {
+  // At duty 1 the stressed inverter sees NBTI only, so the anchor holds.
+  const DualBtiSnmModel model;
+  EXPECT_NEAR(model.snm_degradation(1.0, 7.0), 26.12, 1e-9);
+}
+
+TEST(DualBti, RejectsBadRatio) {
+  DualBtiSnmModel::Params params;
+  params.pbti_ratio = 1.5;
+  EXPECT_THROW(DualBtiSnmModel{params}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnnlife::aging

@@ -1,0 +1,174 @@
+// Tests for the Eq. 1 / Eq. 2 probabilistic duty-cycle model, including
+// the paper's Sec. III-B case study (K = 20 vs K = 160, rho = 0.5,
+// I*J = 8192).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aging/prob_model.hpp"
+#include "util/rng.hpp"
+
+namespace dnnlife::aging {
+namespace {
+
+TEST(BinomialPmf, SumsToOne) {
+  for (std::uint64_t k : {1ULL, 5ULL, 20ULL, 160ULL}) {
+    for (double rho : {0.1, 0.5, 0.9}) {
+      double sum = 0.0;
+      for (std::uint64_t i = 0; i <= k; ++i) sum += binomial_pmf(k, i, rho);
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(BinomialPmf, MatchesClosedFormSmallCases) {
+  EXPECT_NEAR(binomial_pmf(2, 1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(3, 0, 0.25), std::pow(0.75, 3), 1e-12);
+}
+
+TEST(BinomialPmf, DegenerateRho) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+}
+
+TEST(BinomialCdf, MonotoneAndComplete) {
+  double previous = 0.0;
+  for (std::uint64_t b = 0; b <= 20; ++b) {
+    const double cdf = binomial_cdf(20, b, 0.4);
+    EXPECT_GE(cdf, previous - 1e-15);
+    previous = cdf;
+  }
+  EXPECT_NEAR(binomial_cdf(20, 20, 0.4), 1.0, 1e-12);
+}
+
+TEST(LogBinomialCoefficient, MatchesSmallValues) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 5)), 252.0, 1e-6);
+  EXPECT_THROW(log_binomial_coefficient(3, 4), std::invalid_argument);
+}
+
+TEST(DutyTail, Equation1Symmetry) {
+  // For rho = 0.5 the two tails are mirror images, so Eq. 1 equals twice
+  // the lower tail (when they do not overlap).
+  const std::uint64_t k = 20;
+  for (std::uint64_t b = 0; 2 * b < k; ++b) {
+    const double tail = duty_tail_probability(k, b, 0.5);
+    EXPECT_NEAR(tail, 2.0 * binomial_cdf(k, b, 0.5), 1e-12);
+  }
+}
+
+TEST(DutyTail, DefinedAsOneAtHalf) {
+  EXPECT_DOUBLE_EQ(duty_tail_probability(20, 10, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(duty_tail_probability(160, 80, 0.5), 1.0);
+}
+
+TEST(DutyTail, PaperCaseStudyK20) {
+  // Paper Fig. 7a: at K = 20, rho = 0.5, b/K = 0.3 the probability
+  // exceeds 0.1 ("more than 10% of the cells").
+  const double p = duty_tail_probability(20, 6, 0.5);  // b/K = 0.3
+  EXPECT_GT(p, 0.1);
+  EXPECT_LT(p, 0.3);
+}
+
+TEST(DutyTail, PaperCaseStudyK160Drops) {
+  // Paper Fig. 7b: at K = 160 the same b/K = 0.3 probability collapses.
+  const double p20 = duty_tail_probability(20, 6, 0.5);
+  const double p160 = duty_tail_probability(160, 48, 0.5);
+  EXPECT_LT(p160, 1e-6);
+  EXPECT_LT(p160, p20 / 1000.0);
+}
+
+TEST(DutyTail, MonotoneInB) {
+  double previous = 0.0;
+  for (std::uint64_t b = 0; 2 * b <= 160; ++b) {
+    const double p = duty_tail_probability(160, b, 0.5);
+    EXPECT_GE(p, previous - 1e-15);
+    previous = p;
+  }
+}
+
+TEST(DutyTail, BiasedRhoRaisesTails) {
+  // A biased bit distribution concentrates duty away from 0.5, raising
+  // the tail probability at every b.
+  for (std::uint64_t b : {2ULL, 4ULL, 6ULL}) {
+    EXPECT_GT(duty_tail_probability(20, b, 0.9),
+              duty_tail_probability(20, b, 0.5));
+  }
+}
+
+TEST(DutyTail, MatchesMonteCarlo) {
+  // Empirical check of Eq. 1 by direct simulation.
+  const std::uint64_t k = 20;
+  const std::uint64_t b = 6;
+  const double rho = 0.5;
+  util::Xoshiro256ss rng(20250611);
+  const int trials = 200000;
+  int in_tail = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t ones = 0;
+    for (std::uint64_t i = 0; i < k; ++i) ones += rng.next_bernoulli(rho);
+    if (ones <= b || ones >= k - b) ++in_tail;
+  }
+  const double empirical = static_cast<double>(in_tail) / trials;
+  EXPECT_NEAR(empirical, duty_tail_probability(k, b, rho), 0.005);
+}
+
+TEST(DutyTail, RejectsBadArguments) {
+  EXPECT_THROW(duty_tail_probability(0, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(duty_tail_probability(10, 6, 0.5), std::invalid_argument);
+}
+
+TEST(DutyTailSeries, LengthAndEdges) {
+  const auto series = duty_tail_series(20, 0.5);
+  ASSERT_EQ(series.size(), 11u);
+  EXPECT_DOUBLE_EQ(series.back(), 1.0);  // b/K = 0.5
+  EXPECT_NEAR(series.front(), 2.0 * std::pow(0.5, 20), 1e-12);
+}
+
+TEST(AtLeastNCells, EdgeCases) {
+  EXPECT_DOUBLE_EQ(at_least_n_cells_probability(0, 100, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(at_least_n_cells_probability(5, 100, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(at_least_n_cells_probability(100, 100, 1.0), 1.0);
+}
+
+TEST(AtLeastNCells, MatchesComplementForSmallCases) {
+  // P[X >= 1] = 1 - (1-p)^n.
+  const double p = 0.1;
+  const std::uint64_t n = 20;
+  EXPECT_NEAR(at_least_n_cells_probability(1, n, p),
+              1.0 - std::pow(1.0 - p, static_cast<double>(n)), 1e-9);
+}
+
+TEST(AtLeastNCells, PaperScaleIJ8192) {
+  // Paper example: I*J = 8192 cells, Pb ~ 0.1 at b/K = 0.3, K = 20: the
+  // expected number of affected cells is ~800, and the probability of at
+  // least a quarter of that is essentially 1.
+  const double p_tail = duty_tail_probability(20, 6, 0.5);
+  EXPECT_NEAR(expected_tail_cells(8192, p_tail), 8192.0 * p_tail, 1e-9);
+  EXPECT_GT(at_least_n_cells_probability(200, 8192, p_tail), 0.999999);
+  // ...and at least double the mean is essentially impossible.
+  const auto mean = static_cast<std::uint64_t>(8192.0 * p_tail);
+  EXPECT_LT(at_least_n_cells_probability(2 * mean, 8192, p_tail), 1e-9);
+}
+
+TEST(AtLeastNCells, MonotoneDecreasingInN) {
+  const double p_tail = 0.2;
+  double previous = 1.0;
+  for (std::uint64_t n = 0; n <= 64; n += 8) {
+    const double p = at_least_n_cells_probability(n, 64, p_tail);
+    EXPECT_LE(p, previous + 1e-12);
+    previous = p;
+  }
+}
+
+TEST(AtLeastNCells, RejectsBadArguments) {
+  EXPECT_THROW(at_least_n_cells_probability(11, 10, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(at_least_n_cells_probability(1, 10, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnnlife::aging

@@ -1,0 +1,102 @@
+// Tests for the TRBG randomness-validation suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aging_controller.hpp"
+#include "core/randomness_tests.hpp"
+
+namespace dnnlife::core {
+namespace {
+
+constexpr std::size_t kBits = 20000;
+
+TEST(RandomnessMath, NormalPValues) {
+  EXPECT_NEAR(two_sided_normal_p(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(two_sided_normal_p(1.96), 0.05, 0.001);
+  EXPECT_LT(two_sided_normal_p(5.0), 1e-5);
+}
+
+TEST(RandomnessMath, ChiSquaredUpperTails) {
+  // Known quantiles: P(X2_2 > 5.991) = 0.05, P(X2_1 > 3.841) = 0.05,
+  // P(X2_3 > 7.815) = 0.05.
+  EXPECT_NEAR(chi_squared_upper_p(5.991, 2), 0.05, 0.001);
+  EXPECT_NEAR(chi_squared_upper_p(3.841, 1), 0.05, 0.001);
+  EXPECT_NEAR(chi_squared_upper_p(7.815, 3), 0.05, 0.001);
+  EXPECT_THROW(chi_squared_upper_p(1.0, 4), std::invalid_argument);
+}
+
+TEST(RandomnessTests, FairTrbgPassesAll) {
+  BiasedTrbg trbg(0.5, 20250611);
+  const auto bits = collect_bits(trbg, kBits);
+  EXPECT_TRUE(monobit_test(bits).passed);
+  EXPECT_TRUE(runs_test(bits).passed);
+  EXPECT_TRUE(serial_test(bits).passed);
+}
+
+TEST(RandomnessTests, BiasedTrbgFailsMonobit) {
+  BiasedTrbg trbg(0.7, 7);
+  const auto bits = collect_bits(trbg, kBits);
+  const auto result = monobit_test(bits);
+  EXPECT_FALSE(result.passed);
+  EXPECT_LT(result.p_value, 1e-6);
+}
+
+TEST(RandomnessTests, AlternatingPatternFailsRuns) {
+  std::vector<std::uint8_t> bits(kBits);
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = i % 2;
+  // Perfectly balanced, so monobit passes...
+  EXPECT_TRUE(monobit_test(bits).passed);
+  // ...but far too many runs.
+  EXPECT_FALSE(runs_test(bits).passed);
+  EXPECT_FALSE(serial_test(bits).passed);
+}
+
+TEST(RandomnessTests, ConstantStreamFailsEverything) {
+  std::vector<std::uint8_t> bits(kBits, 1);
+  EXPECT_FALSE(monobit_test(bits).passed);
+  EXPECT_FALSE(runs_test(bits).passed);
+  EXPECT_FALSE(serial_test(bits).passed);
+}
+
+TEST(RandomnessTests, RingOscillatorWithJitterPasses) {
+  RingOscillatorTrbg::Params params;  // duty 0.5, healthy jitter
+  RingOscillatorTrbg trbg(params);
+  const auto bits = collect_bits(trbg, kBits);
+  EXPECT_TRUE(monobit_test(bits).passed);
+  EXPECT_TRUE(runs_test(bits).passed);
+}
+
+TEST(RandomnessTests, JitterlessRingOscillatorFails) {
+  // Without jitter the sampled ring is a deterministic phase pattern;
+  // independence tests must catch it.
+  RingOscillatorTrbg::Params params;
+  params.jitter_sigma = 0.0;
+  params.sample_period = 100.5;  // locks into an alternating 2-sample cycle
+  RingOscillatorTrbg trbg(params);
+  const auto bits = collect_bits(trbg, kBits);
+  EXPECT_FALSE(serial_test(bits).passed && runs_test(bits).passed &&
+               monobit_test(bits).passed);
+}
+
+TEST(RandomnessTests, BalancerOutputPassesMonobitDespiteBias) {
+  // The bias balancer's output is 50/50 in the long run even from a
+  // biased TRBG — the property the aging controller depends on.
+  BiasedTrbg trbg(0.7, 99);
+  AgingController controller(trbg, {true, 4});
+  std::vector<std::uint8_t> bits;
+  bits.reserve(kBits);
+  for (std::size_t i = 0; i < kBits; ++i)
+    bits.push_back(controller.next_enable() ? 1 : 0);
+  EXPECT_TRUE(monobit_test(bits).passed);
+}
+
+TEST(RandomnessTests, RejectShortStreams) {
+  std::vector<std::uint8_t> bits(10, 0);
+  EXPECT_THROW(monobit_test(bits), std::invalid_argument);
+  EXPECT_THROW(runs_test(bits), std::invalid_argument);
+  EXPECT_THROW(serial_test(bits), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnnlife::core

@@ -1,0 +1,108 @@
+// Tests for multi-DNN workload schedules and tracker merging.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "aging/snm_histogram.hpp"
+#include "aging/snm_model.hpp"
+#include "core/fast_simulator.hpp"
+#include "core/workload.hpp"
+#include "dnn/model_zoo.hpp"
+#include "quant/word_codec.hpp"
+#include "sim/tpu_npu.hpp"
+
+namespace dnnlife::core {
+namespace {
+
+TEST(TrackerMerge, AddsAccumulators) {
+  aging::DutyCycleTracker a(2);
+  aging::DutyCycleTracker b(2);
+  a.add_total_time(0, 4);
+  a.add_ones_time(0, 4);
+  b.add_total_time(0, 4);
+  // cell 1 used only in b.
+  b.add_total_time(1, 2);
+  b.add_ones_time(1, 1);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.duty(0), 0.5);
+  EXPECT_DOUBLE_EQ(a.duty(1), 0.5);
+  EXPECT_EQ(a.unused_cell_count(), 0u);
+}
+
+TEST(TrackerMerge, RejectsGeometryMismatch) {
+  aging::DutyCycleTracker a(2);
+  aging::DutyCycleTracker b(3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+class WorkloadFixture : public ::testing::Test {
+ protected:
+  WorkloadFixture()
+      : custom_(dnn::make_custom_mnist()), alexnet_(dnn::make_alexnet()),
+        custom_streamer_(custom_), alexnet_streamer_(alexnet_),
+        custom_codec_(custom_streamer_, quant::WeightFormat::kInt8Symmetric),
+        alexnet_codec_(alexnet_streamer_, quant::WeightFormat::kInt8Symmetric),
+        custom_stream_(custom_codec_, sim::TpuNpuConfig{}),
+        alexnet_stream_(alexnet_codec_, sim::TpuNpuConfig{}) {}
+
+  dnn::Network custom_;
+  dnn::Network alexnet_;
+  dnn::WeightStreamer custom_streamer_;
+  dnn::WeightStreamer alexnet_streamer_;
+  quant::WeightWordCodec custom_codec_;
+  quant::WeightWordCodec alexnet_codec_;
+  sim::NpuWeightStream custom_stream_;
+  sim::NpuWeightStream alexnet_stream_;
+};
+
+TEST_F(WorkloadFixture, SinglePhaseMatchesDirectSimulation) {
+  const std::array<WorkloadPhase, 1> phases = {
+      WorkloadPhase{&custom_stream_, 10}};
+  const auto scheduled =
+      simulate_workload(phases, PolicyConfig::inversion());
+  const auto direct =
+      simulate_fast(custom_stream_, PolicyConfig::inversion(), {10});
+  EXPECT_EQ(scheduled.ones_time(), direct.ones_time());
+}
+
+TEST_F(WorkloadFixture, MixedWorkloadDilutesThePathology) {
+  // Running the custom net alone under inversion leaves cells at extreme
+  // duty-cycles (Fig. 11 (3)); interleaving AlexNet (whose mixed data
+  // balances the same cells) pulls the lifetime duty-cycle towards 0.5.
+  const std::array<WorkloadPhase, 1> custom_only = {
+      WorkloadPhase{&custom_stream_, 50}};
+  const std::array<WorkloadPhase, 2> mixed = {
+      WorkloadPhase{&custom_stream_, 50}, WorkloadPhase{&alexnet_stream_, 50}};
+  const auto alone = simulate_workload(custom_only, PolicyConfig::inversion());
+  const auto combined = simulate_workload(mixed, PolicyConfig::inversion());
+  const aging::CalibratedSnmModel model;
+  const auto alone_report = make_aging_report(alone, model);
+  const auto mixed_report = make_aging_report(combined, model);
+  EXPECT_LT(mixed_report.snm_stats.mean(), alone_report.snm_stats.mean() - 3.0);
+}
+
+TEST_F(WorkloadFixture, DnnLifeOptimalOnMixedWorkloads) {
+  const std::array<WorkloadPhase, 2> mixed = {
+      WorkloadPhase{&custom_stream_, 50}, WorkloadPhase{&alexnet_stream_, 50}};
+  const auto tracker =
+      simulate_workload(mixed, PolicyConfig::dnn_life(0.7, true, 4));
+  const aging::CalibratedSnmModel model;
+  const auto report = make_aging_report(tracker, model);
+  EXPECT_LT(report.snm_stats.mean(), 11.5);
+  EXPECT_GT(report.fraction_optimal, 0.95);
+}
+
+TEST_F(WorkloadFixture, RejectsEmptyAndMismatched) {
+  EXPECT_THROW(simulate_workload({}, PolicyConfig::none()),
+               std::invalid_argument);
+  sim::TpuNpuConfig small;
+  small.fifo_tiles = 2;
+  sim::NpuWeightStream other(custom_codec_, small);
+  const std::array<WorkloadPhase, 2> phases = {
+      WorkloadPhase{&custom_stream_, 10}, WorkloadPhase{&other, 10}};
+  EXPECT_THROW(simulate_workload(phases, PolicyConfig::none()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnnlife::core
