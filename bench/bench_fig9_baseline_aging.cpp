@@ -49,10 +49,15 @@ int main() {
               << bench.stream().geometry().row_bits << " bits, K = "
               << bench.stream().blocks_per_inference()
               << " mappings/inference\n";
-    for (const auto& [label, policy] : policies) {
-      const auto report = bench.evaluate(policy);
-      benchutil::print_report(label, report);
-      csv.add_row({quant::to_string(format), policy.name(),
+    // All six policies share the stream; evaluate them across the
+    // hardware threads (bit-identical to sequential evaluate()).
+    std::vector<PolicyConfig> configs;
+    for (const auto& [label, policy] : policies) configs.push_back(policy);
+    const auto reports = bench.evaluate_all(configs);
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      const auto& report = reports[i];
+      benchutil::print_report(policies[i].first, report);
+      csv.add_row({quant::to_string(format), policies[i].second.name(),
                    util::Table::num(report.snm_stats.mean(), 4),
                    util::Table::num(report.snm_stats.max(), 4),
                    util::Table::num(report.fraction_optimal, 6)});

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/fast_simulator.hpp"
+#include "core/reference_simulator.hpp"
 #include "core/transducer.hpp"
 #include "dnn/model_zoo.hpp"
 #include "quant/bit_distribution.hpp"
@@ -90,6 +91,67 @@ void BM_FastSimCustomNet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FastSimCustomNet)->Unit(benchmark::kMillisecond);
+
+void BM_ReferenceSim(benchmark::State& state) {
+  const dnn::Network net = dnn::make_custom_mnist();
+  const dnn::WeightStreamer streamer(net);
+  const quant::WeightWordCodec codec(streamer, quant::WeightFormat::kInt8Symmetric);
+  sim::BaselineAcceleratorConfig config;
+  config.weight_memory_bytes = 16 * 1024;
+  const sim::BaselineWeightStream stream(codec, config);
+  const auto policy = core::PolicyConfig::dnn_life(0.5);
+  core::ReferenceSimOptions options;
+  options.inferences = static_cast<unsigned>(state.range(0));
+  options.verify_decode = false;
+  for (auto _ : state) {
+    const auto tracker = core::simulate_reference(stream, policy, options);
+    benchmark::DoNotOptimize(tracker.ones_time().data());
+  }
+}
+BENCHMARK(BM_ReferenceSim)->Arg(20)->Unit(benchmark::kMillisecond);
+
+// Payload shapes for the accumulate benchmarks: 0 = random (general
+// branch-free blend), 1 = all-zero (padding rows — whole-word skip), 2 =
+// all-one.
+std::vector<std::uint64_t> accumulate_payload(std::int64_t kind,
+                                              std::uint32_t row_bits) {
+  std::vector<std::uint64_t> payload(row_bits / 64);
+  util::Xoshiro256ss rng(7);
+  for (auto& w : payload)
+    w = kind == 0 ? rng.next() : kind == 1 ? 0 : ~0ULL;
+  return payload;
+}
+
+void BM_DutyAccumulateRowWordLevel(benchmark::State& state) {
+  const std::uint32_t row_bits = 512;
+  aging::DutyCycleTracker tracker(row_bits);
+  const auto payload = accumulate_payload(state.range(0), row_bits);
+  for (auto _ : state) {
+    tracker.accumulate_row(payload, row_bits, 0, 9, 0, 13);
+    benchmark::DoNotOptimize(tracker.ones_time().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          row_bits);
+}
+BENCHMARK(BM_DutyAccumulateRowWordLevel)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_DutyAccumulatePerBit(benchmark::State& state) {
+  // The pre-engine scalar path: per-cell add_* calls, one per bit, with
+  // the branchy ones-time select the old simulators used.
+  const std::uint32_t row_bits = 512;
+  aging::DutyCycleTracker tracker(row_bits);
+  const auto payload = accumulate_payload(state.range(0), row_bits);
+  for (auto _ : state) {
+    for (std::uint32_t bit = 0; bit < row_bits; ++bit) {
+      if ((payload[bit / 64] >> (bit % 64)) & 1u) tracker.add_ones_time(bit, 9);
+      tracker.add_total_time(bit, 13);
+    }
+    benchmark::DoNotOptimize(tracker.ones_time().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          row_bits);
+}
+BENCHMARK(BM_DutyAccumulatePerBit)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_BitDistributionAnalysis(benchmark::State& state) {
   const dnn::Network net = dnn::make_custom_mnist();

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "util/bitops.hpp"
 #include "util/check.hpp"
 
 namespace dnnlife::aging {
@@ -27,6 +29,50 @@ class DutyCycleTracker {
   /// Accumulate `amount` slots of holding *some* value for `cell`.
   void add_total_time(std::size_t cell, std::uint32_t amount) {
     total_time_[cell] += amount;
+  }
+
+  /// Bulk word-level accumulation of one stored row: for each of the
+  /// `row_bits` payload bits (little-endian across `words`), a set bit adds
+  /// `hi` slots of ones-time, a clear bit adds `lo`, and every covered cell
+  /// adds `slot_total` slots of total time. `cell_base` is the flat index
+  /// of the row's bit 0 (cells cell_base .. cell_base+row_bits-1 must be
+  /// in range). The per-bit blend lo + bit*(hi - lo) is branch-free and
+  /// popcount-free (exact in mod-2^32 arithmetic even when hi < lo), and
+  /// all-zero / all-one payload words take whole-word fast paths — this is
+  /// the hot loop of both simulators.
+  void accumulate_row(std::span<const std::uint64_t> words,
+                      std::uint32_t row_bits, std::size_t cell_base,
+                      std::uint32_t hi, std::uint32_t lo,
+                      std::uint32_t slot_total) {
+    DNNLIFE_EXPECTS(words.size() >= util::ceil_div(row_bits, 64),
+                    "row word count");
+    DNNLIFE_EXPECTS(cell_base + row_bits <= ones_time_.size(),
+                    "row cells out of range");
+    std::uint32_t* const ones = ones_time_.data() + cell_base;
+    std::uint32_t* const total = total_time_.data() + cell_base;
+    const std::uint32_t delta = hi - lo;  // wraps when hi < lo; blend is exact
+    std::size_t bit0 = 0;
+    for (std::size_t w = 0; bit0 < row_bits; ++w, bit0 += 64) {
+      const std::uint32_t bits_here =
+          row_bits - bit0 < 64 ? static_cast<std::uint32_t>(row_bits - bit0)
+                               : 64u;
+      const std::uint64_t word = words[w];
+      const std::uint64_t mask = util::low_mask(bits_here);
+      if ((word & mask) == 0) {
+        if (lo != 0) {
+          for (std::uint32_t b = 0; b < bits_here; ++b) ones[bit0 + b] += lo;
+        }
+      } else if ((word & mask) == mask) {
+        for (std::uint32_t b = 0; b < bits_here; ++b) ones[bit0 + b] += hi;
+      } else {
+        for (std::uint32_t b = 0; b < bits_here; ++b) {
+          ones[bit0 + b] +=
+              lo + static_cast<std::uint32_t>((word >> b) & 1u) * delta;
+        }
+      }
+      for (std::uint32_t b = 0; b < bits_here; ++b)
+        total[bit0 + b] += slot_total;
+    }
   }
 
   /// Raw accumulators (the fast simulator writes these in bulk).

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "util/bitops.hpp"
 #include "util/check.hpp"
 
 namespace dnnlife::core {
@@ -36,6 +37,20 @@ class BiasBalancer {
   /// simulator to reproduce the hardware schedule without stepping.
   static bool phase_at(std::uint64_t idx, unsigned register_bits) noexcept {
     return ((idx >> register_bits) & 1u) != 0;
+  }
+
+  /// Closed-form count of phase-1 indices in the arithmetic progression
+  /// idx = offset + i*step, i in [0, n). phase_at is bit M of idx, i.e.
+  /// floor(idx / 2^M) - 2*floor(idx / 2^(M+1)); summing both floors along
+  /// the progression with util::floor_sum evaluates the whole
+  /// period-2^(M+1) schedule in O(log) arithmetic steps instead of the
+  /// O(n) loop the fast simulator used to run per write ordinal.
+  static std::uint64_t count_phase_one(std::uint64_t offset, std::uint64_t step,
+                                       std::uint64_t n, unsigned register_bits) {
+    DNNLIFE_EXPECTS(register_bits < 63, "balancer register too wide");
+    const std::uint64_t half = std::uint64_t{1} << register_bits;
+    return util::floor_sum(n, step, offset, half) -
+           2 * util::floor_sum(n, step, offset, 2 * half);
   }
 
  private:

@@ -1,8 +1,11 @@
 #include "core/experiment.hpp"
 
+#include <optional>
+
 #include "core/fast_simulator.hpp"
 #include "core/reference_simulator.hpp"
 #include "dnn/model_zoo.hpp"
+#include "util/parallel.hpp"
 
 namespace dnnlife::core {
 
@@ -19,7 +22,8 @@ aging::AgingReport run_policy_on_stream(const sim::WriteStream& stream,
                                         unsigned inferences,
                                         const aging::AgingModel& model,
                                         const aging::AgingReportOptions& report,
-                                        bool use_reference_simulator) {
+                                        bool use_reference_simulator,
+                                        unsigned simulator_threads) {
   if (use_reference_simulator) {
     ReferenceSimOptions options;
     options.inferences = inferences;
@@ -29,6 +33,7 @@ aging::AgingReport run_policy_on_stream(const sim::WriteStream& stream,
   }
   FastSimOptions options;
   options.inferences = inferences;
+  options.threads = simulator_threads;
   const auto tracker = simulate_fast(stream, policy, options);
   return make_aging_report(tracker, model, report);
 }
@@ -53,7 +58,38 @@ aging::AgingReport Workbench::evaluate(PolicyConfig policy) const {
   policy.weight_bits = codec_->bits();
   const aging::CalibratedSnmModel model(config_.snm);
   return run_policy_on_stream(*stream_, policy, config_.inferences, model,
-                              config_.report, config_.use_reference_simulator);
+                              config_.report, config_.use_reference_simulator,
+                              config_.simulator_threads);
+}
+
+std::vector<aging::AgingReport> Workbench::evaluate_all(
+    std::span<const PolicyConfig> policies, unsigned threads) const {
+  std::vector<aging::AgingReport> reports;
+  if (policies.empty()) return reports;
+  const auto n = static_cast<unsigned>(policies.size());
+  threads = util::resolve_thread_count(threads);
+  if (threads > n) threads = n;
+  // AgingReport is not default-constructible (a report always has a
+  // histogram geometry), so tasks fill optional slots that are unwrapped
+  // after the join.
+  std::vector<std::optional<aging::AgingReport>> slots(policies.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < policies.size(); ++i)
+      slots[i].emplace(evaluate(policies[i]));
+  } else {
+    // One task per policy; the pool drains them FIFO. Slots are disjoint,
+    // so no synchronisation beyond wait() is needed.
+    util::ThreadPool pool(threads);
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      pool.submit([this, &policies, &slots, i] {
+        slots[i].emplace(evaluate(policies[i]));
+      });
+    }
+    pool.wait();
+  }
+  reports.reserve(policies.size());
+  for (auto& slot : slots) reports.push_back(std::move(*slot));
+  return reports;
 }
 
 aging::AgingReport run_aging_experiment(const ExperimentConfig& config) {

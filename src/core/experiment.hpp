@@ -3,7 +3,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "aging/snm_histogram.hpp"
 #include "core/mitigation_policy.hpp"
@@ -31,6 +33,9 @@ struct ExperimentConfig {
   aging::AgingReportOptions report;
   /// Use the literal simulator (small configs / validation).
   bool use_reference_simulator = false;
+  /// Worker threads for the fast simulator's row-parallel commit phase
+  /// (see FastSimOptions::threads; results are bit-identical either way).
+  unsigned simulator_threads = 1;
 };
 
 /// Run one full experiment (builds the network, streamer, codec and write
@@ -45,7 +50,8 @@ aging::AgingReport run_policy_on_stream(const sim::WriteStream& stream,
                                         unsigned inferences,
                                         const aging::AgingModel& model,
                                         const aging::AgingReportOptions& report,
-                                        bool use_reference_simulator = false);
+                                        bool use_reference_simulator = false,
+                                        unsigned simulator_threads = 1);
 
 /// A reusable experiment workbench: owns the network / streamer / codec /
 /// stream for one (network, format, hardware) combination so several
@@ -62,6 +68,15 @@ class Workbench {
 
   /// Evaluate one policy on the shared stream.
   aging::AgingReport evaluate(PolicyConfig policy) const;
+
+  /// Evaluate several policies on the shared stream, `threads` at a time
+  /// (0 = hardware concurrency, clamped to the policy count; 1 runs
+  /// inline). The shared stream's encoded-row cache is built exactly once
+  /// under a call_once, and each policy evaluation is an independent pure
+  /// function of its config, so reports[i] is bit-identical to
+  /// evaluate(policies[i]) for any thread count.
+  std::vector<aging::AgingReport> evaluate_all(
+      std::span<const PolicyConfig> policies, unsigned threads = 0) const;
 
  private:
   ExperimentConfig config_;

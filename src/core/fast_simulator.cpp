@@ -5,7 +5,9 @@
 
 #include "core/bias_balancer.hpp"
 #include "core/transducer.hpp"
+#include "sim/write_visit.hpp"
 #include "util/bitops.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace dnnlife::core {
@@ -42,13 +44,13 @@ std::uint32_t sample_binomial(util::Xoshiro256ss& rng, std::uint32_t n, double p
 
 namespace {
 
-/// Per-row pending write: everything needed to commit its duty
-/// contribution once its residency is known.
-struct PendingWrite {
+/// One write of the materialised inference. The payload words live in a
+/// parallel flat buffer indexed by the write's arrival ordinal.
+struct WriteRecord {
+  std::uint32_t row = 0;
   std::uint32_t block = 0;
-  std::uint32_t inverted_inferences = 0;
-  unsigned rotate = 0;
-  bool valid = false;
+  std::uint32_t rotate = 0;                ///< barrel policy
+  std::uint32_t inverted_inferences = 0;   ///< deterministic XOR policies
 };
 
 class DnnLifeSampler {
@@ -56,32 +58,37 @@ class DnnLifeSampler {
   DnnLifeSampler(const PolicyConfig& config, std::uint64_t writes_per_inference,
                  unsigned inferences)
       : config_(config), writes_per_inference_(writes_per_inference),
-        inferences_(inferences), rng_(util::derive_seed(config.seed, 0x5a5aULL)) {}
+        inferences_(inferences),
+        base_seed_(util::derive_seed(config.seed, 0x5a5aULL)) {}
 
   /// Number of inferences (out of N) in which the write with within-
-  /// inference ordinal `ordinal` gets E = 1.
-  std::uint32_t sample(std::uint64_t ordinal) {
+  /// inference ordinal `ordinal` gets E = 1. A pure function of
+  /// (seed, ordinal): the per-write RNG stream is derived, never shared,
+  /// so any evaluation order — in particular any row sharding across
+  /// threads — draws bit-identical values.
+  std::uint32_t sample(std::uint64_t ordinal) const {
+    util::Xoshiro256ss rng(util::derive_seed(base_seed_, ordinal));
     const double p = config_.trbg_bias;
     if (!config_.bias_balancing)
-      return sample_binomial(rng_, inferences_, p);
+      return sample_binomial(rng, inferences_, p);
     // Hardware schedule: the balancer phase at global write index
     // i*W + ordinal is ((idx >> M) & 1); phase 1 inverts the TRBG output.
-    std::uint32_t phase_one = 0;
-    for (unsigned i = 0; i < inferences_; ++i) {
-      const std::uint64_t idx =
-          static_cast<std::uint64_t>(i) * writes_per_inference_ + ordinal;
-      phase_one += BiasBalancer::phase_at(idx, config_.balancer_bits) ? 1u : 0u;
-    }
+    // The phase-1 population over the arithmetic progression is counted
+    // closed-form (Euclidean floor-sum over the period-2^(M+1) schedule)
+    // instead of looping over all N inferences per write.
+    const auto phase_one = static_cast<std::uint32_t>(
+        BiasBalancer::count_phase_one(ordinal, writes_per_inference_,
+                                      inferences_, config_.balancer_bits));
     const std::uint32_t phase_zero = inferences_ - phase_one;
-    return sample_binomial(rng_, phase_zero, p) +
-           sample_binomial(rng_, phase_one, 1.0 - p);
+    return sample_binomial(rng, phase_zero, p) +
+           sample_binomial(rng, phase_one, 1.0 - p);
   }
 
  private:
   PolicyConfig config_;
   std::uint64_t writes_per_inference_;
   unsigned inferences_;
-  util::Xoshiro256ss rng_;
+  std::uint64_t base_seed_;
 };
 
 }  // namespace
@@ -117,91 +124,102 @@ aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
                   "duration x inferences overflows the duty accumulators");
 
   aging::DutyCycleTracker tracker(geometry.cells());
-  std::vector<std::uint32_t>& ones = tracker.ones_time();
-  std::vector<std::uint32_t>& total = tracker.total_time();
 
-  std::vector<PendingWrite> pending(geometry.rows);
-  std::vector<std::uint64_t> pending_words(
-      static_cast<std::size_t>(geometry.rows) * words_per_row, 0);
-  std::vector<std::uint32_t> first_block(geometry.rows, 0);
+  // ---- Phase 1 (sequential): materialise the inference's writes.
+  // Policy schedules (per-row write counters) are stream-order state, so
+  // they are resolved here; the expensive duty accumulation is deferred to
+  // the row-parallel commit phase. A write's arrival index doubles as its
+  // within-inference ordinal (the DnnLife sampler's counter).
+  std::vector<WriteRecord> records;
+  records.reserve(stream.writes_per_inference());
+  std::vector<std::uint64_t> payloads;
+  payloads.reserve(stream.writes_per_inference() * words_per_row);
   std::vector<std::uint32_t> row_write_index(geometry.rows, 0);
-
-  const RotateTransducer rotator(geometry.row_bits, policy.weight_bits);
-  DnnLifeSampler sampler(policy, stream.writes_per_inference(), n_inf);
-
-  const auto commit = [&](std::uint32_t row, std::uint32_t residency) {
-    const PendingWrite& entry = pending[row];
-    const std::span<const std::uint64_t> raw(
-        pending_words.data() + static_cast<std::size_t>(row) * words_per_row,
-        words_per_row);
-    std::vector<std::uint64_t> rotated;
-    std::span<const std::uint64_t> stored = raw;
-    if (entry.rotate != 0) {
-      rotated = rotator.rotate_row(raw, entry.rotate, /*left=*/true);
-      stored = rotated;
-    }
-    // A '1' bit stores '1' in the (n_inf - c) non-inverted inferences; a
-    // '0' bit stores '1' in the c inverted ones.
-    const std::uint32_t hi =
-        residency * (n_inf - entry.inverted_inferences);
-    const std::uint32_t lo = residency * entry.inverted_inferences;
-    const std::uint32_t slot_total = residency * n_inf;
-    std::size_t cell = geometry.cell_index(row, 0);
-    for (std::uint32_t w = 0; w < words_per_row; ++w) {
-      std::uint64_t word = stored[w];
-      const std::uint32_t bits_here =
-          w + 1 == words_per_row && geometry.row_bits % 64 != 0
-              ? geometry.row_bits % 64
-              : 64;
-      for (std::uint32_t b = 0; b < bits_here; ++b, ++cell, word >>= 1) {
-        ones[cell] += (word & 1u) ? hi : lo;
-        total[cell] += slot_total;
-      }
-    }
-  };
-
-  std::uint64_t ordinal = 0;
-  stream.for_each_write([&](const sim::RowWriteEvent& event) {
-    const std::uint32_t row = event.row;
-    if (pending[row].valid) {
-      DNNLIFE_EXPECTS(event.block >= pending[row].block,
-                      "stream blocks out of order");
-      commit(row, prefix[event.block] - prefix[pending[row].block]);
-    } else {
-      first_block[row] = event.block;
-    }
-    PendingWrite& entry = pending[row];
-    entry.block = event.block;
-    entry.valid = true;
-    entry.rotate = 0;
-    entry.inverted_inferences = 0;
+  sim::visit_stream_writes(stream, [&](const sim::RowWriteEvent& event) {
+    DNNLIFE_EXPECTS(event.row < geometry.rows, "write row out of range");
+    WriteRecord record;
+    record.row = event.row;
+    record.block = event.block;
     switch (policy.kind) {
       case PolicyKind::kNone:
         break;
       case PolicyKind::kInversion:
-        entry.inverted_inferences =
-            (row_write_index[row]++ & 1u) != 0 ? n_inf : 0;
+        record.inverted_inferences =
+            (row_write_index[event.row]++ & 1u) != 0 ? n_inf : 0;
         break;
       case PolicyKind::kBarrelShifter:
-        entry.rotate = row_write_index[row]++ % policy.weight_bits;
+        record.rotate = row_write_index[event.row]++ % policy.weight_bits;
         break;
       case PolicyKind::kDnnLife:
-        entry.inverted_inferences = sampler.sample(ordinal);
-        break;
+        break;  // sampled in the commit phase from the write's ordinal
     }
-    ++ordinal;
-    std::copy(event.words.begin(), event.words.end(),
-              pending_words.begin() +
-                  static_cast<std::size_t>(row) * words_per_row);
+    records.push_back(record);
+    payloads.insert(payloads.end(), event.words.begin(), event.words.end());
   });
 
-  // Final writes wrap cyclically into the next (identical) inference.
-  for (std::uint32_t row = 0; row < geometry.rows; ++row) {
-    if (!pending[row].valid) continue;
-    const std::uint32_t residency =
-        total_duration - prefix[pending[row].block] + prefix[first_block[row]];
-    commit(row, residency);
+  // Group write ordinals by row (stable counting sort: per-row lists stay
+  // in temporal order).
+  std::vector<std::uint32_t> row_start(static_cast<std::size_t>(geometry.rows) + 1, 0);
+  for (const WriteRecord& record : records) ++row_start[record.row + 1];
+  for (std::uint32_t row = 0; row < geometry.rows; ++row)
+    row_start[row + 1] += row_start[row];
+  std::vector<std::uint32_t> grouped(records.size());
+  {
+    std::vector<std::uint32_t> cursor(row_start.begin(), row_start.end() - 1);
+    for (std::uint32_t i = 0; i < records.size(); ++i)
+      grouped[cursor[records[i].row]++] = i;
   }
+
+  const RotateTransducer rotator(geometry.row_bits, policy.weight_bits);
+  const DnnLifeSampler sampler(policy, stream.writes_per_inference(), n_inf);
+
+  // ---- Phase 2 (parallel over rows): per-row residencies and word-level
+  // duty commits. Rows own disjoint cell ranges of the tracker and every
+  // per-write quantity is a pure function of the materialised records, so
+  // the result is bit-identical for any thread count.
+  const auto process_rows = [&](unsigned /*shard*/, std::uint64_t row_begin,
+                                std::uint64_t row_end) {
+    std::vector<std::uint64_t> rotated(words_per_row);  // per-shard scratch
+    for (std::uint64_t row = row_begin; row < row_end; ++row) {
+      const std::uint32_t begin = row_start[row];
+      const std::uint32_t end = row_start[row + 1];
+      if (begin == end) continue;
+      const std::uint32_t first_block = records[grouped[begin]].block;
+      for (std::uint32_t j = begin; j < end; ++j) {
+        const std::uint32_t ordinal = grouped[j];
+        const WriteRecord& record = records[ordinal];
+        std::uint32_t residency;
+        if (j + 1 < end) {
+          const std::uint32_t next_block = records[grouped[j + 1]].block;
+          DNNLIFE_EXPECTS(next_block >= record.block,
+                          "stream blocks out of order");
+          residency = prefix[next_block] - prefix[record.block];
+        } else {
+          // The row's final write wraps cyclically into the next
+          // (identical) inference, holding until its first write.
+          residency = total_duration - prefix[record.block] + prefix[first_block];
+        }
+        if (residency == 0) continue;
+        const std::uint32_t c = policy.kind == PolicyKind::kDnnLife
+                                    ? sampler.sample(ordinal)
+                                    : record.inverted_inferences;
+        std::span<const std::uint64_t> stored(
+            payloads.data() + static_cast<std::size_t>(ordinal) * words_per_row,
+            words_per_row);
+        if (record.rotate != 0) {
+          rotator.rotate_row_into(stored, record.rotate, /*left=*/true, rotated);
+          stored = rotated;
+        }
+        // A '1' bit stores '1' in the (n_inf - c) non-inverted inferences;
+        // a '0' bit stores '1' in the c inverted ones.
+        tracker.accumulate_row(stored, geometry.row_bits,
+                               geometry.cell_index(static_cast<std::uint32_t>(row), 0),
+                               residency * (n_inf - c), residency * c,
+                               residency * n_inf);
+      }
+    }
+  };
+  util::parallel_for_shards(geometry.rows, options.threads, process_rows);
   return tracker;
 }
 

@@ -16,7 +16,12 @@
 //
 // Residency is steady-state cyclic: a write at block k holds until the
 // next write to the same row, wrapping into the next (identical)
-// inference. One O(cells x K) pass total.
+// inference. One O(cells x K) pass total, split into a sequential
+// materialisation phase (one inference's writes, grouped by row — the same
+// footprint the reference simulator's write list costs) and a row-parallel
+// word-level commit phase. Every per-write random draw is a pure function
+// of (seed, write ordinal), so results are bit-identical for any
+// FastSimOptions::threads value.
 //
 // The schedule-driven (reset-per-inference) deterministic policies and
 // DNN-Life are supported; the continuous-counter ablation variants need
@@ -31,6 +36,10 @@ namespace dnnlife::core {
 
 struct FastSimOptions {
   unsigned inferences = 100;
+  /// Worker threads for the commit phase (rows are sharded contiguously).
+  /// 1 runs inline; 0 means std::thread::hardware_concurrency(). The duty
+  /// cycles produced are bit-identical regardless of this value.
+  unsigned threads = 1;
 };
 
 aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,

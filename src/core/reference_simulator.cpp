@@ -1,10 +1,12 @@
 #include "core/reference_simulator.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "core/metadata_store.hpp"
 #include "core/transducer.hpp"
 #include "sim/weight_memory.hpp"
+#include "sim/write_visit.hpp"
 
 namespace dnnlife::core {
 
@@ -24,11 +26,12 @@ aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
   DNNLIFE_EXPECTS(options.inferences >= 1, "need at least one inference");
   const sim::MemoryGeometry geometry = stream.geometry();
   const std::uint32_t blocks = stream.blocks_per_inference();
+  const std::uint32_t words_per_row = geometry.words_per_row();
 
   // Materialise one inference's write list (identical every inference).
   std::vector<StoredWrite> writes;
   writes.reserve(stream.writes_per_inference());
-  stream.for_each_write([&](const sim::RowWriteEvent& event) {
+  sim::visit_stream_writes(stream, [&](const sim::RowWriteEvent& event) {
     writes.push_back(StoredWrite{
         event.row, event.block,
         std::vector<std::uint64_t>(event.words.begin(), event.words.end())});
@@ -37,6 +40,12 @@ aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
   std::vector<std::uint32_t> durations = stream.block_durations();
   DNNLIFE_EXPECTS(durations.empty() || durations.size() == blocks,
                   "one duration per block");
+  std::uint64_t inference_duration = 0;
+  for (std::uint32_t k = 0; k < blocks; ++k)
+    inference_duration += durations.empty() ? 1u : durations[k];
+  DNNLIFE_EXPECTS(inference_duration * options.inferences <
+                      (std::uint64_t{1} << 32),
+                  "duration x inferences overflows the duty accumulators");
 
   sim::WeightMemory memory(geometry);
   MetadataStore metadata(geometry.rows);
@@ -48,7 +57,30 @@ aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
 
   aging::DutyCycleTracker tracker(geometry.cells());
 
-  const unsigned total_inferences = options.warmup_inferences + options.inferences;
+  // Reused per-write scratch rows (no allocation inside the write loop).
+  std::vector<std::uint64_t> stored(words_per_row);
+  std::vector<std::uint64_t> decoded(words_per_row);
+  std::vector<std::uint64_t> recovered(words_per_row);
+
+  // Duty integration is lazy per row: `content_since[row]` is the
+  // accounted residency time at which the row's current content started
+  // counting. Content-preserving rewrites just extend the interval; the
+  // contribution is committed word-at-a-time only when the stored bits
+  // actually change (and once at the very end), instead of re-walking
+  // every bit of every written row after every block.
+  std::vector<std::uint32_t> content_since(geometry.rows, 0);
+  std::uint32_t accounted_time = 0;
+
+  const auto commit_row = [&](std::uint32_t row) {
+    const std::uint32_t duration = accounted_time - content_since[row];
+    content_since[row] = accounted_time;
+    if (duration == 0) return;
+    tracker.accumulate_row(memory.read_row(row), geometry.row_bits,
+                           geometry.cell_index(row, 0), duration, 0, duration);
+  };
+
+  const unsigned total_inferences =
+      options.warmup_inferences + options.inferences;
   for (unsigned inf = 0; inf < total_inferences; ++inf) {
     const bool accounting = inf >= options.warmup_inferences;
     policy.begin_inference();
@@ -58,44 +90,52 @@ aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
       while (next_write < writes.size() && writes[next_write].block == block) {
         const StoredWrite& write = writes[next_write];
         const WriteAction action = policy.on_write(write.row);
-        std::vector<std::uint64_t> stored =
-            action.rotate != 0
-                ? rotator.rotate_row(write.words, action.rotate, /*left=*/true)
-                : write.words;
+        if (action.rotate != 0)
+          rotator.rotate_row_into(write.words, action.rotate, /*left=*/true,
+                                  stored);
+        else
+          std::copy(write.words.begin(), write.words.end(), stored.begin());
         wde.apply(stored, action.invert);
-        memory.write_row(write.row, stored);
+        const bool unchanged =
+            memory.row_written(write.row) &&
+            std::equal(stored.begin(), stored.end(),
+                       memory.read_row(write.row).begin());
+        if (!unchanged) {
+          if (memory.row_written(write.row))
+            commit_row(write.row);
+          else
+            content_since[write.row] = accounted_time;
+          memory.write_row(write.row, stored);
+        }
         metadata.record_write(write.row, action.invert);
         stored_rotation[write.row] = action.rotate;
         if (options.verify_decode) {
           // RDD path: undo inversion via metadata, then undo rotation.
-          std::vector<std::uint64_t> decoded =
-              wde.transform(memory.read_row(write.row),
-                            metadata.enable_of(write.row));
+          const auto raw = memory.read_row(write.row);
+          std::copy(raw.begin(), raw.end(), decoded.begin());
+          wde.apply(decoded, metadata.enable_of(write.row));
+          std::span<const std::uint64_t> result(decoded);
           if (stored_rotation[write.row] != 0) {
-            decoded = rotator.rotate_row(decoded, stored_rotation[write.row],
-                                         /*left=*/false);
+            rotator.rotate_row_into(decoded, stored_rotation[write.row],
+                                    /*left=*/false, recovered);
+            result = recovered;
           }
-          DNNLIFE_ENSURES(decoded == write.words,
-                          "RDD failed to recover the written row");
+          DNNLIFE_ENSURES(
+              std::equal(result.begin(), result.end(), write.words.begin()),
+              "RDD failed to recover the written row");
         }
         ++next_write;
       }
       // One residency slot (weighted by the block's duration) for the
-      // current memory contents.
-      if (!accounting) continue;
-      const std::uint32_t duration = durations.empty() ? 1u : durations[block];
-      for (std::uint32_t row = 0; row < geometry.rows; ++row) {
-        if (!memory.row_written(row)) continue;
-        for (std::uint32_t bit = 0; bit < geometry.row_bits; ++bit) {
-          const std::size_t cell = geometry.cell_index(row, bit);
-          tracker.add_total_time(cell, duration);
-          if (memory.bit(row, bit)) tracker.add_ones_time(cell, duration);
-        }
-      }
+      // current memory contents — accrued lazily via content_since.
+      if (accounting)
+        accounted_time += durations.empty() ? 1u : durations[block];
     }
     DNNLIFE_ENSURES(next_write == writes.size(),
                     "write blocks out of order in stream");
   }
+  for (std::uint32_t row = 0; row < geometry.rows; ++row)
+    if (memory.row_written(row)) commit_row(row);
   return tracker;
 }
 

@@ -1,5 +1,7 @@
 #include "core/transducer.hpp"
 
+#include <algorithm>
+
 namespace dnnlife::core {
 
 XorTransducer::XorTransducer(std::uint32_t row_bits) : row_bits_(row_bits) {
@@ -34,9 +36,19 @@ RotateTransducer::RotateTransducer(std::uint32_t row_bits,
 
 std::vector<std::uint64_t> RotateTransducer::rotate_row(
     std::span<const std::uint64_t> words, unsigned amount, bool left) const {
+  std::vector<std::uint64_t> out(words.size(), 0);
+  rotate_row_into(words, amount, left, out);
+  return out;
+}
+
+void RotateTransducer::rotate_row_into(std::span<const std::uint64_t> words,
+                                       unsigned amount, bool left,
+                                       std::span<std::uint64_t> out) const {
   DNNLIFE_EXPECTS(words.size() == util::ceil_div(row_bits_, 64),
                   "row word count");
-  std::vector<std::uint64_t> out(words.size(), 0);
+  DNNLIFE_EXPECTS(out.size() == words.size(), "output word count");
+  DNNLIFE_EXPECTS(out.data() != words.data(), "in-place rotation");
+  std::fill(out.begin(), out.end(), 0);
   const std::uint32_t subwords = row_bits_ / word_bits_;
   for (std::uint32_t s = 0; s < subwords; ++s) {
     const std::size_t bit_pos = static_cast<std::size_t>(s) * word_bits_;
@@ -53,7 +65,6 @@ std::vector<std::uint64_t> RotateTransducer::rotate_row(
     out[word] |= rotated << shift;
     if (shift + word_bits_ > 64) out[word + 1] |= rotated >> (64 - shift);
   }
-  return out;
 }
 
 }  // namespace dnnlife::core

@@ -50,6 +50,12 @@ class RotateTransducer {
   std::vector<std::uint64_t> rotate_row(std::span<const std::uint64_t> words,
                                         unsigned amount, bool left) const;
 
+  /// Rotate into a caller-provided buffer (no allocation — the simulators'
+  /// per-write hot path). `out` must have words_per_row entries and must
+  /// not alias `words`.
+  void rotate_row_into(std::span<const std::uint64_t> words, unsigned amount,
+                       bool left, std::span<std::uint64_t> out) const;
+
  private:
   std::uint32_t row_bits_;
   std::uint32_t word_bits_;

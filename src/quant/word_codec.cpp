@@ -27,6 +27,14 @@ WeightWordCodec::WeightWordCodec(const dnn::WeightStreamer& streamer,
                                  WeightFormat format)
     : streamer_(&streamer), format_(format), bits_(bits_per_weight(format)) {
   params_cache_.resize(streamer.network().weighted_layers().size());
+  // Build every layer's quantization parameters (and the streamer stats
+  // they derive from) up front: encode/decode touch all layers on any full
+  // pass anyway, and a fully-populated cache makes the codec safe to share
+  // across threads (Workbench::evaluate_all) with no per-call locking.
+  if (format_ != WeightFormat::kFloat32) {
+    for (std::size_t w = 0; w < params_cache_.size(); ++w)
+      (void)layer_params(w);
+  }
 }
 
 const QuantParams& WeightWordCodec::layer_params(std::size_t w) const {

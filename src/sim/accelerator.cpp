@@ -1,28 +1,8 @@
 #include "sim/accelerator.hpp"
 
-#include <algorithm>
-#include <vector>
-
 #include "sim/compute_model.hpp"
 
 namespace dnnlife::sim {
-
-void pack_row_words(const quant::WeightWordCodec& codec,
-                    std::span<const std::int64_t> slots,
-                    std::span<std::uint64_t> words) {
-  std::fill(words.begin(), words.end(), 0);
-  const unsigned wb = codec.bits();
-  for (std::size_t slot = 0; slot < slots.size(); ++slot) {
-    if (slots[slot] < 0) continue;  // padding: zero bits
-    const std::uint64_t value =
-        codec.encode(static_cast<std::uint64_t>(slots[slot]));
-    const std::size_t bit_pos = slot * wb;
-    const std::size_t word = bit_pos / 64;
-    const unsigned shift = bit_pos % 64;
-    words[word] |= value << shift;
-    if (shift + wb > 64) words[word + 1] |= value >> (64 - shift);
-  }
-}
 
 BaselineWeightStream::BaselineWeightStream(const quant::WeightWordCodec& codec,
                                            BaselineAcceleratorConfig config)
@@ -51,21 +31,7 @@ BaselineWeightStream::BaselineWeightStream(const quant::WeightWordCodec& codec,
 
 void BaselineWeightStream::for_each_write(
     const std::function<void(const RowWriteEvent&)>& visit) const {
-  std::vector<std::uint64_t> words(geometry_.words_per_row());
-  rows_.for_each_row([&](std::uint64_t row_index,
-                         std::span<const std::int64_t> slots) {
-    pack_row_words(*codec_, slots, words);
-    RowWriteEvent event;
-    const auto block = static_cast<std::uint32_t>(row_index / image_rows_);
-    const auto image_row = static_cast<std::uint32_t>(row_index % image_rows_);
-    // Double buffering: odd blocks land in the upper half.
-    event.row = config_.double_buffered
-                    ? image_row + (block % 2) * image_rows_
-                    : image_row;
-    event.block = block;
-    event.words = std::span<const std::uint64_t>(words);
-    visit(event);
-  });
+  visit_writes(visit);
 }
 
 }  // namespace dnnlife::sim

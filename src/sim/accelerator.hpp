@@ -8,10 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <vector>
 
 #include "quant/word_codec.hpp"
 #include "sim/dataflow.hpp"
+#include "sim/row_packing.hpp"
 #include "sim/write_stream.hpp"
 
 namespace dnnlife::sim {
@@ -30,6 +31,15 @@ struct BaselineAcceleratorConfig {
   /// only every other block, halving the per-cell K — a realistic
   /// configuration the paper's single-buffer model does not cover.
   bool double_buffered = false;
+  /// Memoise the packed row payloads on first visitation (the write stream
+  /// is identical every inference and every policy): repeat visits replay
+  /// words instead of re-quantizing every weight. Costs
+  /// writes_per_inference x words_per_row x 8 bytes; the build is guarded
+  /// by std::call_once (see RowPayloadCache), so a cached stream may be
+  /// visited from several threads concurrently — disable only for
+  /// single-threaded use on networks too large to hold one inference's
+  /// payloads in host memory.
+  bool cache_encoded_rows = true;
 };
 
 /// Write stream of one inference on the baseline accelerator.
@@ -51,7 +61,33 @@ class BaselineWeightStream final : public WriteStream {
 
   const BaselineAcceleratorConfig& config() const noexcept { return config_; }
 
+  /// Statically-dispatched visitation (see sim/write_visit.hpp).
+  template <class Visitor>
+  void visit_writes(Visitor&& visit) const {
+    visit_tiled_writes(rows_, *codec_, geometry_.words_per_row(),
+                       config_.cache_encoded_rows, cache_,
+                       [this](std::uint64_t row_index) {
+                         return event_at(row_index);
+                       },
+                       std::forward<Visitor>(visit));
+  }
+
  private:
+  /// Destination (row, block) of the row_index-th dataflow row — a pure
+  /// function of the index, so the payload cache needs no per-event
+  /// metadata.
+  RowWriteEvent event_at(std::uint64_t row_index) const noexcept {
+    RowWriteEvent event;
+    const auto block = static_cast<std::uint32_t>(row_index / image_rows_);
+    const auto image_row = static_cast<std::uint32_t>(row_index % image_rows_);
+    // Double buffering: odd blocks land in the upper half.
+    event.row = config_.double_buffered
+                    ? image_row + (block % 2) * image_rows_
+                    : image_row;
+    event.block = block;
+    return event;
+  }
+
   const quant::WeightWordCodec* codec_;  // non-owning
   BaselineAcceleratorConfig config_;
   TiledRowSource rows_;
@@ -59,13 +95,7 @@ class BaselineWeightStream final : public WriteStream {
   std::uint32_t blocks_ = 0;
   std::uint32_t image_rows_ = 0;  ///< rows filled per mapping
   std::vector<std::uint32_t> durations_;  // empty = uniform
+  RowPayloadCache cache_;
 };
-
-/// Pack one dataflow row (weight-index slots) into row payload words using
-/// `codec`; padding slots (-1) become zero bits. Shared by both accelerator
-/// models.
-void pack_row_words(const quant::WeightWordCodec& codec,
-                    std::span<const std::int64_t> slots,
-                    std::span<std::uint64_t> words);
 
 }  // namespace dnnlife::sim

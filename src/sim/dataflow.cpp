@@ -1,20 +1,6 @@
 #include "sim/dataflow.hpp"
 
-#include <vector>
-
-#include "util/bitops.hpp"
-
 namespace dnnlife::sim {
-
-namespace {
-
-/// Filter count of a weighted layer (output channels / features).
-std::uint64_t filter_count(const dnn::LayerSpec& layer) {
-  return layer.kind == dnn::LayerKind::kConv ? layer.out_channels
-                                             : layer.out_features;
-}
-
-}  // namespace
 
 TiledRowSource::TiledRowSource(const dnn::Network& network, DataflowConfig config)
     : network_(&network), config_(config) {
@@ -34,39 +20,7 @@ TiledRowSource::TiledRowSource(const dnn::Network& network, DataflowConfig confi
 void TiledRowSource::for_each_row(
     const std::function<void(std::uint64_t, std::span<const std::int64_t>)>&
         visit) const {
-  const std::uint32_t f = config_.filters_per_set;
-  const std::uint32_t n = config_.weights_per_filter_per_row;
-  std::vector<std::int64_t> slots(slots_per_row());
-  std::uint64_t row_index = 0;
-  const auto& network = *network_;
-  for (std::size_t w = 0; w < network.weighted_layers().size(); ++w) {
-    const auto& layer = network.layers()[network.weighted_layers()[w]];
-    const std::uint64_t layer_base = network.weight_offset(w);
-    const std::uint64_t filters = filter_count(layer);
-    const std::uint64_t wpf = layer.weight_count() / filters;
-    const std::uint64_t sets = util::ceil_div(filters, f);
-    const std::uint64_t rows_per_set = util::ceil_div(wpf, n);
-    for (std::uint64_t set = 0; set < sets; ++set) {
-      for (std::uint64_t r = 0; r < rows_per_set; ++r) {
-        for (std::uint32_t i = 0; i < f; ++i) {
-          const std::uint64_t filter = set * f + i;
-          for (std::uint32_t j = 0; j < n; ++j) {
-            const std::uint64_t local = r * n + j;
-            const std::size_t slot = static_cast<std::size_t>(i) * n + j;
-            if (filter >= filters || local >= wpf) {
-              slots[slot] = -1;
-            } else {
-              slots[slot] = static_cast<std::int64_t>(
-                  layer_base + filter * wpf + local);
-            }
-          }
-        }
-        visit(row_index, std::span<const std::int64_t>(slots));
-        ++row_index;
-      }
-    }
-  }
-  DNNLIFE_ENSURES(row_index == total_rows_, "row enumeration count mismatch");
+  visit_rows(visit);
 }
 
 }  // namespace dnnlife::sim

@@ -1,0 +1,24 @@
+#include "sim/row_packing.hpp"
+
+#include <algorithm>
+
+namespace dnnlife::sim {
+
+void pack_row_words(const quant::WeightWordCodec& codec,
+                    std::span<const std::int64_t> slots,
+                    std::span<std::uint64_t> words) {
+  std::fill(words.begin(), words.end(), 0);
+  const unsigned wb = codec.bits();
+  for (std::size_t slot = 0; slot < slots.size(); ++slot) {
+    if (slots[slot] < 0) continue;  // padding: zero bits
+    const std::uint64_t value =
+        codec.encode(static_cast<std::uint64_t>(slots[slot]));
+    const std::size_t bit_pos = slot * wb;
+    const std::size_t word = bit_pos / 64;
+    const unsigned shift = bit_pos % 64;
+    words[word] |= value << shift;
+    if (shift + wb > 64) words[word + 1] |= value >> (64 - shift);
+  }
+}
+
+}  // namespace dnnlife::sim

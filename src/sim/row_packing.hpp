@@ -1,0 +1,83 @@
+// Shared row-payload packing and memoisation for the tiled accelerator
+// write streams (baseline accelerator and TPU-like NPU). Both models
+// enumerate the same Fig. 5 dataflow rows and differ only in where each
+// row lands — an `event_at(row_index)` pure function — so the packing
+// loop, the payload cache and the visit protocol live here once.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "quant/word_codec.hpp"
+#include "sim/dataflow.hpp"
+#include "sim/write_stream.hpp"
+
+namespace dnnlife::sim {
+
+/// Pack one dataflow row (weight-index slots) into row payload words using
+/// `codec`; padding slots (-1) become zero bits.
+void pack_row_words(const quant::WeightWordCodec& codec,
+                    std::span<const std::int64_t> slots,
+                    std::span<std::uint64_t> words);
+
+/// call_once-guarded store of one inference's packed row payloads. The
+/// build runs exactly once even when several threads visit the owning
+/// stream concurrently (the Workbench's parallel policy evaluation).
+class RowPayloadCache {
+ public:
+  template <class Build>
+  const std::vector<std::uint64_t>& ensure(Build&& build) const {
+    std::call_once(once_, [&] { build(payloads_); });
+    return payloads_;
+  }
+
+ private:
+  mutable std::once_flag once_;
+  mutable std::vector<std::uint64_t> payloads_;
+};
+
+/// Visit one inference's writes of a tiled stream in dataflow order.
+/// Payloads come from `cache` (built on first use, thread-safe) when
+/// `use_cache`, or are re-packed on the fly; the destination (row, block)
+/// of the row_index-th dataflow row is `event_at(row_index)`.
+template <class EventAt, class Visitor>
+void visit_tiled_writes(const TiledRowSource& rows,
+                        const quant::WeightWordCodec& codec,
+                        std::uint32_t words_per_row, bool use_cache,
+                        const RowPayloadCache& cache, EventAt&& event_at,
+                        Visitor&& visit) {
+  if (use_cache) {
+    const std::vector<std::uint64_t>& payloads =
+        cache.ensure([&](std::vector<std::uint64_t>& out) {
+          out.resize(rows.total_rows() *
+                     static_cast<std::uint64_t>(words_per_row));
+          rows.visit_rows([&](std::uint64_t row_index,
+                              std::span<const std::int64_t> slots) {
+            pack_row_words(codec, slots,
+                           std::span<std::uint64_t>(
+                               out.data() + row_index * words_per_row,
+                               words_per_row));
+          });
+        });
+    const std::uint64_t total = rows.total_rows();
+    for (std::uint64_t row_index = 0; row_index < total; ++row_index) {
+      RowWriteEvent event = event_at(row_index);
+      event.words = std::span<const std::uint64_t>(
+          payloads.data() + row_index * words_per_row, words_per_row);
+      visit(event);
+    }
+    return;
+  }
+  std::vector<std::uint64_t> words(words_per_row);
+  rows.visit_rows([&](std::uint64_t row_index,
+                      std::span<const std::int64_t> slots) {
+    pack_row_words(codec, slots, words);
+    RowWriteEvent event = event_at(row_index);
+    event.words = std::span<const std::uint64_t>(words);
+    visit(event);
+  });
+}
+
+}  // namespace dnnlife::sim

@@ -1,9 +1,5 @@
 #include "sim/tpu_npu.hpp"
 
-#include <vector>
-
-#include "sim/accelerator.hpp"
-
 namespace dnnlife::sim {
 
 NpuWeightStream::NpuWeightStream(const quant::WeightWordCodec& codec,
@@ -23,19 +19,7 @@ NpuWeightStream::NpuWeightStream(const quant::WeightWordCodec& codec,
 
 void NpuWeightStream::for_each_write(
     const std::function<void(const RowWriteEvent&)>& visit) const {
-  std::vector<std::uint64_t> words(geometry_.words_per_row());
-  const std::uint32_t tile_rows = config_.tile_rows();
-  rows_.for_each_row([&](std::uint64_t row_index,
-                         std::span<const std::int64_t> slots) {
-    pack_row_words(*codec_, slots, words);
-    const std::uint32_t tile = static_cast<std::uint32_t>(row_index / tile_rows);
-    const std::uint32_t slot = tile % config_.fifo_tiles;
-    RowWriteEvent event;
-    event.row = slot * tile_rows + static_cast<std::uint32_t>(row_index % tile_rows);
-    event.block = tile;
-    event.words = std::span<const std::uint64_t>(words);
-    visit(event);
-  });
+  visit_writes(visit);
 }
 
 }  // namespace dnnlife::sim

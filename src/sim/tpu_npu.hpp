@@ -11,6 +11,7 @@
 
 #include "quant/word_codec.hpp"
 #include "sim/dataflow.hpp"
+#include "sim/row_packing.hpp"
 #include "sim/write_stream.hpp"
 
 namespace dnnlife::sim {
@@ -19,6 +20,9 @@ struct TpuNpuConfig {
   std::uint32_t array_dim = 256;  ///< PE array is array_dim x array_dim
   std::uint32_t fifo_tiles = 4;   ///< FIFO depth in tiles
   std::uint64_t activation_memory_bytes = 24 * 1024 * 1024;
+  /// Memoise packed row payloads on first visitation (thread-safe; see
+  /// BaselineAcceleratorConfig::cache_encoded_rows).
+  bool cache_encoded_rows = true;
 
   /// Rows of one tile (one row per PE-array row).
   std::uint32_t tile_rows() const noexcept { return array_dim; }
@@ -39,12 +43,37 @@ class NpuWeightStream final : public WriteStream {
 
   const TpuNpuConfig& config() const noexcept { return config_; }
 
+  /// Statically-dispatched visitation (see sim/write_visit.hpp).
+  template <class Visitor>
+  void visit_writes(Visitor&& visit) const {
+    visit_tiled_writes(rows_, *codec_, geometry_.words_per_row(),
+                       config_.cache_encoded_rows, cache_,
+                       [this](std::uint64_t row_index) {
+                         return event_at(row_index);
+                       },
+                       std::forward<Visitor>(visit));
+  }
+
  private:
+  /// FIFO slot placement of the row_index-th dataflow row — a pure
+  /// function of the index (circular buffer of fifo_tiles tiles).
+  RowWriteEvent event_at(std::uint64_t row_index) const noexcept {
+    const std::uint32_t tile_rows = config_.tile_rows();
+    const auto tile = static_cast<std::uint32_t>(row_index / tile_rows);
+    const std::uint32_t slot = tile % config_.fifo_tiles;
+    RowWriteEvent event;
+    event.row =
+        slot * tile_rows + static_cast<std::uint32_t>(row_index % tile_rows);
+    event.block = tile;
+    return event;
+  }
+
   const quant::WeightWordCodec* codec_;  // non-owning
   TpuNpuConfig config_;
   TiledRowSource rows_;
   MemoryGeometry geometry_;
   std::uint32_t tiles_ = 0;
+  RowPayloadCache cache_;
 };
 
 }  // namespace dnnlife::sim

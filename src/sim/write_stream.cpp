@@ -32,10 +32,7 @@ void VectorWriteStream::set_block_durations(std::vector<std::uint32_t> durations
 
 void VectorWriteStream::for_each_write(
     const std::function<void(const RowWriteEvent&)>& visit) const {
-  for (const auto& write : writes_) {
-    visit(RowWriteEvent{write.row, write.block,
-                        std::span<const std::uint64_t>(write.words)});
-  }
+  visit_writes(visit);
 }
 
 }  // namespace dnnlife::sim

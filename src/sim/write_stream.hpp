@@ -70,6 +70,16 @@ class VectorWriteStream final : public WriteStream {
   void for_each_write(
       const std::function<void(const RowWriteEvent&)>& visit) const override;
 
+  /// Statically-dispatched visitation (see sim/write_visit.hpp): identical
+  /// enumeration to for_each_write without the per-event std::function.
+  template <class Visitor>
+  void visit_writes(Visitor&& visit) const {
+    for (const auto& write : writes_) {
+      visit(RowWriteEvent{write.row, write.block,
+                          std::span<const std::uint64_t>(write.words)});
+    }
+  }
+
  private:
   struct StoredWrite {
     std::uint32_t row;

@@ -1,0 +1,32 @@
+// Static-dispatch front door for WriteStream visitation.
+//
+// The simulators' hot loops consume tens of millions of RowWriteEvents;
+// funnelling every event through the virtual
+// for_each_write(std::function) costs an opaque indirect call per event
+// and defeats inlining of the visitor body. Each concrete stream therefore
+// also exposes a templated visit_writes; this helper recovers the concrete
+// type of a `const WriteStream&` for the implementations shipped in-tree
+// and falls back to the virtual interface for external subclasses.
+#pragma once
+
+#include "sim/accelerator.hpp"
+#include "sim/tpu_npu.hpp"
+#include "sim/write_stream.hpp"
+
+namespace dnnlife::sim {
+
+/// Visit every write of one inference in temporal order, using the
+/// concrete stream type's templated fast path when available.
+template <class Visitor>
+void visit_stream_writes(const WriteStream& stream, Visitor&& visit) {
+  if (const auto* vec = dynamic_cast<const VectorWriteStream*>(&stream))
+    return vec->visit_writes(visit);
+  if (const auto* baseline =
+          dynamic_cast<const BaselineWeightStream*>(&stream))
+    return baseline->visit_writes(visit);
+  if (const auto* npu = dynamic_cast<const NpuWeightStream*>(&stream))
+    return npu->visit_writes(visit);
+  stream.for_each_write([&](const RowWriteEvent& event) { visit(event); });
+}
+
+}  // namespace dnnlife::sim

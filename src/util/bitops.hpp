@@ -55,6 +55,36 @@ constexpr std::uint64_t ceil_div(std::uint64_t num, std::uint64_t den) noexcept 
   return den == 0 ? 0 : (num + den - 1) / den;
 }
 
+/// Σ_{i=0}^{n-1} floor((offset + i*step) / m) in O(log) time (the
+/// Euclidean-descent "floor sum"). Exact for any inputs whose true sum
+/// fits in 64 bits; used to count bit-pattern periods along arithmetic
+/// progressions without iterating them.
+constexpr std::uint64_t floor_sum(std::uint64_t n, std::uint64_t step,
+                                  std::uint64_t offset, std::uint64_t m) noexcept {
+  std::uint64_t ans = 0;
+  std::uint64_t a = step;
+  std::uint64_t b = offset;
+  while (n > 0) {
+    if (a >= m) {
+      ans += n * (n - 1) / 2 * (a / m);
+      a %= m;
+    }
+    if (b >= m) {
+      ans += n * (b / m);
+      b %= m;
+    }
+    const std::uint64_t y_max = a * n + b;
+    if (y_max < m) break;
+    // Transpose: count lattice points under the line from the other axis.
+    n = y_max / m;
+    b = y_max % m;
+    const std::uint64_t t = m;
+    m = a;
+    a = t;
+  }
+  return ans;
+}
+
 /// ceil(log2(v)) for v >= 1.
 constexpr unsigned ceil_log2(std::uint64_t v) noexcept {
   unsigned bits = 0;

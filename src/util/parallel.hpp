@@ -1,0 +1,167 @@
+// A small blocking thread pool and deterministic sharded parallel-for.
+//
+// The experiment layer parallelizes two coarse-grained dimensions: policies
+// within a Workbench, and the row dimension of the fast simulator's commit
+// phase. Both decompose into independent tasks whose results land in
+// disjoint slots, so determinism needs no synchronisation beyond the final
+// join: every task computes a pure function of its inputs (per-shard RNG
+// streams are derived with util::derive_seed, never shared), and the shard
+// partition below depends only on (n, shards) — results are bit-identical
+// for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dnnlife::util {
+
+/// The shared `threads` parameter convention: 0 means "use the hardware",
+/// anything else is taken literally.
+inline unsigned resolve_thread_count(unsigned threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Fixed-size worker pool. Tasks run in submission order (FIFO) across the
+/// workers; wait() blocks until the queue drains and rethrows the first
+/// task exception, if any.
+class ThreadPool {
+ public:
+  /// `thread_count` 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned thread_count = 0) {
+    thread_count = resolve_thread_count(thread_count);
+    workers_.reserve(thread_count);
+    for (unsigned t = 0; t < thread_count; ++t)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  void submit(std::function<void()> task) {
+    DNNLIFE_EXPECTS(task != nullptr, "empty task");
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++pending_;
+      queue_.push_back(std::move(task));
+    }
+    ready_.notify_one();
+  }
+
+  /// Block until all submitted tasks have finished; rethrow the first
+  /// exception any of them raised.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+    if (error_) {
+      std::exception_ptr error = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(error);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop requested and nothing left
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+/// The contiguous range shard `s` of `shards` covers in [0, n):
+/// [s*n/shards, (s+1)*n/shards). Pure function of (n, shards, s) so the
+/// work decomposition — and therefore any shard-seeded randomness — is
+/// independent of scheduling.
+constexpr std::pair<std::uint64_t, std::uint64_t> shard_range(
+    std::uint64_t n, unsigned shards, unsigned s) noexcept {
+  const std::uint64_t begin = n * s / shards;
+  const std::uint64_t end = n * (s + 1) / shards;
+  return {begin, end};
+}
+
+/// Run fn(shard, begin, end) over [0, n) split into `shards` contiguous
+/// ranges using `pool`; blocks until all shards finish.
+template <class Fn>
+void parallel_for_shards(ThreadPool& pool, std::uint64_t n, unsigned shards,
+                         Fn&& fn) {
+  DNNLIFE_EXPECTS(shards >= 1, "need at least one shard");
+  if (n == 0) return;
+  if (shards == 1) {
+    fn(0u, std::uint64_t{0}, n);
+    return;
+  }
+  for (unsigned s = 0; s < shards; ++s) {
+    const auto [begin, end] = shard_range(n, shards, s);
+    if (begin == end) continue;
+    pool.submit([&fn, s, begin = begin, end = end] { fn(s, begin, end); });
+  }
+  pool.wait();
+}
+
+/// Convenience overload: `threads` <= 1 runs inline (no pool, no thread
+/// spawn); otherwise a transient pool of `threads` workers is used. The
+/// shard partition is threads-count-dependent, so callers that need
+/// thread-count-invariant results must make per-shard work a pure function
+/// of the item index (see fast_simulator.cpp).
+template <class Fn>
+void parallel_for_shards(std::uint64_t n, unsigned threads, Fn&& fn) {
+  threads = resolve_thread_count(threads);
+  if (n < threads) threads = static_cast<unsigned>(n == 0 ? 1 : n);
+  if (threads <= 1) {
+    if (n > 0) fn(0u, std::uint64_t{0}, n);
+    return;
+  }
+  ThreadPool pool(threads);
+  parallel_for_shards(pool, n, threads, fn);
+}
+
+}  // namespace dnnlife::util
