@@ -4,6 +4,7 @@
 
 #include "core/fast_simulator.hpp"
 #include "core/reference_simulator.hpp"
+#include "core/region_policy.hpp"
 #include "core/transducer.hpp"
 #include "dnn/model_zoo.hpp"
 #include "quant/bit_distribution.hpp"
@@ -91,6 +92,26 @@ void BM_FastSimCustomNet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FastSimCustomNet)->Unit(benchmark::kMillisecond);
+
+void BM_FastSimRegionPolicy(benchmark::State& state) {
+  // The refactored hot path with a hybrid region table: DNN-Life on the
+  // hot first quarter of the rows, nothing on the rest.
+  const dnn::Network net = dnn::make_custom_mnist();
+  const dnn::WeightStreamer streamer(net);
+  const quant::WeightWordCodec codec(streamer, quant::WeightFormat::kInt8Symmetric);
+  sim::BaselineAcceleratorConfig config;
+  config.weight_memory_bytes = 16 * 1024;
+  const sim::BaselineWeightStream stream(codec, config);
+  const core::RegionPolicyTable table(
+      sim::MemoryRegionMap::from_fractions(stream.geometry(),
+                                           {{"hot", 0.25}, {"cold", 0.75}}),
+      {core::PolicyConfig::dnn_life(0.5), core::PolicyConfig::none()});
+  for (auto _ : state) {
+    const auto tracker = core::simulate_fast(stream, table, {100});
+    benchmark::DoNotOptimize(tracker.ones_time().data());
+  }
+}
+BENCHMARK(BM_FastSimRegionPolicy)->Unit(benchmark::kMillisecond);
 
 void BM_ReferenceSim(benchmark::State& state) {
   const dnn::Network net = dnn::make_custom_mnist();

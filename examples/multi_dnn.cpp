@@ -14,10 +14,23 @@
 #include "sim/tpu_npu.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dnnlife;
   using core::PolicyConfig;
   using core::WorkloadPhase;
+
+  // Optional CLI: multi_dnn [baseline-policy-kind] — the mitigation to
+  // compare DNN-Life against (default: inversion). Parsed with the
+  // from_string round-trip of to_string(PolicyKind).
+  PolicyConfig baseline = PolicyConfig::inversion();
+  if (argc > 1) {
+    try {
+      baseline.kind = core::policy_kind_from_string(argv[1]);
+    } catch (const std::exception& error) {
+      std::cerr << error.what() << "\n";
+      return 1;
+    }
+  }
   std::cout << "Multi-DNN workload study (TPU-like NPU, int8-symmetric)\n\n";
 
   const dnn::Network custom = dnn::make_custom_mnist();
@@ -50,7 +63,7 @@ int main() {
   const std::array<WorkloadPhase, 2> mixed = {
       WorkloadPhase{&custom_stream, 50}, WorkloadPhase{&alexnet_stream, 50}};
   for (const auto& policy :
-       {PolicyConfig::inversion(), PolicyConfig::dnn_life(0.7, true, 4)}) {
+       {baseline, PolicyConfig::dnn_life(0.7, true, 4)}) {
     evaluate("custom only", custom_only, policy);
     evaluate("custom + AlexNet (50/50)", mixed, policy);
   }

@@ -49,7 +49,20 @@ class TransducedWeightSource final : public dnn::WeightSource {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Optional CLI: quickstart [policy-kind] [hardware-kind], e.g.
+  //   example_quickstart dnn-life tpu-like-npu
+  // Names round-trip with to_string via the from_string parsers.
+  core::PolicyConfig cli_policy = core::PolicyConfig::dnn_life(0.5);
+  core::HardwareKind cli_hardware = core::HardwareKind::kTpuNpu;
+  try {
+    if (argc > 1) cli_policy.kind = core::policy_kind_from_string(argv[1]);
+    if (argc > 2) cli_hardware = core::hardware_kind_from_string(argv[2]);
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+
   std::cout << "DNN-Life quickstart\n===================\n\n";
 
   // 1. Network + weights.
@@ -88,17 +101,19 @@ int main() {
             << (roundtrip == reference ? "  (outputs identical)" : "  (MISMATCH!)")
             << "\n\n";
 
-  // 4. Aging with and without DNN-Life.
+  // 4. Aging with and without the selected mitigation.
   core::ExperimentConfig config;
   config.network = "custom_mnist";
   config.format = quant::WeightFormat::kInt8Symmetric;
-  config.hardware = core::HardwareKind::kTpuNpu;
+  config.hardware = cli_hardware;
   config.inferences = 100;
+  std::cout << "aging on " << core::to_string(cli_hardware) << " with "
+            << cli_policy.name() << ":\n";
   const core::Workbench bench(config);
   const auto unprotected = bench.evaluate(core::PolicyConfig::none());
-  const auto protected_ = bench.evaluate(core::PolicyConfig::dnn_life(0.5));
+  const auto protected_ = bench.evaluate(cli_policy);
 
-  util::Table table({"", "without mitigation", "with DNN-Life"});
+  util::Table table({"", "without mitigation", "with " + cli_policy.name()});
   table.add_row({"mean SNM degradation (7y)",
                  util::Table::num(unprotected.snm_stats.mean(), 2) + "%",
                  util::Table::num(protected_.snm_stats.mean(), 2) + "%"});

@@ -1,0 +1,92 @@
+// Declarative scenario runner: one JSON description → a per-region aging
+// report. Usage:
+//
+//   example_scenario_runner [scenario.json]
+//
+// Without an argument it runs a built-in hybrid-region scenario: a
+// TPU-like NPU alternating between the custom MNIST net and AlexNet, with
+// DNN-Life protecting the hot first quarter of the weight FIFO and the
+// rest left unmitigated — the mixed deployment the paper's uniform
+// whole-memory evaluation cannot express.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/scenario.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+constexpr const char* kDefaultScenario = R"json({
+  "name": "hybrid-hot-cold",
+  "hardware": "tpu-like-npu",
+  "format": "int8-symmetric",
+  "npu": {"array_dim": 256, "fifo_tiles": 4},
+  "phases": [
+    {"network": "custom_mnist", "inferences": 60},
+    {"network": "alexnet", "inferences": 40}
+  ],
+  "regions": [
+    {"name": "hot", "rows": 0.25,
+     "policy": {"kind": "dnn-life", "trbg_bias": 0.7, "balancer_bits": 4}},
+    {"name": "cold", "rows": 0.75, "policy": {"kind": "no-mitigation"}}
+  ],
+  "threads": 2
+})json";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dnnlife;
+  std::string text = kDefaultScenario;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open scenario file '" << argv[1] << "'\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  core::ScenarioSpec spec;
+  try {
+    spec = core::parse_scenario(text);
+  } catch (const std::exception& error) {
+    std::cerr << "scenario parse error: " << error.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "scenario: " << spec.name << " ("
+            << core::to_string(spec.hardware) << ", "
+            << quant::to_string(spec.format) << ")\n";
+  const core::ScenarioResult result = core::run_scenario(spec);
+  std::cout << "memory: " << result.geometry.rows << " rows x "
+            << result.geometry.row_bits << " bits\nphases:";
+  for (const std::string& label : result.phase_labels)
+    std::cout << " [" << label << "]";
+  std::cout << "\n\n";
+
+  util::Table table({"region", "cells", "mean SNM [%]", "max SNM [%]",
+                     "mean duty", "% optimal"});
+  for (const auto& region : result.report.regions) {
+    const bool used = region.total_cells > region.unused_cells;
+    table.add_row({region.name, std::to_string(region.total_cells),
+                   used ? util::Table::num(region.snm_stats.mean(), 2) : "-",
+                   used ? util::Table::num(region.snm_stats.max(), 2) : "-",
+                   used ? util::Table::num(region.duty_stats.mean(), 3) : "-",
+                   used ? util::Table::num(100.0 * region.fraction_optimal, 1)
+                        : "-"});
+  }
+  table.add_row({"(whole memory)", std::to_string(result.report.total_cells),
+                 util::Table::num(result.report.snm_stats.mean(), 2),
+                 util::Table::num(result.report.snm_stats.max(), 2),
+                 util::Table::num(result.report.duty_stats.mean(), 3),
+                 util::Table::num(100.0 * result.report.fraction_optimal, 1)});
+  std::cout << table.to_string();
+  std::cout << "\nOne declarative spec drove network construction, "
+               "quantization,\nstream generation, per-region policy "
+               "engines and the aging report.\n";
+  return 0;
+}

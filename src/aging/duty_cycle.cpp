@@ -9,9 +9,30 @@ DutyCycleTracker::DutyCycleTracker(std::size_t cell_count)
   DNNLIFE_EXPECTS(cell_count > 0, "tracker needs at least one cell");
 }
 
+void DutyCycleTracker::set_regions(std::vector<CellRegion> regions) {
+  std::uint64_t next_cell = 0;
+  for (const CellRegion& region : regions) {
+    DNNLIFE_EXPECTS(!region.name.empty(), "cell region needs a name");
+    DNNLIFE_EXPECTS(region.cell_begin < region.cell_end,
+                    "cell region '" + region.name + "' is empty");
+    DNNLIFE_EXPECTS(region.cell_begin == next_cell,
+                    "cell regions must partition the cells (at region '" +
+                        region.name + "')");
+    next_cell = region.cell_end;
+  }
+  DNNLIFE_EXPECTS(regions.empty() || next_cell == cell_count(),
+                  "cell regions must cover every cell");
+  regions_ = std::move(regions);
+}
+
 void DutyCycleTracker::merge(const DutyCycleTracker& other) {
   DNNLIFE_EXPECTS(other.cell_count() == cell_count(),
                   "tracker geometries differ");
+  if (regions_.empty())
+    regions_ = other.regions_;
+  else
+    DNNLIFE_EXPECTS(other.regions_.empty() || other.regions_ == regions_,
+                    "tracker region tags differ");
   for (std::size_t cell = 0; cell < ones_time_.size(); ++cell) {
     ones_time_[cell] += other.ones_time_[cell];
     total_time_[cell] += other.total_time_[cell];

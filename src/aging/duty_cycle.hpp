@@ -8,12 +8,28 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "util/bitops.hpp"
 #include "util/check.hpp"
 
 namespace dnnlife::aging {
+
+/// A named contiguous cell range [cell_begin, cell_end) — the aging-layer
+/// projection of a sim::MemoryRegion (rows are contiguous, so a row region
+/// is a contiguous cell range). Trackers carry these tags so reports can
+/// break aging out per region.
+struct CellRegion {
+  std::string name;
+  std::uint64_t cell_begin = 0;
+  std::uint64_t cell_end = 0;  ///< exclusive
+
+  friend bool operator==(const CellRegion& a, const CellRegion& b) {
+    return a.name == b.name && a.cell_begin == b.cell_begin &&
+           a.cell_end == b.cell_end;
+  }
+};
 
 class DutyCycleTracker {
  public:
@@ -93,14 +109,22 @@ class DutyCycleTracker {
 
   std::size_t unused_cell_count() const;
 
+  /// Tag the tracker with a region partition of its cells (sorted,
+  /// non-overlapping, covering [0, cell_count) exactly, uniquely named).
+  /// Pass an empty vector to clear the tags.
+  void set_regions(std::vector<CellRegion> regions);
+  const std::vector<CellRegion>& regions() const noexcept { return regions_; }
+
   /// Accumulate another tracker over the same memory (multi-phase
   /// workloads: the lifetime duty-cycle is the time-weighted union of the
-  /// phases' accumulators).
+  /// phases' accumulators). Region tags must agree when both trackers have
+  /// them; an untagged tracker adopts the other side's tags.
   void merge(const DutyCycleTracker& other);
 
  private:
   std::vector<std::uint32_t> ones_time_;
   std::vector<std::uint32_t> total_time_;
+  std::vector<CellRegion> regions_;
 };
 
 }  // namespace dnnlife::aging

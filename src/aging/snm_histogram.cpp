@@ -14,6 +14,21 @@ std::string AgingReport::to_string() const {
   out << "duty-cycle: min " << duty_stats.min() << ", mean "
       << duty_stats.mean() << ", max " << duty_stats.max() << "\n";
   out << "cells at optimal degradation: " << 100.0 * fraction_optimal << "%\n";
+  if (regions.size() > 1) {
+    for (const RegionAging& region : regions) {
+      out << "  region '" << region.name << "': " << region.total_cells
+          << " cells";
+      if (region.total_cells > region.unused_cells) {
+        out << ", SNM mean " << region.snm_stats.mean() << "% (max "
+            << region.snm_stats.max() << "%), duty mean "
+            << region.duty_stats.mean() << ", optimal "
+            << 100.0 * region.fraction_optimal << "%";
+      } else {
+        out << " (all unused)";
+      }
+      out << "\n";
+    }
+  }
   out << snm_histogram.to_string();
   return out.str();
 }
@@ -23,13 +38,29 @@ AgingReport make_aging_report(const DutyCycleTracker& tracker,
                               const AgingReportOptions& options) {
   AgingReport report{
       util::Histogram(options.hist_lo, options.hist_hi, options.hist_bins),
-      {}, {}, tracker.cell_count(), 0, 0.0};
+      {}, {}, tracker.cell_count(), 0, 0.0, {}};
   const double optimal = model.snm_degradation(0.5, options.years);
   std::uint64_t optimal_cells = 0;
   std::uint64_t used = 0;
+
+  // Region tags are a sorted partition of the cells, so the per-region
+  // breakdown is filled in the same single pass that accumulates the
+  // whole-memory statistics.
+  const std::vector<CellRegion>& tags = tracker.regions();
+  report.regions.reserve(tags.size());
+  for (const CellRegion& tag : tags)
+    report.regions.push_back(RegionAging{
+        tag.name, static_cast<std::size_t>(tag.cell_end - tag.cell_begin), 0,
+        {}, {}, 0.0});
+  std::size_t region = 0;
+  std::vector<std::uint64_t> region_optimal(tags.size(), 0);
+  std::vector<std::uint64_t> region_used(tags.size(), 0);
+
   for (std::size_t cell = 0; cell < tracker.cell_count(); ++cell) {
+    while (region < tags.size() && cell >= tags[region].cell_end) ++region;
     if (tracker.is_unused(cell)) {
       ++report.unused_cells;
+      if (region < tags.size()) ++report.regions[region].unused_cells;
       continue;
     }
     ++used;
@@ -38,11 +69,25 @@ AgingReport make_aging_report(const DutyCycleTracker& tracker,
     report.snm_histogram.add(snm);
     report.snm_stats.add(snm);
     report.duty_stats.add(duty);
-    if (snm <= optimal + options.optimal_tolerance) ++optimal_cells;
+    const bool is_optimal = snm <= optimal + options.optimal_tolerance;
+    if (is_optimal) ++optimal_cells;
+    if (region < tags.size()) {
+      RegionAging& breakdown = report.regions[region];
+      breakdown.snm_stats.add(snm);
+      breakdown.duty_stats.add(duty);
+      ++region_used[region];
+      if (is_optimal) ++region_optimal[region];
+    }
   }
   report.fraction_optimal =
       used == 0 ? 0.0
                 : static_cast<double>(optimal_cells) / static_cast<double>(used);
+  for (std::size_t r = 0; r < report.regions.size(); ++r) {
+    report.regions[r].fraction_optimal =
+        region_used[r] == 0 ? 0.0
+                            : static_cast<double>(region_optimal[r]) /
+                                  static_cast<double>(region_used[r]);
+  }
   return report;
 }
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "aging/duty_cycle.hpp"
 #include "aging/snm_model.hpp"
@@ -10,6 +11,17 @@
 #include "util/statistics.hpp"
 
 namespace dnnlife::aging {
+
+/// Aging outcome of one named memory region (see CellRegion): the
+/// whole-memory statistics restricted to the region's cell range.
+struct RegionAging {
+  std::string name;
+  std::size_t total_cells = 0;
+  std::size_t unused_cells = 0;
+  util::RunningStats snm_stats;
+  util::RunningStats duty_stats;
+  double fraction_optimal = 0.0;
+};
 
 /// One evaluated configuration's aging outcome.
 struct AgingReport {
@@ -22,6 +34,9 @@ struct AgingReport {
   /// points of the minimum achievable degradation (the paper's "all the
   /// cells experience around 10.8%" criterion).
   double fraction_optimal = 0.0;
+  /// Per-region breakdown when the tracker carried region tags (one entry
+  /// per tagged region, in cell order; empty for untagged trackers).
+  std::vector<RegionAging> regions;
 
   std::string to_string() const;
 };

@@ -1,6 +1,7 @@
 #include "core/experiment.hpp"
 
 #include <optional>
+#include <stdexcept>
 
 #include "core/fast_simulator.hpp"
 #include "core/reference_simulator.hpp"
@@ -17,25 +18,41 @@ std::string to_string(HardwareKind kind) {
   return "unknown";
 }
 
-aging::AgingReport run_policy_on_stream(const sim::WriteStream& stream,
-                                        const PolicyConfig& policy,
-                                        unsigned inferences,
-                                        const aging::AgingModel& model,
-                                        const aging::AgingReportOptions& report,
-                                        bool use_reference_simulator,
-                                        unsigned simulator_threads) {
-  if (use_reference_simulator) {
-    ReferenceSimOptions options;
-    options.inferences = inferences;
-    options.verify_decode = false;
-    const auto tracker = simulate_reference(stream, policy, options);
+HardwareKind hardware_kind_from_string(std::string_view name) {
+  for (const HardwareKind kind : {HardwareKind::kBaseline, HardwareKind::kTpuNpu}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument(
+      "unknown hardware kind '" + std::string(name) +
+      "' (expected one of: baseline-accelerator, tpu-like-npu)");
+}
+
+aging::AgingReport run_policies_on_stream(
+    const sim::WriteStream& stream, const RegionPolicyTable& policies,
+    const aging::AgingModel& model, const aging::AgingReportOptions& report,
+    const StreamRunOptions& options) {
+  if (options.use_reference_simulator) {
+    ReferenceSimOptions reference;
+    reference.inferences = options.inferences;
+    reference.verify_decode = false;
+    const auto tracker = simulate_reference(stream, policies, reference);
     return make_aging_report(tracker, model, report);
   }
-  FastSimOptions options;
-  options.inferences = inferences;
-  options.threads = simulator_threads;
-  const auto tracker = simulate_fast(stream, policy, options);
+  FastSimOptions fast;
+  fast.inferences = options.inferences;
+  fast.threads = options.simulator_threads;
+  const auto tracker = simulate_fast(stream, policies, fast);
   return make_aging_report(tracker, model, report);
+}
+
+aging::AgingReport run_policy_on_stream(const sim::WriteStream& stream,
+                                        const PolicyConfig& policy,
+                                        const aging::AgingModel& model,
+                                        const aging::AgingReportOptions& report,
+                                        const StreamRunOptions& options) {
+  return run_policies_on_stream(
+      stream, RegionPolicyTable::uniform(stream.geometry(), policy), model,
+      report, options);
 }
 
 Workbench::Workbench(const ExperimentConfig& config) : config_(config) {
@@ -57,9 +74,31 @@ aging::AgingReport Workbench::evaluate(PolicyConfig policy) const {
   // The barrel shifter rotates at weight-word granularity.
   policy.weight_bits = codec_->bits();
   const aging::CalibratedSnmModel model(config_.snm);
-  return run_policy_on_stream(*stream_, policy, config_.inferences, model,
-                              config_.report, config_.use_reference_simulator,
-                              config_.simulator_threads);
+  StreamRunOptions options;
+  options.inferences = config_.inferences;
+  options.use_reference_simulator = config_.use_reference_simulator;
+  options.simulator_threads = config_.simulator_threads;
+  return run_policy_on_stream(*stream_, policy, model, config_.report, options);
+}
+
+aging::AgingReport Workbench::evaluate_regions(
+    const RegionPolicyTable& policies) const {
+  const aging::CalibratedSnmModel model(config_.snm);
+  StreamRunOptions options;
+  options.inferences = config_.inferences;
+  options.use_reference_simulator = config_.use_reference_simulator;
+  options.simulator_threads = config_.simulator_threads;
+  return run_policies_on_stream(*stream_, policies, model, config_.report,
+                                options);
+}
+
+RegionPolicyTable Workbench::region_table(
+    const std::vector<std::pair<std::string, double>>& fractions,
+    std::vector<PolicyConfig> policies) const {
+  for (PolicyConfig& policy : policies) policy.weight_bits = codec_->bits();
+  return RegionPolicyTable(
+      sim::MemoryRegionMap::from_fractions(stream_->geometry(), fractions),
+      std::move(policies));
 }
 
 std::vector<aging::AgingReport> Workbench::evaluate_all(

@@ -5,10 +5,11 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "aging/snm_histogram.hpp"
-#include "core/mitigation_policy.hpp"
+#include "core/region_policy.hpp"
 #include "dnn/weight_gen.hpp"
 #include "quant/word_codec.hpp"
 #include "sim/accelerator.hpp"
@@ -19,6 +20,10 @@ namespace dnnlife::core {
 enum class HardwareKind { kBaseline, kTpuNpu };
 
 std::string to_string(HardwareKind kind);
+
+/// Inverse of to_string(HardwareKind) — round-trips every kind. Throws
+/// std::invalid_argument (listing the valid names) for anything else.
+HardwareKind hardware_kind_from_string(std::string_view name);
 
 struct ExperimentConfig {
   std::string network = "alexnet";
@@ -42,16 +47,31 @@ struct ExperimentConfig {
 /// stream internally).
 aging::AgingReport run_aging_experiment(const ExperimentConfig& config);
 
-/// Run one policy against a pre-built write stream (benches share the
-/// stream across policies). `policy.weight_bits` must already match the
-/// stream's weight format.
+/// How to run a pre-built write stream (benches share the stream across
+/// policies). Replaces the former positional (inferences, use_reference,
+/// threads) tail of run_policy_on_stream.
+struct StreamRunOptions {
+  unsigned inferences = 100;
+  /// Use the literal simulator (small configs / validation).
+  bool use_reference_simulator = false;
+  /// Fast-simulator commit threads (results bit-identical either way).
+  unsigned simulator_threads = 1;
+};
+
+/// Run one policy uniformly against a pre-built write stream.
+/// `policy.weight_bits` must already match the stream's weight format.
 aging::AgingReport run_policy_on_stream(const sim::WriteStream& stream,
                                         const PolicyConfig& policy,
-                                        unsigned inferences,
                                         const aging::AgingModel& model,
                                         const aging::AgingReportOptions& report,
-                                        bool use_reference_simulator = false,
-                                        unsigned simulator_threads = 1);
+                                        const StreamRunOptions& options = {});
+
+/// Run a region → policy table against a pre-built write stream; the
+/// report breaks aging out per region.
+aging::AgingReport run_policies_on_stream(
+    const sim::WriteStream& stream, const RegionPolicyTable& policies,
+    const aging::AgingModel& model, const aging::AgingReportOptions& report,
+    const StreamRunOptions& options = {});
 
 /// A reusable experiment workbench: owns the network / streamer / codec /
 /// stream for one (network, format, hardware) combination so several
@@ -66,8 +86,22 @@ class Workbench {
   const dnn::Network& network() const noexcept { return *network_; }
   const ExperimentConfig& config() const noexcept { return config_; }
 
-  /// Evaluate one policy on the shared stream.
+  /// Evaluate one policy uniformly on the shared stream.
   aging::AgingReport evaluate(PolicyConfig policy) const;
+
+  /// Evaluate a region → policy table on the shared stream (the table's
+  /// geometry must match the stream; see region_table for building one
+  /// with the right weight word width).
+  aging::AgingReport evaluate_regions(const RegionPolicyTable& policies) const;
+
+  /// Build a region table over this workbench's memory from (name,
+  /// row-fraction) pairs plus one policy per region; each policy's
+  /// weight_bits is set to the codec's weight word width (the barrel
+  /// shifter's rotation granularity), mirroring what evaluate() does for
+  /// uniform policies.
+  RegionPolicyTable region_table(
+      const std::vector<std::pair<std::string, double>>& fractions,
+      std::vector<PolicyConfig> policies) const;
 
   /// Evaluate several policies on the shared stream, `threads` at a time
   /// (0 = hardware concurrency, clamped to the policy count; 1 runs

@@ -1,111 +1,54 @@
 #include "core/fast_simulator.hpp"
 
-#include <cmath>
 #include <vector>
 
-#include "core/bias_balancer.hpp"
 #include "core/transducer.hpp"
 #include "sim/write_visit.hpp"
-#include "util/bitops.hpp"
 #include "util/parallel.hpp"
-#include "util/rng.hpp"
 
 namespace dnnlife::core {
-
-std::uint32_t sample_binomial(util::Xoshiro256ss& rng, std::uint32_t n, double p) {
-  if (n == 0 || p <= 0.0) return 0;
-  if (p >= 1.0) return n;
-  if (p == 0.5) {
-    // Exact: popcount of n fair bits.
-    std::uint32_t count = 0;
-    std::uint32_t remaining = n;
-    while (remaining >= 64) {
-      count += util::popcount(rng.next());
-      remaining -= 64;
-    }
-    if (remaining > 0)
-      count += util::popcount(rng.next() & util::low_mask(remaining));
-    return count;
-  }
-  const double variance = static_cast<double>(n) * p * (1.0 - p);
-  if (variance >= 9.0) {
-    // Normal approximation with continuity correction.
-    const double mean = static_cast<double>(n) * p;
-    const double draw = std::round(mean + std::sqrt(variance) * rng.next_gaussian());
-    if (draw < 0.0) return 0;
-    if (draw > static_cast<double>(n)) return n;
-    return static_cast<std::uint32_t>(draw);
-  }
-  std::uint32_t count = 0;
-  for (std::uint32_t i = 0; i < n; ++i)
-    count += rng.next_double() < p ? 1u : 0u;
-  return count;
-}
 
 namespace {
 
 /// One write of the materialised inference. The payload words live in a
-/// parallel flat buffer indexed by the write's arrival ordinal.
+/// parallel flat buffer indexed by the write's arrival ordinal. Kept at 20
+/// bytes — both simulator phases stream millions of these.
 struct WriteRecord {
   std::uint32_t row = 0;
   std::uint32_t block = 0;
-  std::uint32_t rotate = 0;                ///< barrel policy
-  std::uint32_t inverted_inferences = 0;   ///< deterministic XOR policies
-};
-
-class DnnLifeSampler {
- public:
-  DnnLifeSampler(const PolicyConfig& config, std::uint64_t writes_per_inference,
-                 unsigned inferences)
-      : config_(config), writes_per_inference_(writes_per_inference),
-        inferences_(inferences),
-        base_seed_(util::derive_seed(config.seed, 0x5a5aULL)) {}
-
-  /// Number of inferences (out of N) in which the write with within-
-  /// inference ordinal `ordinal` gets E = 1. A pure function of
-  /// (seed, ordinal): the per-write RNG stream is derived, never shared,
-  /// so any evaluation order — in particular any row sharding across
-  /// threads — draws bit-identical values.
-  std::uint32_t sample(std::uint64_t ordinal) const {
-    util::Xoshiro256ss rng(util::derive_seed(base_seed_, ordinal));
-    const double p = config_.trbg_bias;
-    if (!config_.bias_balancing)
-      return sample_binomial(rng, inferences_, p);
-    // Hardware schedule: the balancer phase at global write index
-    // i*W + ordinal is ((idx >> M) & 1); phase 1 inverts the TRBG output.
-    // The phase-1 population over the arithmetic progression is counted
-    // closed-form (Euclidean floor-sum over the period-2^(M+1) schedule)
-    // instead of looping over all N inferences per write.
-    const auto phase_one = static_cast<std::uint32_t>(
-        BiasBalancer::count_phase_one(ordinal, writes_per_inference_,
-                                      inferences_, config_.balancer_bits));
-    const std::uint32_t phase_zero = inferences_ - phase_one;
-    return sample_binomial(rng, phase_zero, p) +
-           sample_binomial(rng, phase_one, 1.0 - p);
-  }
-
- private:
-  PolicyConfig config_;
-  std::uint64_t writes_per_inference_;
-  unsigned inferences_;
-  std::uint64_t base_seed_;
+  std::uint32_t inverted_inferences = 0;   ///< resolved deterministic count
+  std::uint32_t local_ordinal = 0;         ///< within-region sampler key
+  std::uint8_t rotate = 0;                 ///< planned subword rotation (< 64)
+  bool sampled = false;                    ///< resolve via sample_inverted
 };
 
 }  // namespace
 
 aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
-                                      const PolicyConfig& policy,
+                                      const RegionPolicyTable& policies,
                                       const FastSimOptions& options) {
   DNNLIFE_EXPECTS(options.inferences >= 1, "need at least one inference");
-  const bool deterministic = policy.kind == PolicyKind::kInversion ||
-                             policy.kind == PolicyKind::kBarrelShifter;
-  DNNLIFE_EXPECTS(!deterministic || policy.reset_each_inference,
-                  "continuous-counter policies need the reference simulator");
-
   const sim::MemoryGeometry geometry = stream.geometry();
+  const sim::MemoryRegionMap& region_map = policies.region_map();
+  policies.check_stream_geometry(geometry);
   const std::uint32_t blocks = stream.blocks_per_inference();
   const std::uint32_t words_per_row = geometry.words_per_row();
   const unsigned n_inf = options.inferences;
+
+  // Aggregation plans, one per region — a policy without one (e.g. the
+  // continuous-counter ablation variants) needs the reference simulator.
+  const std::vector<std::unique_ptr<PolicyEngine>> engines =
+      policies.make_engines();
+  std::vector<std::unique_ptr<AggregatePlan>> plans;
+  plans.reserve(engines.size());
+  for (std::size_t r = 0; r < engines.size(); ++r) {
+    plans.push_back(engines[r]->make_aggregate_plan(n_inf));
+    DNNLIFE_EXPECTS(plans.back() != nullptr,
+                    "policy '" + policies.policy(r).name() +
+                        "' (region '" + region_map.region(r).name +
+                        "') supports no aggregation plan and needs the "
+                        "reference simulator");
+  }
 
   // Residency durations: prefix[k] = time elapsed before block k starts.
   // Uniform (empty block_durations) degenerates to prefix[k] = k.
@@ -124,38 +67,37 @@ aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
                   "duration x inferences overflows the duty accumulators");
 
   aging::DutyCycleTracker tracker(geometry.cells());
+  tracker.set_regions(policies.cell_regions());
 
   // ---- Phase 1 (sequential): materialise the inference's writes.
-  // Policy schedules (per-row write counters) are stream-order state, so
-  // they are resolved here; the expensive duty accumulation is deferred to
-  // the row-parallel commit phase. A write's arrival index doubles as its
-  // within-inference ordinal (the DnnLife sampler's counter).
+  // Policy schedules are stream-order state, so each write is planned here
+  // by its region's engine; the expensive duty accumulation is deferred to
+  // the row-parallel commit phase. A write's within-region arrival index
+  // is its sampler ordinal (one mitigation controller per region).
   std::vector<WriteRecord> records;
   records.reserve(stream.writes_per_inference());
   std::vector<std::uint64_t> payloads;
   payloads.reserve(stream.writes_per_inference() * words_per_row);
-  std::vector<std::uint32_t> row_write_index(geometry.rows, 0);
+  std::vector<std::uint64_t> region_ordinal(plans.size(), 0);
   sim::visit_stream_writes(stream, [&](const sim::RowWriteEvent& event) {
     DNNLIFE_EXPECTS(event.row < geometry.rows, "write row out of range");
+    const std::size_t region = region_map.region_of_row(event.row);
+    const AggregatePlan::PlannedWrite planned =
+        plans[region]->plan_write(region_ordinal[region], event.row);
+    DNNLIFE_EXPECTS(planned.rotate < 64, "rotation exceeds the weight word");
     WriteRecord record;
     record.row = event.row;
     record.block = event.block;
-    switch (policy.kind) {
-      case PolicyKind::kNone:
-        break;
-      case PolicyKind::kInversion:
-        record.inverted_inferences =
-            (row_write_index[event.row]++ & 1u) != 0 ? n_inf : 0;
-        break;
-      case PolicyKind::kBarrelShifter:
-        record.rotate = row_write_index[event.row]++ % policy.weight_bits;
-        break;
-      case PolicyKind::kDnnLife:
-        break;  // sampled in the commit phase from the write's ordinal
-    }
+    record.rotate = static_cast<std::uint8_t>(planned.rotate);
+    record.inverted_inferences = planned.inverted_inferences;
+    record.local_ordinal =
+        static_cast<std::uint32_t>(region_ordinal[region]++);
+    record.sampled = planned.sampled;
     records.push_back(record);
     payloads.insert(payloads.end(), event.words.begin(), event.words.end());
   });
+  for (std::size_t r = 0; r < plans.size(); ++r)
+    plans[r]->finalize(region_ordinal[r]);
 
   // Group write ordinals by row (stable counting sort: per-row lists stay
   // in temporal order).
@@ -170,8 +112,7 @@ aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
       grouped[cursor[records[i].row]++] = i;
   }
 
-  const RotateTransducer rotator(geometry.row_bits, policy.weight_bits);
-  const DnnLifeSampler sampler(policy, stream.writes_per_inference(), n_inf);
+  const auto rotators = policies.make_rotators();
 
   // ---- Phase 2 (parallel over rows): per-row residencies and word-level
   // duty commits. Rows own disjoint cell ranges of the tracker and every
@@ -184,6 +125,9 @@ aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
       const std::uint32_t begin = row_start[row];
       const std::uint32_t end = row_start[row + 1];
       if (begin == end) continue;
+      const std::size_t region =
+          region_map.region_of_row(static_cast<std::uint32_t>(row));
+      const AggregatePlan& plan = *plans[region];
       const std::uint32_t first_block = records[grouped[begin]].block;
       for (std::uint32_t j = begin; j < end; ++j) {
         const std::uint32_t ordinal = grouped[j];
@@ -200,14 +144,18 @@ aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
           residency = total_duration - prefix[record.block] + prefix[first_block];
         }
         if (residency == 0) continue;
-        const std::uint32_t c = policy.kind == PolicyKind::kDnnLife
-                                    ? sampler.sample(ordinal)
+        const std::uint32_t c = record.sampled
+                                    ? plan.sample_inverted(record.local_ordinal)
                                     : record.inverted_inferences;
         std::span<const std::uint64_t> stored(
             payloads.data() + static_cast<std::size_t>(ordinal) * words_per_row,
             words_per_row);
         if (record.rotate != 0) {
-          rotator.rotate_row_into(stored, record.rotate, /*left=*/true, rotated);
+          DNNLIFE_EXPECTS(rotators[region].has_value(),
+                          "policy rotated but its weight word does not "
+                          "divide the row width");
+          rotators[region]->rotate_row_into(stored, record.rotate,
+                                            /*left=*/true, rotated);
           stored = rotated;
         }
         // A '1' bit stores '1' in the (n_inf - c) non-inverted inferences;
@@ -221,6 +169,13 @@ aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
   };
   util::parallel_for_shards(geometry.rows, options.threads, process_rows);
   return tracker;
+}
+
+aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
+                                      const PolicyConfig& policy,
+                                      const FastSimOptions& options) {
+  return simulate_fast(
+      stream, RegionPolicyTable::uniform(stream.geometry(), policy), options);
 }
 
 }  // namespace dnnlife::core

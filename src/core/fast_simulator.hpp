@@ -9,10 +9,12 @@
 //     write whose row is inverted in c of the N inferences and resident for
 //     `res` mapping slots, a stored '1' bit contributes res*(N - c) slots
 //     of ones-time and a '0' bit contributes res*c.
-//  2. For the XOR-family policies c is exact (0, N, or the policy parity);
-//     for DNN-Life c is a sum of independent Bernoulli draws whose
-//     phase-dependent probabilities follow the bias balancer's hardware
-//     schedule, sampled as (at most two) binomials.
+//  2. How c is obtained is the policy's business, abstracted behind
+//     PolicyEngine::make_aggregate_plan (see core/policy_engine.hpp): the
+//     XOR-family policies resolve it exactly during stream-order planning
+//     (0, N, or the schedule parity); DNN-Life defers it to a pure
+//     per-ordinal sampler (at most two binomials following the bias
+//     balancer's hardware schedule) evaluated in the parallel commit.
 //
 // Residency is steady-state cyclic: a write at block k holds until the
 // next write to the same row, wrapping into the next (identical)
@@ -20,16 +22,15 @@
 // materialisation phase (one inference's writes, grouped by row — the same
 // footprint the reference simulator's write list costs) and a row-parallel
 // word-level commit phase. Every per-write random draw is a pure function
-// of (seed, write ordinal), so results are bit-identical for any
-// FastSimOptions::threads value.
+// of (seed, region-local write ordinal), so results are bit-identical for
+// any FastSimOptions::threads value.
 //
-// The schedule-driven (reset-per-inference) deterministic policies and
-// DNN-Life are supported; the continuous-counter ablation variants need
-// the reference simulator.
+// Policies whose engine returns no aggregation plan (e.g. the
+// continuous-counter ablation variants) need the reference simulator.
 #pragma once
 
 #include "aging/duty_cycle.hpp"
-#include "core/mitigation_policy.hpp"
+#include "core/region_policy.hpp"
 #include "sim/write_stream.hpp"
 
 namespace dnnlife::core {
@@ -42,13 +43,20 @@ struct FastSimOptions {
   unsigned threads = 1;
 };
 
+/// Region-aware aggregation: each write is planned by the engine of the
+/// region owning its row; each region observes its own within-inference
+/// write ordinals (a per-region mitigation controller). The returned
+/// tracker carries the table's region tags.
+aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
+                                      const RegionPolicyTable& policies,
+                                      const FastSimOptions& options);
+
+/// Whole-memory convenience wrapper (uniform region).
 aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
                                       const PolicyConfig& policy,
                                       const FastSimOptions& options);
 
-/// Internal helper, exposed for tests: draw Binomial(n, p) deterministically
-/// from `rng` (exact popcount path at p = 0.5, exact loop for small
-/// variance, normal approximation otherwise).
-std::uint32_t sample_binomial(util::Xoshiro256ss& rng, std::uint32_t n, double p);
+// sample_binomial, historically declared here, lives with the DNN-Life
+// aggregation plan in core/policy_engine.hpp (included transitively).
 
 }  // namespace dnnlife::core

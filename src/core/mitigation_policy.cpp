@@ -1,6 +1,6 @@
 #include "core/mitigation_policy.hpp"
 
-#include <algorithm>
+#include <stdexcept>
 
 #include "util/check.hpp"
 
@@ -16,7 +16,20 @@ std::string to_string(PolicyKind kind) {
   return "unknown";
 }
 
+PolicyKind policy_kind_from_string(std::string_view name) {
+  for (const PolicyKind kind :
+       {PolicyKind::kNone, PolicyKind::kInversion, PolicyKind::kBarrelShifter,
+        PolicyKind::kDnnLife}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument(
+      "unknown policy kind '" + std::string(name) +
+      "' (expected one of: no-mitigation, inversion, barrel-shifter, "
+      "dnn-life)");
+}
+
 std::string PolicyConfig::name() const {
+  if (!engine.empty()) return engine;
   std::string label = to_string(kind);
   if (kind == PolicyKind::kDnnLife) {
     label += " (bias=" + std::to_string(trbg_bias).substr(0, 4);
@@ -53,48 +66,29 @@ PolicyConfig PolicyConfig::dnn_life(double trbg_bias, bool bias_balancing,
   return config;
 }
 
-MitigationPolicy::MitigationPolicy(const PolicyConfig& config, std::uint32_t rows)
-    : config_(config) {
-  DNNLIFE_EXPECTS(rows > 0, "policy needs the memory row count");
-  if (config_.kind == PolicyKind::kInversion ||
-      config_.kind == PolicyKind::kBarrelShifter) {
-    row_write_counts_.assign(rows, 0);
+void validate_policy_config(const PolicyConfig& config,
+                            std::uint32_t row_bits) {
+  const std::string label = to_string(config.kind);
+  DNNLIFE_EXPECTS(config.weight_bits >= 1 && config.weight_bits <= 64,
+                  label + ": weight_bits must be in 1..64, got " +
+                      std::to_string(config.weight_bits));
+  if (config.kind == PolicyKind::kBarrelShifter && row_bits != 0) {
+    DNNLIFE_EXPECTS(row_bits % config.weight_bits == 0,
+                    label + ": weight_bits " +
+                        std::to_string(config.weight_bits) +
+                        " must divide the memory row width " +
+                        std::to_string(row_bits));
   }
-  if (config_.kind == PolicyKind::kDnnLife) {
-    trbg_ = std::make_unique<BiasedTrbg>(config_.trbg_bias, config_.seed);
-    controller_ = std::make_unique<AgingController>(
-        *trbg_, AgingControllerConfig{config_.bias_balancing,
-                                      config_.balancer_bits});
-  }
-}
-
-void MitigationPolicy::begin_inference() {
-  if (config_.reset_each_inference && !row_write_counts_.empty())
-    std::fill(row_write_counts_.begin(), row_write_counts_.end(), 0u);
-  // DNN-Life state is deliberately never reset: the controller's randomness
-  // accumulates across inferences.
-}
-
-WriteAction MitigationPolicy::on_write(std::uint32_t row) {
-  WriteAction action;
-  switch (config_.kind) {
-    case PolicyKind::kNone:
-      break;
-    case PolicyKind::kInversion: {
-      DNNLIFE_EXPECTS(row < row_write_counts_.size(), "row out of range");
-      action.invert = (row_write_counts_[row]++ & 1u) != 0;
-      break;
+  if (config.kind == PolicyKind::kDnnLife) {
+    DNNLIFE_EXPECTS(config.trbg_bias >= 0.0 && config.trbg_bias <= 1.0,
+                    label + ": trbg_bias must be a probability in [0, 1], "
+                            "got " + std::to_string(config.trbg_bias));
+    if (config.bias_balancing) {
+      DNNLIFE_EXPECTS(config.balancer_bits >= 1 && config.balancer_bits <= 31,
+                      label + ": balancer_bits must be in 1..31, got " +
+                          std::to_string(config.balancer_bits));
     }
-    case PolicyKind::kBarrelShifter: {
-      DNNLIFE_EXPECTS(row < row_write_counts_.size(), "row out of range");
-      action.rotate = row_write_counts_[row]++ % config_.weight_bits;
-      break;
-    }
-    case PolicyKind::kDnnLife:
-      action.invert = controller_->next_enable();
-      break;
   }
-  return action;
 }
 
 }  // namespace dnnlife::core

@@ -16,15 +16,15 @@
 //                   aging controller (optional bias balancing), fresh on
 //                   every write, never reset — randomness accumulates
 //                   across inferences, growing the effective K.
+//
+// This header holds the declarative side only (config + validation); the
+// behavioural strategy objects live behind the PolicyEngine interface in
+// core/policy_engine.hpp.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <string>
-#include <vector>
-
-#include "core/aging_controller.hpp"
-#include "core/trbg.hpp"
+#include <string_view>
 
 namespace dnnlife::core {
 
@@ -32,8 +32,19 @@ enum class PolicyKind { kNone, kInversion, kBarrelShifter, kDnnLife };
 
 std::string to_string(PolicyKind kind);
 
+/// Inverse of to_string(PolicyKind) — round-trips every kind. Throws
+/// std::invalid_argument (listing the valid names) for anything else.
+PolicyKind policy_kind_from_string(std::string_view name);
+
 struct PolicyConfig {
   PolicyKind kind = PolicyKind::kNone;
+
+  /// Non-empty selects a custom engine registered under this name in the
+  /// PolicyRegistry instead of the built-in `kind` dispatch — the hook
+  /// that makes externally registered policies reachable from every
+  /// layer (region tables, simulators, scenarios). The remaining fields
+  /// are passed to the custom factory verbatim.
+  std::string engine;
 
   /// Barrel shifter: rotation granularity (the weight word width).
   unsigned weight_bits = 8;
@@ -61,31 +72,19 @@ struct PolicyConfig {
                                std::uint64_t seed = 0xd00dfeedULL);
 };
 
+/// Up-front validation with actionable messages, instead of failing deep
+/// inside a simulator: weight_bits must be 1..64 and (for the barrel
+/// shifter, which rotates whole rows) divide the row width; a DNN-Life
+/// trbg_bias must be a probability; balancer_bits must fit the hardware
+/// register. `row_bits` of 0 skips the geometry-dependent checks (no
+/// memory bound yet). Throws std::invalid_argument.
+void validate_policy_config(const PolicyConfig& config,
+                            std::uint32_t row_bits = 0);
+
 /// What a policy does to one row write.
 struct WriteAction {
   bool invert = false;    ///< XOR the row with all-ones (E = 1)
   unsigned rotate = 0;    ///< left-rotate each weight subword by this amount
-};
-
-/// Stateful per-write policy engine (used by the reference simulator; the
-/// fast simulator reproduces the same schedules arithmetically).
-class MitigationPolicy {
- public:
-  MitigationPolicy(const PolicyConfig& config, std::uint32_t rows);
-
-  const PolicyConfig& config() const noexcept { return config_; }
-
-  /// Signal an inference boundary (resets schedule-driven counters).
-  void begin_inference();
-
-  /// The action for the next write to `row` (advances internal state).
-  WriteAction on_write(std::uint32_t row);
-
- private:
-  PolicyConfig config_;
-  std::vector<std::uint32_t> row_write_counts_;
-  std::unique_ptr<BiasedTrbg> trbg_;
-  std::unique_ptr<AgingController> controller_;
 };
 
 }  // namespace dnnlife::core

@@ -21,10 +21,12 @@ struct StoredWrite {
 }  // namespace
 
 aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
-                                           const PolicyConfig& policy_config,
+                                           const RegionPolicyTable& policies,
                                            const ReferenceSimOptions& options) {
   DNNLIFE_EXPECTS(options.inferences >= 1, "need at least one inference");
   const sim::MemoryGeometry geometry = stream.geometry();
+  const sim::MemoryRegionMap& region_map = policies.region_map();
+  policies.check_stream_geometry(geometry);
   const std::uint32_t blocks = stream.blocks_per_inference();
   const std::uint32_t words_per_row = geometry.words_per_row();
 
@@ -49,13 +51,15 @@ aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
 
   sim::WeightMemory memory(geometry);
   MetadataStore metadata(geometry.rows);
-  MitigationPolicy policy(policy_config, geometry.rows);
+  const std::vector<std::unique_ptr<PolicyEngine>> engines =
+      policies.make_engines();
   const XorTransducer wde(geometry.row_bits);
-  const RotateTransducer rotator(geometry.row_bits, policy_config.weight_bits);
+  const auto rotators = policies.make_rotators();
   // Rotation metadata for the barrel baseline's read path.
   std::vector<unsigned> stored_rotation(geometry.rows, 0);
 
   aging::DutyCycleTracker tracker(geometry.cells());
+  tracker.set_regions(policies.cell_regions());
 
   // Reused per-write scratch rows (no allocation inside the write loop).
   std::vector<std::uint64_t> stored(words_per_row);
@@ -83,18 +87,23 @@ aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
       options.warmup_inferences + options.inferences;
   for (unsigned inf = 0; inf < total_inferences; ++inf) {
     const bool accounting = inf >= options.warmup_inferences;
-    policy.begin_inference();
+    for (const auto& engine : engines) engine->begin_inference();
     std::size_t next_write = 0;
     for (std::uint32_t block = 0; block < blocks; ++block) {
       // Apply this block's writes.
       while (next_write < writes.size() && writes[next_write].block == block) {
         const StoredWrite& write = writes[next_write];
-        const WriteAction action = policy.on_write(write.row);
-        if (action.rotate != 0)
-          rotator.rotate_row_into(write.words, action.rotate, /*left=*/true,
-                                  stored);
-        else
+        const std::size_t region = region_map.region_of_row(write.row);
+        const WriteAction action = engines[region]->on_write(write.row);
+        if (action.rotate != 0) {
+          DNNLIFE_ENSURES(rotators[region].has_value(),
+                          "policy rotated but its weight word does not "
+                          "divide the row width");
+          rotators[region]->rotate_row_into(write.words, action.rotate,
+                                            /*left=*/true, stored);
+        } else {
           std::copy(write.words.begin(), write.words.end(), stored.begin());
+        }
         wde.apply(stored, action.invert);
         const bool unchanged =
             memory.row_written(write.row) &&
@@ -116,8 +125,9 @@ aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
           wde.apply(decoded, metadata.enable_of(write.row));
           std::span<const std::uint64_t> result(decoded);
           if (stored_rotation[write.row] != 0) {
-            rotator.rotate_row_into(decoded, stored_rotation[write.row],
-                                    /*left=*/false, recovered);
+            rotators[region]->rotate_row_into(decoded,
+                                              stored_rotation[write.row],
+                                              /*left=*/false, recovered);
             result = recovered;
           }
           DNNLIFE_ENSURES(
@@ -137,6 +147,13 @@ aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
   for (std::uint32_t row = 0; row < geometry.rows; ++row)
     if (memory.row_written(row)) commit_row(row);
   return tracker;
+}
+
+aging::DutyCycleTracker simulate_reference(const sim::WriteStream& stream,
+                                           const PolicyConfig& policy,
+                                           const ReferenceSimOptions& options) {
+  return simulate_reference(
+      stream, RegionPolicyTable::uniform(stream.geometry(), policy), options);
 }
 
 }  // namespace dnnlife::core

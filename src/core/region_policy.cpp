@@ -1,0 +1,83 @@
+#include "core/region_policy.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace dnnlife::core {
+
+RegionPolicyTable::RegionPolicyTable(sim::MemoryRegionMap map,
+                                     std::vector<PolicyConfig> policies)
+    : map_(std::move(map)), policies_(std::move(policies)) {
+  DNNLIFE_EXPECTS(policies_.size() == map_.size(),
+                  "need exactly one policy per region (" +
+                      std::to_string(map_.size()) + " regions, " +
+                      std::to_string(policies_.size()) + " policies)");
+  for (const PolicyConfig& policy : policies_)
+    validate_policy_config(policy, map_.geometry().row_bits);
+}
+
+RegionPolicyTable RegionPolicyTable::uniform(const sim::MemoryGeometry& geometry,
+                                             PolicyConfig policy) {
+  return RegionPolicyTable(sim::MemoryRegionMap::whole_memory(geometry),
+                           {std::move(policy)});
+}
+
+RegionPolicyTable RegionPolicyTable::with_derived_seeds(
+    std::uint64_t stream_index) const {
+  std::vector<PolicyConfig> derived = policies_;
+  for (PolicyConfig& policy : derived)
+    policy.seed = util::derive_seed(policy.seed, stream_index);
+  return RegionPolicyTable(map_, std::move(derived));
+}
+
+std::vector<std::unique_ptr<PolicyEngine>> RegionPolicyTable::make_engines()
+    const {
+  std::vector<std::unique_ptr<PolicyEngine>> engines;
+  engines.reserve(policies_.size());
+  for (std::size_t r = 0; r < policies_.size(); ++r) {
+    PolicyConfig policy = policies_[r];
+    // Decorrelate the regions' random streams: two regions sharing one
+    // configured seed must not draw identical enable sequences. Region 0
+    // keeps the raw seed so a uniform (whole-memory) table stays
+    // bit-identical to the pre-region code path.
+    if (r > 0) policy.seed = util::derive_seed(policy.seed, 0x7e6100ULL + r);
+    engines.push_back(make_policy_engine(policy, map_.geometry(), map_.region(r)));
+  }
+  return engines;
+}
+
+void RegionPolicyTable::check_stream_geometry(
+    const sim::MemoryGeometry& stream_geometry) const {
+  DNNLIFE_EXPECTS(stream_geometry.rows == geometry().rows &&
+                      stream_geometry.row_bits == geometry().row_bits,
+                  "policy table geometry must match the stream");
+}
+
+std::vector<std::optional<RotateTransducer>> RegionPolicyTable::make_rotators()
+    const {
+  // One rotator per region whose policy's weight word divides the row
+  // (validation guarantees this for the barrel shifter; regions that
+  // never rotate need none — the simulators assert before rotating).
+  std::vector<std::optional<RotateTransducer>> rotators(policies_.size());
+  const std::uint32_t row_bits = geometry().row_bits;
+  for (std::size_t r = 0; r < policies_.size(); ++r) {
+    if (row_bits % policies_[r].weight_bits == 0)
+      rotators[r].emplace(row_bits, policies_[r].weight_bits);
+  }
+  return rotators;
+}
+
+std::vector<aging::CellRegion> RegionPolicyTable::cell_regions() const {
+  std::vector<aging::CellRegion> cells;
+  cells.reserve(map_.size());
+  const std::uint32_t row_bits = map_.geometry().row_bits;
+  for (const sim::MemoryRegion& region : map_.regions()) {
+    cells.push_back(aging::CellRegion{
+        region.name,
+        static_cast<std::uint64_t>(region.row_begin) * row_bits,
+        static_cast<std::uint64_t>(region.row_end) * row_bits});
+  }
+  return cells;
+}
+
+}  // namespace dnnlife::core

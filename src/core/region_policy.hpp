@@ -1,0 +1,73 @@
+// Region → policy binding for one weight memory.
+//
+// A RegionPolicyTable pairs a sim::MemoryRegionMap (a named partition of
+// the memory's rows) with one PolicyConfig per region. It is the unit both
+// simulators consume: a uniform table reproduces the paper's
+// whole-memory-one-policy setup bit-identically, while a mixed table runs
+// e.g. DNN-Life on hot rows and nothing on cold ones. All policies are
+// validated against the geometry up front.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "aging/duty_cycle.hpp"
+#include "core/policy_engine.hpp"
+#include "core/transducer.hpp"
+#include "sim/region_map.hpp"
+
+namespace dnnlife::core {
+
+class RegionPolicyTable {
+ public:
+  /// One policy per region of `map`, in region order.
+  RegionPolicyTable(sim::MemoryRegionMap map,
+                    std::vector<PolicyConfig> policies);
+
+  /// The paper's setup: one policy across the whole memory.
+  static RegionPolicyTable uniform(const sim::MemoryGeometry& geometry,
+                                   PolicyConfig policy);
+
+  const sim::MemoryRegionMap& region_map() const noexcept { return map_; }
+  const sim::MemoryGeometry& geometry() const noexcept {
+    return map_.geometry();
+  }
+  std::size_t size() const noexcept { return policies_.size(); }
+  const PolicyConfig& policy(std::size_t region) const {
+    return policies_.at(region);
+  }
+  const std::vector<PolicyConfig>& policies() const noexcept {
+    return policies_;
+  }
+
+  /// A copy with every policy's seed re-derived for workload phase
+  /// `stream_index` (multi-phase lifetimes draw decorrelated randomness;
+  /// see core/workload.hpp).
+  RegionPolicyTable with_derived_seeds(std::uint64_t stream_index) const;
+
+  /// One freshly-constructed engine per region (replay state at origin).
+  /// Regions after the first get a region-derived sub-seed, so regions
+  /// sharing one configured seed still draw decorrelated randomness;
+  /// region 0 keeps the raw seed (a uniform table reproduces the
+  /// whole-memory path bit-identically).
+  std::vector<std::unique_ptr<PolicyEngine>> make_engines() const;
+
+  /// Shared simulator plumbing: reject a stream whose memory shape
+  /// differs from the table's.
+  void check_stream_geometry(const sim::MemoryGeometry& stream_geometry) const;
+
+  /// One RotateTransducer per region whose policy weight word divides the
+  /// row width (nullopt otherwise — such regions must never rotate).
+  std::vector<std::optional<RotateTransducer>> make_rotators() const;
+
+  /// The regions as aging-layer cell ranges, for tagging DutyCycleTrackers.
+  std::vector<aging::CellRegion> cell_regions() const;
+
+ private:
+  sim::MemoryRegionMap map_;
+  std::vector<PolicyConfig> policies_;
+};
+
+}  // namespace dnnlife::core

@@ -1,0 +1,259 @@
+#include "core/scenario.hpp"
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "aging/snm_model.hpp"
+#include "core/policy_engine.hpp"
+#include "core/workload.hpp"
+#include "dnn/model_zoo.hpp"
+#include "quant/word_codec.hpp"
+#include "sim/accelerator.hpp"
+#include "sim/tpu_npu.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace dnnlife::core {
+
+namespace {
+
+using util::JsonValue;
+
+/// Reject unknown members so typos fail loudly instead of silently running
+/// the default scenario.
+void check_members(const JsonValue& object, const char* where,
+                   std::initializer_list<std::string_view> known) {
+  for (const auto& [name, _] : object.members()) {
+    bool found = false;
+    for (const std::string_view candidate : known)
+      if (name == candidate) {
+        found = true;
+        break;
+      }
+    if (!found)
+      throw std::invalid_argument("unknown member '" + name + "' in " + where);
+  }
+}
+
+unsigned parse_bounded_uint(const JsonValue& value, const char* what,
+                            std::uint64_t max) {
+  const std::uint64_t parsed = value.as_uint();
+  if (parsed > max)
+    throw std::invalid_argument(std::string(what) + " " +
+                                std::to_string(parsed) + " exceeds " +
+                                std::to_string(max));
+  return static_cast<unsigned>(parsed);
+}
+
+PolicyConfig parse_policy(const JsonValue& object) {
+  // Deliberately no "weight_bits" member: a scenario's rotation
+  // granularity is always the codec's weight word width (run_scenario
+  // sets it), so accepting an override here would be silently ignored.
+  check_members(object, "policy",
+                {"kind", "reset_each_inference", "trbg_bias",
+                 "bias_balancing", "balancer_bits", "seed"});
+  PolicyConfig policy;
+  const std::string& kind = object.at("kind").as_string();
+  try {
+    policy.kind = policy_kind_from_string(kind);
+  } catch (const std::invalid_argument&) {
+    // Not a built-in: reachable as a custom engine if one is registered.
+    if (!PolicyRegistry::instance().contains(kind)) throw;
+    policy.engine = kind;
+  }
+  if (const JsonValue* v = object.find("reset_each_inference"))
+    policy.reset_each_inference = v->as_bool();
+  if (const JsonValue* v = object.find("trbg_bias"))
+    policy.trbg_bias = v->as_number();
+  if (const JsonValue* v = object.find("bias_balancing"))
+    policy.bias_balancing = v->as_bool();
+  if (const JsonValue* v = object.find("balancer_bits"))
+    policy.balancer_bits = parse_bounded_uint(*v, "balancer_bits", 31);
+  if (const JsonValue* v = object.find("seed")) policy.seed = v->as_uint();
+  validate_policy_config(policy);
+  return policy;
+}
+
+ScenarioPhaseSpec parse_phase(const JsonValue& object) {
+  check_members(object, "phase", {"network", "inferences"});
+  ScenarioPhaseSpec phase;
+  phase.network = object.at("network").as_string();
+  if (const JsonValue* v = object.find("inferences"))
+    phase.inferences = parse_bounded_uint(*v, "inferences", 1u << 30);
+  return phase;
+}
+
+ScenarioRegionSpec parse_region(const JsonValue& object) {
+  check_members(object, "region", {"name", "rows", "policy"});
+  ScenarioRegionSpec region;
+  region.name = object.at("name").as_string();
+  region.row_fraction = object.at("rows").as_number();
+  // Required: a region without an explicit policy would silently run
+  // unmitigated — the opposite of what a forgotten member likely meant.
+  region.policy = parse_policy(object.at("policy"));
+  return region;
+}
+
+void parse_baseline(const JsonValue& object,
+                    sim::BaselineAcceleratorConfig& config) {
+  check_members(object, "baseline",
+                {"weight_memory_bytes", "double_buffered",
+                 "compute_weighted_residency"});
+  if (const JsonValue* v = object.find("weight_memory_bytes"))
+    config.weight_memory_bytes = v->as_uint();
+  if (const JsonValue* v = object.find("double_buffered"))
+    config.double_buffered = v->as_bool();
+  if (const JsonValue* v = object.find("compute_weighted_residency"))
+    config.compute_weighted_residency = v->as_bool();
+}
+
+void parse_npu(const JsonValue& object, sim::TpuNpuConfig& config) {
+  check_members(object, "npu", {"array_dim", "fifo_tiles"});
+  if (const JsonValue* v = object.find("array_dim"))
+    config.array_dim = parse_bounded_uint(*v, "array_dim", 1u << 16);
+  if (const JsonValue* v = object.find("fifo_tiles"))
+    config.fifo_tiles = parse_bounded_uint(*v, "fifo_tiles", 1u << 16);
+}
+
+void parse_report(const JsonValue& object, aging::AgingReportOptions& report) {
+  check_members(object, "report", {"years", "optimal_tolerance"});
+  if (const JsonValue* v = object.find("years")) report.years = v->as_number();
+  if (const JsonValue* v = object.find("optimal_tolerance"))
+    report.optimal_tolerance = v->as_number();
+}
+
+void parse_snm(const JsonValue& object, aging::SnmParams& snm) {
+  check_members(object, "snm",
+                {"snm_at_balanced", "snm_at_full_stress", "t_ref_years",
+                 "time_exponent"});
+  if (const JsonValue* v = object.find("snm_at_balanced"))
+    snm.snm_at_balanced = v->as_number();
+  if (const JsonValue* v = object.find("snm_at_full_stress"))
+    snm.snm_at_full_stress = v->as_number();
+  if (const JsonValue* v = object.find("t_ref_years"))
+    snm.t_ref_years = v->as_number();
+  if (const JsonValue* v = object.find("time_exponent"))
+    snm.time_exponent = v->as_number();
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(const std::string& json_text) {
+  const JsonValue root = JsonValue::parse(json_text);
+  check_members(root, "scenario",
+                {"name", "format", "hardware", "baseline", "npu", "phases",
+                 "regions", "threads", "use_reference_simulator", "report",
+                 "snm"});
+  ScenarioSpec spec;
+  if (const JsonValue* v = root.find("name")) spec.name = v->as_string();
+  if (const JsonValue* v = root.find("format"))
+    spec.format = quant::weight_format_from_string(v->as_string());
+  if (const JsonValue* v = root.find("hardware"))
+    spec.hardware = hardware_kind_from_string(v->as_string());
+  if (const JsonValue* v = root.find("baseline"))
+    parse_baseline(*v, spec.baseline);
+  if (const JsonValue* v = root.find("npu")) parse_npu(*v, spec.npu);
+  for (const JsonValue& phase : root.at("phases").items())
+    spec.phases.push_back(parse_phase(phase));
+  if (spec.phases.empty())
+    throw std::invalid_argument("scenario needs at least one phase");
+  if (const JsonValue* v = root.find("regions"))
+    for (const JsonValue& region : v->items())
+      spec.regions.push_back(parse_region(region));
+  if (const JsonValue* v = root.find("threads"))
+    spec.threads = parse_bounded_uint(*v, "threads", 1u << 10);
+  if (const JsonValue* v = root.find("use_reference_simulator"))
+    spec.use_reference_simulator = v->as_bool();
+  if (const JsonValue* v = root.find("report")) parse_report(*v, spec.report);
+  if (const JsonValue* v = root.find("snm")) parse_snm(*v, spec.snm);
+  return spec;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  DNNLIFE_EXPECTS(!spec.phases.empty(), "scenario needs at least one phase");
+
+  // Build one (network, streamer, codec, stream) pipeline per distinct
+  // network; phases referencing the same network share it. All streams use
+  // the scenario's single hardware config, so they target the same
+  // physical memory.
+  struct NetworkPipeline {
+    std::unique_ptr<dnn::Network> network;
+    std::unique_ptr<dnn::WeightStreamer> streamer;
+    std::unique_ptr<quant::WeightWordCodec> codec;
+    std::unique_ptr<sim::WriteStream> stream;
+  };
+  std::map<std::string, NetworkPipeline> pipelines;
+  unsigned weight_bits = 0;
+  for (const ScenarioPhaseSpec& phase : spec.phases) {
+    if (pipelines.contains(phase.network)) continue;
+    NetworkPipeline pipeline;
+    pipeline.network =
+        std::make_unique<dnn::Network>(dnn::make_network(phase.network));
+    pipeline.streamer = std::make_unique<dnn::WeightStreamer>(*pipeline.network);
+    pipeline.codec = std::make_unique<quant::WeightWordCodec>(
+        *pipeline.streamer, spec.format);
+    switch (spec.hardware) {
+      case HardwareKind::kBaseline:
+        pipeline.stream = std::make_unique<sim::BaselineWeightStream>(
+            *pipeline.codec, spec.baseline);
+        break;
+      case HardwareKind::kTpuNpu:
+        pipeline.stream = std::make_unique<sim::NpuWeightStream>(
+            *pipeline.codec, spec.npu);
+        break;
+    }
+    weight_bits = pipeline.codec->bits();
+    pipelines.emplace(phase.network, std::move(pipeline));
+  }
+
+  const sim::MemoryGeometry geometry =
+      pipelines.at(spec.phases.front().network).stream->geometry();
+  for (const auto& [name, pipeline] : pipelines) {
+    const sim::MemoryGeometry other = pipeline.stream->geometry();
+    DNNLIFE_EXPECTS(other.rows == geometry.rows &&
+                        other.row_bits == geometry.row_bits,
+                    "scenario phases disagree on the memory geometry "
+                    "(network '" + name + "')");
+  }
+
+  // Resolve the region → policy table; the barrel shifter rotates at
+  // weight-word granularity, so every policy inherits the codec's width.
+  std::vector<std::pair<std::string, double>> fractions;
+  std::vector<PolicyConfig> policies;
+  if (spec.regions.empty()) {
+    fractions.emplace_back("memory", 1.0);
+    policies.push_back(PolicyConfig{});
+  } else {
+    for (const ScenarioRegionSpec& region : spec.regions) {
+      fractions.emplace_back(region.name, region.row_fraction);
+      policies.push_back(region.policy);
+    }
+  }
+  for (PolicyConfig& policy : policies) policy.weight_bits = weight_bits;
+  const RegionPolicyTable table(
+      sim::MemoryRegionMap::from_fractions(geometry, fractions),
+      std::move(policies));
+
+  std::vector<WorkloadPhase> phases;
+  ScenarioResult result{geometry, {}, aging::AgingReport{{0.0, 1.0, 1}, {}, {},
+                                                         0, 0, 0.0, {}}};
+  phases.reserve(spec.phases.size());
+  for (const ScenarioPhaseSpec& phase : spec.phases) {
+    phases.push_back(WorkloadPhase{pipelines.at(phase.network).stream.get(),
+                                   phase.inferences});
+    result.phase_labels.push_back(phase.network + " x " +
+                                  std::to_string(phase.inferences));
+  }
+
+  WorkloadOptions options;
+  options.threads = spec.threads;
+  options.use_reference_simulator = spec.use_reference_simulator;
+  const aging::DutyCycleTracker tracker =
+      simulate_workload(phases, table, options);
+  const aging::CalibratedSnmModel model(spec.snm);
+  result.report = make_aging_report(tracker, model, spec.report);
+  return result;
+}
+
+}  // namespace dnnlife::core

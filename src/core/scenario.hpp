@@ -1,0 +1,73 @@
+// Declarative scenario layer: one description drives a whole experiment.
+//
+// A ScenarioSpec names everything the lower layers need — the network
+// phases of the device lifetime, the representation format, the hardware
+// model, the region → policy assignments and the run parameters — so a
+// production sweep is a list of specs (or JSON files) instead of bespoke
+// driver code wiring networks, codecs, streams and simulators by hand.
+//
+// Layering: scenario → workbench/workload → policy engine → simulators.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aging/snm_histogram.hpp"
+#include "core/experiment.hpp"
+#include "core/region_policy.hpp"
+
+namespace dnnlife::core {
+
+/// One lifetime phase: a network run for a number of inferences on the
+/// scenario's hardware. Zero inferences describe a provisioned-but-dormant
+/// model (the phase is skipped).
+struct ScenarioPhaseSpec {
+  std::string network = "custom_mnist";
+  unsigned inferences = 100;
+};
+
+/// One memory region and its policy. `row_fraction`s of all regions must
+/// sum to 1; row counts are rounded with the last region absorbing the
+/// remainder (see sim::MemoryRegionMap::from_fractions).
+struct ScenarioRegionSpec {
+  std::string name = "memory";
+  double row_fraction = 1.0;
+  PolicyConfig policy;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  quant::WeightFormat format = quant::WeightFormat::kInt8Symmetric;
+  HardwareKind hardware = HardwareKind::kBaseline;
+  sim::BaselineAcceleratorConfig baseline;
+  sim::TpuNpuConfig npu;
+  /// Lifetime phases, in order. At least one is required to run.
+  std::vector<ScenarioPhaseSpec> phases;
+  /// Region → policy assignments; empty means one whole-memory region
+  /// with the default (no-mitigation) policy.
+  std::vector<ScenarioRegionSpec> regions;
+  unsigned threads = 1;
+  bool use_reference_simulator = false;
+  aging::AgingReportOptions report;
+  aging::SnmParams snm;
+};
+
+/// Parse a scenario from its JSON description. Strict: unknown members,
+/// wrong types and out-of-range values throw std::invalid_argument with
+/// an explanatory message. See README.md ("Declarative scenarios") for
+/// the schema.
+ScenarioSpec parse_scenario(const std::string& json_text);
+
+struct ScenarioResult {
+  sim::MemoryGeometry geometry;          ///< resolved weight-memory shape
+  std::vector<std::string> phase_labels; ///< "network x inferences" per phase
+  aging::AgingReport report;             ///< includes the per-region breakdown
+};
+
+/// Run the scenario end-to-end: build the per-network streams (hardware
+/// config shared, so all phases target the same physical memory), resolve
+/// the region table, simulate the phased workload and report aging per
+/// region.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace dnnlife::core

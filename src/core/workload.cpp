@@ -1,28 +1,48 @@
 #include "core/workload.hpp"
 
 #include "core/fast_simulator.hpp"
-#include "util/rng.hpp"
+#include "core/reference_simulator.hpp"
 
 namespace dnnlife::core {
 
 aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
-                                          const PolicyConfig& policy) {
+                                          const RegionPolicyTable& policies,
+                                          const WorkloadOptions& options) {
   DNNLIFE_EXPECTS(!phases.empty(), "workload needs at least one phase");
-  const sim::MemoryGeometry geometry = phases.front().stream->geometry();
+  const sim::MemoryGeometry geometry = policies.geometry();
   aging::DutyCycleTracker combined(geometry.cells());
+  combined.set_regions(policies.cell_regions());
   for (std::size_t p = 0; p < phases.size(); ++p) {
     const WorkloadPhase& phase = phases[p];
     DNNLIFE_EXPECTS(phase.stream != nullptr, "phase without stream");
     DNNLIFE_EXPECTS(phase.stream->geometry().rows == geometry.rows &&
                         phase.stream->geometry().row_bits == geometry.row_bits,
                     "phases must share the memory geometry");
-    PolicyConfig phase_policy = policy;
-    phase_policy.seed = util::derive_seed(policy.seed, p + 1);
-    FastSimOptions options;
-    options.inferences = phase.inferences;
-    combined.merge(simulate_fast(*phase.stream, phase_policy, options));
+    if (phase.inferences == 0) continue;  // a dormant phase ages nothing
+    const RegionPolicyTable phase_policies = policies.with_derived_seeds(p + 1);
+    if (options.use_reference_simulator) {
+      ReferenceSimOptions reference;
+      reference.inferences = phase.inferences;
+      reference.verify_decode = false;
+      combined.merge(
+          simulate_reference(*phase.stream, phase_policies, reference));
+    } else {
+      FastSimOptions fast;
+      fast.inferences = phase.inferences;
+      fast.threads = options.threads;
+      combined.merge(simulate_fast(*phase.stream, phase_policies, fast));
+    }
   }
   return combined;
+}
+
+aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
+                                          const PolicyConfig& policy) {
+  DNNLIFE_EXPECTS(!phases.empty() && phases.front().stream != nullptr,
+                  "workload needs at least one phase");
+  return simulate_workload(
+      phases,
+      RegionPolicyTable::uniform(phases.front().stream->geometry(), policy));
 }
 
 }  // namespace dnnlife::core

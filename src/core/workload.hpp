@@ -4,29 +4,46 @@
 // DNN is used for the whole device lifetime. Real deployments interleave
 // models on the same accelerator; the lifetime duty-cycle of a cell is
 // then the time-weighted union of the phases. This module composes
-// per-phase simulations over a shared weight memory.
+// per-phase simulations over a shared weight memory, with one
+// region → policy table applied across all phases.
 #pragma once
 
 #include <span>
 
 #include "aging/duty_cycle.hpp"
-#include "core/mitigation_policy.hpp"
+#include "core/region_policy.hpp"
 #include "sim/write_stream.hpp"
 
 namespace dnnlife::core {
 
 /// One phase of the device lifetime: a network/accelerator write stream
-/// run for a number of inferences.
+/// run for a number of inferences. A phase with zero inferences is
+/// skipped (it contributes no residency time).
 struct WorkloadPhase {
   const sim::WriteStream* stream = nullptr;  // non-owning
   unsigned inferences = 100;
+};
+
+struct WorkloadOptions {
+  /// Worker threads per phase (see FastSimOptions::threads; ignored on the
+  /// reference path). Results are bit-identical either way.
+  unsigned threads = 1;
+  /// Replay every phase through the literal reference simulator instead of
+  /// the aggregated fast path (small configs / validation).
+  bool use_reference_simulator = false;
 };
 
 /// Simulate the phases in order on the same physical memory (all streams
 /// must share the memory geometry) and accumulate duty-cycle time across
 /// them. DNN-Life phases draw decorrelated randomness (the controller
 /// keeps running across phases in hardware; here each phase derives a
-/// sub-seed, which is statistically equivalent).
+/// sub-seed, which is statistically equivalent). The returned tracker
+/// carries the table's region tags.
+aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
+                                          const RegionPolicyTable& policies,
+                                          const WorkloadOptions& options = {});
+
+/// Whole-memory convenience wrapper (uniform region).
 aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
                                           const PolicyConfig& policy);
 

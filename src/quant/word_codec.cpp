@@ -23,6 +23,17 @@ std::string to_string(WeightFormat format) {
   return "unknown";
 }
 
+WeightFormat weight_format_from_string(std::string_view name) {
+  for (const WeightFormat format :
+       {WeightFormat::kFloat32, WeightFormat::kInt8Symmetric,
+        WeightFormat::kInt8Asymmetric}) {
+    if (name == to_string(format)) return format;
+  }
+  throw std::invalid_argument(
+      "unknown weight format '" + std::string(name) +
+      "' (expected one of: float32, int8-symmetric, int8-asymmetric)");
+}
+
 WeightWordCodec::WeightWordCodec(const dnn::WeightStreamer& streamer,
                                  WeightFormat format)
     : streamer_(&streamer), format_(format), bits_(bits_per_weight(format)) {

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dnn/weight_gen.hpp"
@@ -24,6 +25,10 @@ enum class WeightFormat {
 unsigned bits_per_weight(WeightFormat format);
 
 std::string to_string(WeightFormat format);
+
+/// Inverse of to_string(WeightFormat) — round-trips every format. Throws
+/// std::invalid_argument (listing the valid names) for anything else.
+WeightFormat weight_format_from_string(std::string_view name);
 
 /// Encodes weights of one network into memory words. Quantization
 /// parameters are per-layer (per-tensor granularity, the standard

@@ -1,0 +1,90 @@
+#include "sim/region_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace dnnlife::sim {
+
+MemoryRegionMap::MemoryRegionMap(const MemoryGeometry& geometry,
+                                 std::vector<MemoryRegion> regions)
+    : geometry_(geometry), regions_(std::move(regions)) {
+  geometry_.validate();
+  DNNLIFE_EXPECTS(!regions_.empty(), "region map needs at least one region");
+  std::uint32_t next_row = 0;
+  for (const MemoryRegion& region : regions_) {
+    DNNLIFE_EXPECTS(!region.name.empty(), "region needs a name");
+    DNNLIFE_EXPECTS(region.row_begin < region.row_end,
+                    "region '" + region.name + "' is empty");
+    DNNLIFE_EXPECTS(region.row_begin == next_row,
+                    "regions must partition the rows without gaps or "
+                    "overlap (at region '" + region.name + "')");
+    next_row = region.row_end;
+  }
+  DNNLIFE_EXPECTS(next_row == geometry_.rows,
+                  "regions must cover all " + std::to_string(geometry_.rows) +
+                      " rows (covered " + std::to_string(next_row) + ")");
+  for (std::size_t i = 0; i < regions_.size(); ++i)
+    for (std::size_t j = i + 1; j < regions_.size(); ++j)
+      DNNLIFE_EXPECTS(regions_[i].name != regions_[j].name,
+                      "duplicate region name '" + regions_[i].name + "'");
+}
+
+MemoryRegionMap MemoryRegionMap::whole_memory(const MemoryGeometry& geometry,
+                                              std::string name) {
+  return MemoryRegionMap(
+      geometry, {MemoryRegion{std::move(name), 0, geometry.rows}});
+}
+
+MemoryRegionMap MemoryRegionMap::from_fractions(
+    const MemoryGeometry& geometry,
+    const std::vector<std::pair<std::string, double>>& fractions) {
+  DNNLIFE_EXPECTS(!fractions.empty(), "region map needs at least one region");
+  double total = 0.0;
+  for (const auto& [name, fraction] : fractions) {
+    DNNLIFE_EXPECTS(fraction > 0.0 && fraction <= 1.0,
+                    "region '" + name + "' fraction must be in (0, 1]");
+    total += fraction;
+  }
+  DNNLIFE_EXPECTS(std::abs(total - 1.0) < 1e-6,
+                  "region fractions must sum to 1");
+  std::vector<MemoryRegion> regions;
+  regions.reserve(fractions.size());
+  std::uint32_t row = 0;
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const bool last = i + 1 == fractions.size();
+    auto rows = last ? geometry.rows - row
+                     : static_cast<std::uint32_t>(std::llround(
+                           fractions[i].second * geometry.rows));
+    // Rounding must leave at least one row for this and every later region.
+    const auto remaining = static_cast<std::uint32_t>(fractions.size() - 1 - i);
+    DNNLIFE_EXPECTS(geometry.rows - row > remaining,
+                    "memory too small for the requested region split");
+    rows = std::clamp(rows, 1u, geometry.rows - row - remaining);
+    regions.push_back(MemoryRegion{fractions[i].first, row, row + rows});
+    row += rows;
+  }
+  return MemoryRegionMap(geometry, std::move(regions));
+}
+
+std::size_t MemoryRegionMap::region_of_row(std::uint32_t row) const {
+  DNNLIFE_EXPECTS(row < geometry_.rows, "row out of range");
+  if (regions_.size() == 1) return 0;
+  // Regions are a sorted partition: the owner is the last region starting
+  // at or before `row`.
+  const auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), row,
+      [](std::uint32_t r, const MemoryRegion& region) {
+        return r < region.row_begin;
+      });
+  return static_cast<std::size_t>(it - regions_.begin()) - 1;
+}
+
+std::size_t MemoryRegionMap::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < regions_.size(); ++i)
+    if (regions_[i].name == name) return i;
+  throw std::invalid_argument("no region named '" + std::string(name) + "'");
+}
+
+}  // namespace dnnlife::sim

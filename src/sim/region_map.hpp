@@ -1,0 +1,78 @@
+// Partition of a weight memory's rows into named regions.
+//
+// The paper applies one mitigation policy to the whole weight memory; real
+// deployments want mixed policies per memory region (e.g. DNN-Life on the
+// hot layers of one network, nothing on padding rows). A MemoryRegionMap
+// names contiguous, non-overlapping row ranges that together cover the
+// memory exactly; the policy layer (core::RegionPolicyTable) binds one
+// policy to each region and the aging layer breaks reports out per region.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/memory_geometry.hpp"
+
+namespace dnnlife::sim {
+
+/// One named contiguous row range [row_begin, row_end).
+struct MemoryRegion {
+  std::string name;
+  std::uint32_t row_begin = 0;
+  std::uint32_t row_end = 0;  ///< exclusive
+
+  std::uint32_t rows() const noexcept { return row_end - row_begin; }
+
+  friend bool operator==(const MemoryRegion& a, const MemoryRegion& b) {
+    return a.name == b.name && a.row_begin == b.row_begin &&
+           a.row_end == b.row_end;
+  }
+};
+
+/// An ordered partition of a memory's rows: regions are sorted, non-empty,
+/// uniquely named and cover [0, rows) without gaps or overlap (so every
+/// write has exactly one owning region).
+class MemoryRegionMap {
+ public:
+  MemoryRegionMap(const MemoryGeometry& geometry,
+                  std::vector<MemoryRegion> regions);
+
+  /// The trivial map: one region spanning the whole memory.
+  static MemoryRegionMap whole_memory(const MemoryGeometry& geometry,
+                                      std::string name = "memory");
+
+  /// Split the memory by row fractions (each in (0, 1], summing to ~1);
+  /// row counts are rounded and the last region absorbs the remainder.
+  static MemoryRegionMap from_fractions(
+      const MemoryGeometry& geometry,
+      const std::vector<std::pair<std::string, double>>& fractions);
+
+  const MemoryGeometry& geometry() const noexcept { return geometry_; }
+  std::size_t size() const noexcept { return regions_.size(); }
+  const MemoryRegion& region(std::size_t index) const {
+    return regions_.at(index);
+  }
+  const std::vector<MemoryRegion>& regions() const noexcept { return regions_; }
+
+  /// Index of the region owning `row` (regions partition the rows, so this
+  /// always resolves). O(1) for the single-region map, O(log n) otherwise.
+  std::size_t region_of_row(std::uint32_t row) const;
+
+  /// Index of the region named `name`; throws std::invalid_argument when
+  /// absent.
+  std::size_t index_of(std::string_view name) const;
+
+  friend bool operator==(const MemoryRegionMap& a, const MemoryRegionMap& b) {
+    return a.geometry_.rows == b.geometry_.rows &&
+           a.geometry_.row_bits == b.geometry_.row_bits &&
+           a.regions_ == b.regions_;
+  }
+
+ private:
+  MemoryGeometry geometry_;
+  std::vector<MemoryRegion> regions_;
+};
+
+}  // namespace dnnlife::sim

@@ -1,0 +1,62 @@
+// Minimal JSON reader for the declarative scenario layer.
+//
+// Parses the JSON subset the framework's own specs use — objects, arrays,
+// strings (with the standard escapes), numbers, booleans and null — into an
+// immutable value tree. Strict: trailing garbage, unterminated literals and
+// malformed numbers throw std::invalid_argument with the character offset.
+// Deliberately tiny (no external dependency, no serialisation, no
+// comments); object members keep their textual order and are accessed
+// linearly, which is plenty for hand-written scenario files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dnnlife::util {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse one complete JSON document.
+  static JsonValue parse(std::string_view text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::invalid_argument on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number checked to be a non-negative integer that fits the type.
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup: find returns nullptr when absent; at throws.
+  const JsonValue* find(std::string_view key) const;
+  const JsonValue& at(std::string_view key) const;
+
+  /// Human-readable type name ("object", "number", ...) for messages.
+  static std::string_view type_name(Type type) noexcept;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace dnnlife::util

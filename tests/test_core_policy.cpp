@@ -8,6 +8,7 @@
 #include "core/bias_balancer.hpp"
 #include "core/metadata_store.hpp"
 #include "core/mitigation_policy.hpp"
+#include "core/policy_engine.hpp"
 #include "core/transducer.hpp"
 #include "core/trbg.hpp"
 #include "util/bitops.hpp"
@@ -211,69 +212,79 @@ TEST(PolicyConfig, NamesAreDescriptive) {
   EXPECT_NE(dnn.name().find("0.7"), std::string::npos);
 }
 
-TEST(MitigationPolicy, NoneNeverActs) {
-  MitigationPolicy policy(PolicyConfig::none(), 4);
+/// The engines' stateful replay path, driven the way the reference
+/// simulator drives it (begin_inference / on_write).
+std::unique_ptr<PolicyEngine> engine_for(const PolicyConfig& config,
+                                         std::uint32_t rows) {
+  return make_policy_engine(config, sim::MemoryGeometry{rows, 64});
+}
+
+TEST(PolicyEngineReplay, NoneNeverActs) {
+  auto policy = engine_for(PolicyConfig::none(), 4);
   for (std::uint32_t i = 0; i < 10; ++i) {
-    const auto action = policy.on_write(i % 4);
+    const auto action = policy->on_write(i % 4);
     EXPECT_FALSE(action.invert);
     EXPECT_EQ(action.rotate, 0u);
   }
 }
 
-TEST(MitigationPolicy, InversionAlternatesPerLocation) {
-  MitigationPolicy policy(PolicyConfig::inversion(), 2);
-  policy.begin_inference();
-  EXPECT_FALSE(policy.on_write(0).invert);
-  EXPECT_FALSE(policy.on_write(1).invert);  // independent counter
-  EXPECT_TRUE(policy.on_write(0).invert);
-  EXPECT_TRUE(policy.on_write(1).invert);
-  EXPECT_FALSE(policy.on_write(0).invert);
+TEST(PolicyEngineReplay, InversionAlternatesPerLocation) {
+  auto policy = engine_for(PolicyConfig::inversion(), 2);
+  policy->begin_inference();
+  EXPECT_FALSE(policy->on_write(0).invert);
+  EXPECT_FALSE(policy->on_write(1).invert);  // independent counter
+  EXPECT_TRUE(policy->on_write(0).invert);
+  EXPECT_TRUE(policy->on_write(1).invert);
+  EXPECT_FALSE(policy->on_write(0).invert);
 }
 
-TEST(MitigationPolicy, InversionResetsEachInference) {
-  MitigationPolicy policy(PolicyConfig::inversion(), 1);
-  policy.begin_inference();
-  EXPECT_FALSE(policy.on_write(0).invert);
-  policy.begin_inference();
+TEST(PolicyEngineReplay, InversionResetsEachInference) {
+  auto policy = engine_for(PolicyConfig::inversion(), 1);
+  policy->begin_inference();
+  EXPECT_FALSE(policy->on_write(0).invert);
+  policy->begin_inference();
   // Reset: the same datum always arrives with the same phase — the
   // paper's periodic-reuse failure mode.
-  EXPECT_FALSE(policy.on_write(0).invert);
+  EXPECT_FALSE(policy->on_write(0).invert);
 }
 
-TEST(MitigationPolicy, ContinuousInversionCarriesOver) {
+TEST(PolicyEngineReplay, ContinuousInversionCarriesOver) {
   auto config = PolicyConfig::inversion();
   config.reset_each_inference = false;
-  MitigationPolicy policy(config, 1);
-  policy.begin_inference();
-  EXPECT_FALSE(policy.on_write(0).invert);
-  policy.begin_inference();
-  EXPECT_TRUE(policy.on_write(0).invert);
+  auto policy = engine_for(config, 1);
+  policy->begin_inference();
+  EXPECT_FALSE(policy->on_write(0).invert);
+  policy->begin_inference();
+  EXPECT_TRUE(policy->on_write(0).invert);
+  // ...and precisely because the counters never reset, the engine offers
+  // no aggregation plan: only the literal replay is valid.
+  EXPECT_EQ(policy->make_aggregate_plan(10), nullptr);
 }
 
-TEST(MitigationPolicy, BarrelCyclesRotations) {
-  MitigationPolicy policy(PolicyConfig::barrel_shifter(8), 1);
-  policy.begin_inference();
+TEST(PolicyEngineReplay, BarrelCyclesRotations) {
+  auto policy = engine_for(PolicyConfig::barrel_shifter(8), 1);
+  policy->begin_inference();
   for (unsigned i = 0; i < 20; ++i)
-    EXPECT_EQ(policy.on_write(0).rotate, i % 8);
+    EXPECT_EQ(policy->on_write(0).rotate, i % 8);
 }
 
-TEST(MitigationPolicy, DnnLifeDrawsFreshRandomness) {
-  MitigationPolicy policy(PolicyConfig::dnn_life(0.5), 1);
+TEST(PolicyEngineReplay, DnnLifeDrawsFreshRandomness) {
+  auto policy = engine_for(PolicyConfig::dnn_life(0.5), 1);
   int ones = 0;
   const int n = 10000;
   for (int i = 0; i < n; ++i) {
-    policy.begin_inference();
-    ones += policy.on_write(0).invert ? 1 : 0;
+    policy->begin_inference();
+    ones += policy->on_write(0).invert ? 1 : 0;
   }
   // Not reset by inference boundaries; unbiased overall.
   EXPECT_NEAR(static_cast<double>(ones) / n, 0.5, 0.03);
 }
 
-TEST(MitigationPolicy, DnnLifeSeedReproducible) {
-  MitigationPolicy a(PolicyConfig::dnn_life(0.5), 1);
-  MitigationPolicy b(PolicyConfig::dnn_life(0.5), 1);
+TEST(PolicyEngineReplay, DnnLifeSeedReproducible) {
+  auto a = engine_for(PolicyConfig::dnn_life(0.5), 1);
+  auto b = engine_for(PolicyConfig::dnn_life(0.5), 1);
   for (int i = 0; i < 100; ++i)
-    EXPECT_EQ(a.on_write(0).invert, b.on_write(0).invert);
+    EXPECT_EQ(a->on_write(0).invert, b->on_write(0).invert);
 }
 
 }  // namespace

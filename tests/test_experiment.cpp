@@ -170,10 +170,13 @@ TEST(Experiment, PluggableAgingModels) {
        {static_cast<const aging::AgingModel*>(&nbti),
         static_cast<const aging::AgingModel*>(&dual),
         static_cast<const aging::AgingModel*>(&adapter)}) {
+    StreamRunOptions options;
+    options.inferences = 20;
     const auto none = run_policy_on_stream(bench.stream(), PolicyConfig::none(),
-                                           20, *model, config.report);
-    const auto dnn = run_policy_on_stream(
-        bench.stream(), PolicyConfig::dnn_life(0.5), 20, *model, config.report);
+                                           *model, config.report, options);
+    const auto dnn =
+        run_policy_on_stream(bench.stream(), PolicyConfig::dnn_life(0.5),
+                             *model, config.report, options);
     // Duty balancing helps under every device model.
     EXPECT_LE(dnn.snm_stats.mean(), none.snm_stats.mean() + 1e-9);
     EXPECT_LT(dnn.snm_stats.max(), none.snm_stats.max() + 1e-9);

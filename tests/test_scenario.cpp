@@ -1,0 +1,236 @@
+// Tests for the declarative scenario layer: the JSON reader, strict spec
+// parsing and end-to-end scenario runs (hybrid regions, multi-phase).
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "core/workload.hpp"
+#include "util/json.hpp"
+
+namespace dnnlife::core {
+namespace {
+
+// ---- JSON reader -------------------------------------------------------------
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const auto root = util::JsonValue::parse(
+      R"({"a": 1.5, "b": "text", "c": [1, 2, 3], "d": {"x": true}, "e": null})");
+  EXPECT_DOUBLE_EQ(root.at("a").as_number(), 1.5);
+  EXPECT_EQ(root.at("b").as_string(), "text");
+  ASSERT_EQ(root.at("c").items().size(), 3u);
+  EXPECT_EQ(root.at("c").items()[2].as_uint(), 3u);
+  EXPECT_TRUE(root.at("d").at("x").as_bool());
+  EXPECT_TRUE(root.at("e").is_null());
+  EXPECT_EQ(root.find("missing"), nullptr);
+  EXPECT_THROW(root.at("missing"), std::invalid_argument);
+}
+
+TEST(Json, ParsesEscapesAndNegativeExponents) {
+  const auto root =
+      util::JsonValue::parse(R"({"s": "a\"b\nA", "n": -2.5e-2})");
+  EXPECT_EQ(root.at("s").as_string(), "a\"b\nA");
+  EXPECT_DOUBLE_EQ(root.at("n").as_number(), -0.025);
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_THROW(util::JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW(util::JsonValue::parse("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(util::JsonValue::parse(R"({"a": })"), std::invalid_argument);
+  EXPECT_THROW(util::JsonValue::parse(R"({"a": 1, "a": 2})"),
+               std::invalid_argument);
+  EXPECT_THROW(util::JsonValue::parse(R"("unterminated)"),
+               std::invalid_argument);
+  EXPECT_THROW(util::JsonValue::parse("01a"), std::invalid_argument);
+  EXPECT_THROW(util::JsonValue::parse(""), std::invalid_argument);
+}
+
+TEST(Json, TypedAccessorsCheckTypes) {
+  const auto root = util::JsonValue::parse(R"({"n": 3, "neg": -1, "f": 1.25})");
+  EXPECT_THROW(root.at("n").as_string(), std::invalid_argument);
+  EXPECT_THROW(root.at("n").as_bool(), std::invalid_argument);
+  EXPECT_THROW(root.at("n").items(), std::invalid_argument);
+  EXPECT_EQ(root.at("n").as_uint(), 3u);
+  EXPECT_THROW(root.at("neg").as_uint(), std::invalid_argument);
+  EXPECT_THROW(root.at("f").as_uint(), std::invalid_argument);
+}
+
+// ---- scenario parsing --------------------------------------------------------
+
+constexpr const char* kHybridScenario = R"json({
+  "name": "hybrid",
+  "hardware": "tpu-like-npu",
+  "format": "int8-symmetric",
+  "npu": {"array_dim": 64, "fifo_tiles": 2},
+  "phases": [
+    {"network": "custom_mnist", "inferences": 8},
+    {"network": "custom_mnist", "inferences": 4}
+  ],
+  "regions": [
+    {"name": "hot", "rows": 0.25,
+     "policy": {"kind": "dnn-life", "trbg_bias": 0.7, "balancer_bits": 4}},
+    {"name": "cold", "rows": 0.75, "policy": {"kind": "no-mitigation"}}
+  ],
+  "threads": 2
+})json";
+
+TEST(ScenarioParse, ReadsTheFullSchema) {
+  const ScenarioSpec spec = parse_scenario(kHybridScenario);
+  EXPECT_EQ(spec.name, "hybrid");
+  EXPECT_EQ(spec.hardware, HardwareKind::kTpuNpu);
+  EXPECT_EQ(spec.format, quant::WeightFormat::kInt8Symmetric);
+  EXPECT_EQ(spec.npu.array_dim, 64u);
+  EXPECT_EQ(spec.npu.fifo_tiles, 2u);
+  ASSERT_EQ(spec.phases.size(), 2u);
+  EXPECT_EQ(spec.phases[0].network, "custom_mnist");
+  EXPECT_EQ(spec.phases[1].inferences, 4u);
+  ASSERT_EQ(spec.regions.size(), 2u);
+  EXPECT_EQ(spec.regions[0].name, "hot");
+  EXPECT_DOUBLE_EQ(spec.regions[0].row_fraction, 0.25);
+  EXPECT_EQ(spec.regions[0].policy.kind, PolicyKind::kDnnLife);
+  EXPECT_DOUBLE_EQ(spec.regions[0].policy.trbg_bias, 0.7);
+  EXPECT_EQ(spec.regions[1].policy.kind, PolicyKind::kNone);
+  EXPECT_EQ(spec.threads, 2u);
+}
+
+TEST(ScenarioParse, RejectsUnknownMembersAndBadValues) {
+  EXPECT_THROW(parse_scenario(R"({"phases": [], "typo_key": 1})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(R"({"phases": []})"), std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario(
+          R"({"phases": [{"network": "custom_mnist", "inferencez": 1}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario(R"({"hardware": "abacus",
+                         "phases": [{"network": "custom_mnist"}]})"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario(R"({"format": "int4",
+                         "phases": [{"network": "custom_mnist"}]})"),
+      std::invalid_argument);
+  // Policy validation runs during parsing (fail at the spec, not mid-run).
+  EXPECT_THROW(
+      parse_scenario(R"({"phases": [{"network": "custom_mnist"}],
+                         "regions": [{"name": "all", "rows": 1.0,
+                                      "policy": {"kind": "dnn-life",
+                                                 "trbg_bias": 1.5}}]})"),
+      std::invalid_argument);
+  // weight_bits is always the codec's width: a spec cannot override it,
+  // and pretending to accept one would silently misconfigure the run.
+  EXPECT_THROW(
+      parse_scenario(R"({"phases": [{"network": "custom_mnist"}],
+                         "regions": [{"name": "all", "rows": 1.0,
+                                      "policy": {"kind": "barrel-shifter",
+                                                 "weight_bits": 16}}]})"),
+      std::invalid_argument);
+  // Unregistered custom policy names are rejected at the "kind" member.
+  EXPECT_THROW(
+      parse_scenario(R"({"phases": [{"network": "custom_mnist"}],
+                         "regions": [{"name": "all", "rows": 1.0,
+                                      "policy": {"kind": "martian"}}]})"),
+      std::invalid_argument);
+  // A region must state its policy — silently defaulting to no-mitigation
+  // would hide a forgotten member.
+  EXPECT_THROW(
+      parse_scenario(R"({"phases": [{"network": "custom_mnist"}],
+                         "regions": [{"name": "hot", "rows": 1.0}]})"),
+      std::invalid_argument);
+}
+
+TEST(ScenarioParse, ReadsReportAndSnmCalibration) {
+  const ScenarioSpec spec = parse_scenario(R"json({
+    "phases": [{"network": "custom_mnist", "inferences": 2}],
+    "report": {"years": 3.0, "optimal_tolerance": 1.5},
+    "snm": {"snm_at_balanced": 10.0, "snm_at_full_stress": 25.0,
+            "t_ref_years": 5.0, "time_exponent": 0.2}
+  })json");
+  EXPECT_DOUBLE_EQ(spec.report.years, 3.0);
+  EXPECT_DOUBLE_EQ(spec.report.optimal_tolerance, 1.5);
+  EXPECT_DOUBLE_EQ(spec.snm.snm_at_balanced, 10.0);
+  EXPECT_DOUBLE_EQ(spec.snm.snm_at_full_stress, 25.0);
+  EXPECT_DOUBLE_EQ(spec.snm.t_ref_years, 5.0);
+  EXPECT_DOUBLE_EQ(spec.snm.time_exponent, 0.2);
+  EXPECT_THROW(parse_scenario(
+                   R"({"phases": [{"network": "custom_mnist"}],
+                       "snm": {"snm_at_balanced": 10.0, "typo": 1}})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParse, HardwareAndFormatNamesRoundTrip) {
+  for (const HardwareKind kind : {HardwareKind::kBaseline, HardwareKind::kTpuNpu})
+    EXPECT_EQ(hardware_kind_from_string(to_string(kind)), kind);
+  EXPECT_THROW(hardware_kind_from_string("gpu"), std::invalid_argument);
+  for (const quant::WeightFormat format :
+       {quant::WeightFormat::kFloat32, quant::WeightFormat::kInt8Symmetric,
+        quant::WeightFormat::kInt8Asymmetric})
+    EXPECT_EQ(quant::weight_format_from_string(quant::to_string(format)),
+              format);
+  EXPECT_THROW(quant::weight_format_from_string("int4"),
+               std::invalid_argument);
+}
+
+// ---- end-to-end scenario runs ------------------------------------------------
+
+TEST(ScenarioRun, HybridRegionsEndToEnd) {
+  const ScenarioSpec spec = parse_scenario(kHybridScenario);
+  const ScenarioResult result = run_scenario(spec);
+  ASSERT_EQ(result.phase_labels.size(), 2u);
+  EXPECT_EQ(result.phase_labels[0], "custom_mnist x 8");
+  ASSERT_EQ(result.report.regions.size(), 2u);
+  EXPECT_EQ(result.report.regions[0].name, "hot");
+  EXPECT_EQ(result.report.regions[1].name, "cold");
+  EXPECT_EQ(result.report.regions[0].total_cells +
+                result.report.regions[1].total_cells,
+            result.report.total_cells);
+  EXPECT_EQ(result.report.total_cells, result.geometry.cells());
+  // The protected region must age no worse than the unprotected one on
+  // the used cells (DNN-Life balances duty-cycles).
+  const auto& hot = result.report.regions[0];
+  const auto& cold = result.report.regions[1];
+  if (hot.snm_stats.count() > 0 && cold.snm_stats.count() > 0)
+    EXPECT_LE(hot.snm_stats.mean(), cold.snm_stats.mean() + 1e-9);
+}
+
+TEST(ScenarioRun, UniformScenarioMatchesDirectWorkload) {
+  const char* json = R"json({
+    "hardware": "baseline-accelerator",
+    "baseline": {"weight_memory_bytes": 16384},
+    "phases": [{"network": "custom_mnist", "inferences": 6}],
+    "regions": [{"name": "memory", "rows": 1.0,
+                 "policy": {"kind": "inversion"}}]
+  })json";
+  const ScenarioResult result = run_scenario(parse_scenario(json));
+  // Same run assembled by hand through the workbench layer.
+  ExperimentConfig config;
+  config.network = "custom_mnist";
+  config.baseline.weight_memory_bytes = 16384;
+  config.inferences = 6;
+  const Workbench bench(config);
+  const std::vector<WorkloadPhase> phases = {
+      WorkloadPhase{&bench.stream(), 6}};
+  const auto tracker = simulate_workload(
+      phases, RegionPolicyTable::uniform(bench.stream().geometry(),
+                                         PolicyConfig::inversion()));
+  const aging::CalibratedSnmModel model;
+  const auto direct = make_aging_report(tracker, model);
+  EXPECT_EQ(result.report.total_cells, direct.total_cells);
+  EXPECT_EQ(result.report.unused_cells, direct.unused_cells);
+  EXPECT_DOUBLE_EQ(result.report.duty_stats.mean(), direct.duty_stats.mean());
+  EXPECT_DOUBLE_EQ(result.report.snm_stats.mean(), direct.snm_stats.mean());
+}
+
+TEST(ScenarioRun, ZeroInferencePhaseIsSkipped) {
+  const char* json = R"json({
+    "hardware": "baseline-accelerator",
+    "baseline": {"weight_memory_bytes": 16384},
+    "phases": [
+      {"network": "custom_mnist", "inferences": 0},
+      {"network": "custom_mnist", "inferences": 5}
+    ]
+  })json";
+  const ScenarioResult result = run_scenario(parse_scenario(json));
+  EXPECT_EQ(result.phase_labels.front(), "custom_mnist x 0");
+  EXPECT_GT(result.report.total_cells, result.report.unused_cells);
+}
+
+}  // namespace
+}  // namespace dnnlife::core

@@ -92,6 +92,64 @@ TEST_F(WorkloadFixture, DnnLifeOptimalOnMixedWorkloads) {
   EXPECT_GT(report.fraction_optimal, 0.95);
 }
 
+TEST_F(WorkloadFixture, ZeroInferencePhaseContributesNothing) {
+  // A provisioned-but-dormant model must not change the lifetime result —
+  // and must not trip the simulators' inferences >= 1 contract.
+  const std::array<WorkloadPhase, 3> with_dormant = {
+      WorkloadPhase{&custom_stream_, 10}, WorkloadPhase{&alexnet_stream_, 0},
+      WorkloadPhase{&custom_stream_, 0}};
+  const std::array<WorkloadPhase, 1> active_only = {
+      WorkloadPhase{&custom_stream_, 10}};
+  const auto policy = PolicyConfig::inversion();
+  const auto dormant = simulate_workload(with_dormant, policy);
+  const auto active = simulate_workload(active_only, policy);
+  EXPECT_EQ(dormant.ones_time(), active.ones_time());
+  EXPECT_EQ(dormant.total_time(), active.total_time());
+}
+
+TEST_F(WorkloadFixture, AllPhasesDormantLeavesMemoryUntouched) {
+  const std::array<WorkloadPhase, 2> phases = {
+      WorkloadPhase{&custom_stream_, 0}, WorkloadPhase{&alexnet_stream_, 0}};
+  const auto tracker = simulate_workload(phases, PolicyConfig::none());
+  EXPECT_EQ(tracker.unused_cell_count(), tracker.cell_count());
+}
+
+TEST_F(WorkloadFixture, RegionTableAppliesAcrossPhases) {
+  const sim::MemoryGeometry geometry = custom_stream_.geometry();
+  const RegionPolicyTable table(
+      sim::MemoryRegionMap(geometry,
+                           {sim::MemoryRegion{"hot", 0, geometry.rows / 2},
+                            sim::MemoryRegion{"cold", geometry.rows / 2,
+                                              geometry.rows}}),
+      {PolicyConfig::dnn_life(0.5), PolicyConfig::none()});
+  const std::array<WorkloadPhase, 2> phases = {
+      WorkloadPhase{&custom_stream_, 10}, WorkloadPhase{&alexnet_stream_, 10}};
+  const auto tracker = simulate_workload(phases, table);
+  ASSERT_EQ(tracker.regions().size(), 2u);
+  EXPECT_EQ(tracker.regions()[0].name, "hot");
+  const aging::CalibratedSnmModel model;
+  const auto report = make_aging_report(tracker, model);
+  ASSERT_EQ(report.regions.size(), 2u);
+  EXPECT_EQ(report.regions[0].total_cells + report.regions[1].total_cells,
+            report.total_cells);
+}
+
+TEST_F(WorkloadFixture, ReferencePathMatchesFastForDeterministicPolicies) {
+  sim::TpuNpuConfig small;
+  small.array_dim = 32;
+  const sim::NpuWeightStream stream(custom_codec_, small);
+  const std::array<WorkloadPhase, 2> phases = {
+      WorkloadPhase{&stream, 3}, WorkloadPhase{&stream, 2}};
+  const auto table =
+      RegionPolicyTable::uniform(stream.geometry(), PolicyConfig::inversion());
+  WorkloadOptions reference_options;
+  reference_options.use_reference_simulator = true;
+  const auto reference = simulate_workload(phases, table, reference_options);
+  const auto fast = simulate_workload(phases, table, {});
+  EXPECT_EQ(reference.ones_time(), fast.ones_time());
+  EXPECT_EQ(reference.total_time(), fast.total_time());
+}
+
 TEST_F(WorkloadFixture, RejectsEmptyAndMismatched) {
   EXPECT_THROW(simulate_workload({}, PolicyConfig::none()),
                std::invalid_argument);
