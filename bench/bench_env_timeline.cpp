@@ -1,0 +1,78 @@
+// Extension: phase-conditioned environment timelines across the registered
+// device-aging models. One workload (custom MNIST on the TPU-like NPU,
+// DNN-Life protected) evaluated over temperature corners and DVFS-style
+// timelines — the operating-point sweep the paper's single implicit
+// environment cannot express.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "aging/lifetime.hpp"
+#include "aging/model_registry.hpp"
+#include "bench_util.hpp"
+#include "core/experiment.hpp"
+#include "core/workload.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dnnlife;
+  benchutil::print_heading(
+      "Device lifetime across environment timelines (registered models)");
+
+  core::ExperimentConfig config;
+  config.network = "custom_mnist";
+  config.hardware = core::HardwareKind::kTpuNpu;
+  // A small FIFO keeps the per-cell lifetime solves of the non-power-law
+  // PBTI/HCI model (generic bracketing inversion) in report territory.
+  config.npu.array_dim = 64;
+  config.npu.fifo_tiles = 2;
+  const core::Workbench bench(config);
+  const auto table = core::RegionPolicyTable::uniform(
+      bench.stream().geometry(), [&] {
+        auto policy = core::PolicyConfig::dnn_life(0.7, true, 4);
+        policy.weight_bits = bench.codec().bits();
+        return policy;
+      }());
+
+  aging::EnvironmentSpec hot;
+  hot.temperature_c = 95.0;
+  aging::EnvironmentSpec turbo;
+  turbo.temperature_c = 85.0;
+  turbo.vdd = 1.15;
+  const std::vector<std::pair<std::string, std::vector<core::WorkloadPhase>>>
+      timelines = {
+          {"nominal (55C)", {{&bench.stream(), 50}, {&bench.stream(), 50}}},
+          {"half hot (95C)", {{&bench.stream(), 50}, {&bench.stream(), 50, hot}}},
+          {"always hot (95C)",
+           {{&bench.stream(), 50, hot}, {&bench.stream(), 50, hot}}},
+          {"turbo DVFS (85C, 1.15 vdd)",
+           {{&bench.stream(), 50}, {&bench.stream(), 50, turbo}}},
+      };
+
+  for (const char* name :
+       {"calibrated-nbti", "arrhenius-nbti", "pbti-hci", "dual-bti"}) {
+    const std::shared_ptr<const aging::DeviceAgingModel> model =
+        aging::make_aging_model(name);
+    const aging::LifetimeModel lifetime_model(model);
+    benchutil::print_heading(std::string("model: ") + name);
+    util::Table out({"timeline", "mean SNM [%]", "max SNM [%]",
+                     "device lifetime [y]", "x worst-case"});
+    for (const auto& [label, phases] : timelines) {
+      const core::PhasedWorkloadResult phased =
+          core::simulate_workload_phased(phases, table);
+      const auto report = make_aging_report(phased.segments, *model);
+      const auto lifetime =
+          make_lifetime_report(phased.segments, lifetime_model);
+      out.add_row({label, util::Table::num(report.snm_stats.mean(), 2),
+                   util::Table::num(report.snm_stats.max(), 2),
+                   util::Table::num(lifetime.device_lifetime_years, 2),
+                   util::Table::num(lifetime.improvement_over_worst_case, 2)});
+    }
+    std::cout << out.to_string();
+  }
+  std::cout << "\nThe default engine is pinned to the paper's operating point\n"
+               "(temperature-agnostic); the Arrhenius model accelerates both\n"
+               "hot phases and DVFS overdrive, and the PBTI/HCI variant's\n"
+               "activity-driven term ages even duty-balanced cells.\n";
+  return 0;
+}

@@ -1,16 +1,28 @@
 // Aging audit: compare all mitigation policies for a chosen network,
-// weight format and accelerator.
+// weight format and accelerator — SNM degradation and device lifetime,
+// under any registered device-aging model and operating environment.
 //
-// Usage: aging_audit [network] [format] [hardware] [inferences]
+// Usage: aging_audit [network] [format] [hardware] [inferences] [flags]
 //   network:  alexnet | vgg16 | googlenet | resnet152 | custom_mnist
 //   format:   float32 | int8-symmetric | int8-asymmetric
 //   hardware: baseline | npu
+// Flags:
+//   --aging-model=NAME   device model from the AgingModelRegistry
+//                        (calibrated-nbti | arrhenius-nbti | pbti-hci | ...)
+//   --temperature=C      operating temperature [°C] (default 55, nominal)
+//   --vdd=V              supply voltage relative to nominal (default 1.0)
+//   --activity=A         fraction of lifetime under stress (default 1.0)
+//   --csv=PATH           export the per-region lifetime breakdown as CSV
 // Defaults: custom_mnist int8-symmetric npu 100.
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "aging/lifetime.hpp"
+#include "aging/model_registry.hpp"
 #include "core/experiment.hpp"
+#include "core/fast_simulator.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -23,27 +35,64 @@ dnnlife::quant::WeightFormat parse_format(const std::string& name) {
   throw std::invalid_argument("unknown format: " + name);
 }
 
+bool flag_value(const std::string& arg, const std::string& name,
+                std::string& value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_audit(int argc, char** argv) {
   using namespace dnnlife;
   using core::PolicyConfig;
-  const std::vector<std::string> args(argv + 1, argv + argc);
 
   core::ExperimentConfig config;
-  config.network = args.size() > 0 ? args[0] : "custom_mnist";
+  std::string csv_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(arg, "aging-model", value)) {
+      config.aging_model = value;
+    } else if (flag_value(arg, "temperature", value)) {
+      config.environment.temperature_c = std::stod(value);
+    } else if (flag_value(arg, "vdd", value)) {
+      config.environment.vdd = std::stod(value);
+    } else if (flag_value(arg, "activity", value)) {
+      config.environment.activity_scale = std::stod(value);
+    } else if (flag_value(arg, "csv", value)) {
+      csv_path = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 1;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  config.network = positional.size() > 0 ? positional[0] : "custom_mnist";
   config.format =
-      parse_format(args.size() > 1 ? args[1] : "int8-symmetric");
-  const std::string hardware = args.size() > 2 ? args[2] : "npu";
+      parse_format(positional.size() > 1 ? positional[1] : "int8-symmetric");
+  const std::string hardware = positional.size() > 2 ? positional[2] : "npu";
   config.hardware = hardware == "baseline" ? core::HardwareKind::kBaseline
                                            : core::HardwareKind::kTpuNpu;
-  config.inferences =
-      args.size() > 3 ? static_cast<unsigned>(std::stoul(args[3])) : 100;
+  config.inferences = positional.size() > 3
+                          ? static_cast<unsigned>(std::stoul(positional[3]))
+                          : 100;
+  // Fail flag mistakes before the (expensive) workbench build.
+  aging::AgingModelRegistry::instance().check(config.aging_model);
+  aging::validate_environment(config.environment);
 
   std::cout << "Aging audit: " << config.network << ", "
             << quant::to_string(config.format) << ", "
             << core::to_string(config.hardware) << ", " << config.inferences
-            << " inferences, 7-year horizon\n\n";
+            << " inferences, 7-year horizon\n"
+            << "model: " << config.aging_model << " @ "
+            << config.environment.temperature_c << "C, "
+            << config.environment.vdd << " vdd, "
+            << config.environment.activity_scale << " activity\n\n";
 
   const core::Workbench bench(config);
   std::cout << "weight memory: " << bench.stream().geometry().rows
@@ -61,17 +110,74 @@ int main(int argc, char** argv) {
       PolicyConfig::dnn_life(0.7, true, 4),
   };
 
+  const aging::LifetimeModel lifetime_model(bench.shared_model());
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_path.empty())
+    csv = std::make_unique<util::CsvWriter>(
+        csv_path,
+        std::vector<std::string>{"policy", "region", "cells", "unused_cells",
+                                 "snm_mean_pct", "snm_max_pct", "duty_mean",
+                                 "fraction_optimal", "device_lifetime_years",
+                                 "cell_lifetime_mean_years"});
+
   util::Table table({"policy", "mean SNM [%]", "max SNM [%]", "mean duty",
-                     "% optimal"});
+                     "% optimal", "lifetime [y]", "x worst"});
   for (const auto& policy : policies) {
-    const auto report = bench.evaluate(policy);
+    auto bound = policy;
+    bound.weight_bits = bench.codec().bits();
+    core::FastSimOptions options;
+    options.inferences = config.inferences;
+    options.threads = config.simulator_threads;
+    const auto tracker = core::simulate_fast(bench.stream(), bound, options);
+    // One environment segment: the whole lifetime sits at the audited
+    // operating point, evaluated through the registry-selected model.
+    std::vector<aging::EnvironmentSegment> segments;
+    segments.push_back(
+        aging::EnvironmentSegment{tracker, config.environment});
+    const auto report =
+        make_aging_report(segments, bench.model(), config.report);
+    const auto lifetime = make_lifetime_report(segments, lifetime_model);
     table.add_row({policy.name(), util::Table::num(report.snm_stats.mean(), 2),
                    util::Table::num(report.snm_stats.max(), 2),
                    util::Table::num(report.duty_stats.mean(), 3),
-                   util::Table::num(100.0 * report.fraction_optimal, 1)});
+                   util::Table::num(100.0 * report.fraction_optimal, 1),
+                   util::Table::num(lifetime.device_lifetime_years, 1),
+                   util::Table::num(lifetime.improvement_over_worst_case, 1)});
+    if (csv) {
+      // Per-region lifetime breakdown (uniform audits carry one
+      // whole-memory region; region tables break out further).
+      for (std::size_t r = 0; r < report.regions.size(); ++r) {
+        const aging::RegionAging& region = report.regions[r];
+        const aging::RegionLifetime& region_lifetime = lifetime.regions[r];
+        csv->add_row({policy.name(), region.name,
+                      std::to_string(region.total_cells),
+                      std::to_string(region.unused_cells),
+                      util::Table::num(region.snm_stats.mean(), 4),
+                      util::Table::num(region.snm_stats.max(), 4),
+                      util::Table::num(region.duty_stats.mean(), 5),
+                      util::Table::num(region.fraction_optimal, 5),
+                      util::Table::num(region_lifetime.device_lifetime_years, 3),
+                      util::Table::num(region_lifetime.cell_lifetime.mean(), 3)});
+      }
+    }
   }
   std::cout << table.to_string();
   std::cout << "\n'% optimal' counts cells within 2 percentage points of the\n"
-               "minimum achievable 10.82% SNM degradation.\n";
+               "minimum achievable degradation; 'lifetime' is the first-cell\n"
+               "failure at the "
+            << lifetime_model.params().snm_failure_threshold
+            << "% SNM threshold under the selected model.\n";
+  if (csv)
+    std::cout << "per-region lifetime breakdown written to " << csv_path
+              << "\n";
   return 0;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_audit(argc, argv);
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
 }

@@ -1,18 +1,28 @@
-// Declarative scenario runner: one JSON description → a per-region aging
-// report. Usage:
+// Declarative scenario runner: one JSON description → per-region aging
+// and lifetime reports over a phase-conditioned environment timeline.
 //
-//   example_scenario_runner [scenario.json]
+//   example_scenario_runner [scenario.json] [flags]
 //
-// Without an argument it runs a built-in hybrid-region scenario: a
-// TPU-like NPU alternating between the custom MNIST net and AlexNet, with
-// DNN-Life protecting the hot first quarter of the weight FIFO and the
-// rest left unmitigated — the mixed deployment the paper's uniform
-// whole-memory evaluation cannot express.
+// Flags (override the document without editing it):
+//   --aging-model=NAME    device model from the AgingModelRegistry
+//   --phase-temp=IDX:C    temperature [°C] of phase IDX (repeatable)
+//   --csv=PATH            export the per-region lifetime breakdown as CSV
+//
+// Without a file it runs a built-in thermal scenario: a TPU-like NPU
+// alternating between the custom MNIST net (cool, batch duty) and AlexNet
+// (a hot sustained phase at 85 °C), DNN-Life protecting the hot first
+// quarter of the weight FIFO, evaluated under the Arrhenius-accelerated
+// NBTI model — the temperature-corner deployment the paper's single
+// operating point cannot express.
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
+#include <vector>
 
 #include "core/scenario.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -22,9 +32,11 @@ constexpr const char* kDefaultScenario = R"json({
   "hardware": "tpu-like-npu",
   "format": "int8-symmetric",
   "npu": {"array_dim": 256, "fifo_tiles": 4},
+  "aging_model": "arrhenius-nbti",
   "phases": [
     {"network": "custom_mnist", "inferences": 60},
-    {"network": "alexnet", "inferences": 40}
+    {"network": "alexnet", "inferences": 40,
+     "environment": {"temperature_c": 85.0}}
   ],
   "regions": [
     {"name": "hot", "rows": 0.25,
@@ -34,59 +46,178 @@ constexpr const char* kDefaultScenario = R"json({
   "threads": 2
 })json";
 
+bool flag_value(const std::string& arg, const std::string& name,
+                std::string& value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dnnlife;
   std::string text = kDefaultScenario;
-  if (argc > 1) {
-    std::ifstream file(argv[1]);
-    if (!file) {
-      std::cerr << "cannot open scenario file '" << argv[1] << "'\n";
+  bool have_file = false;
+  std::string aging_model_override;
+  std::string csv_path;
+  std::vector<std::pair<std::size_t, double>> phase_temps;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(arg, "aging-model", value)) {
+      aging_model_override = value;
+    } else if (flag_value(arg, "phase-temp", value)) {
+      const std::size_t colon = value.find(':');
+      const std::string index = value.substr(0, colon);
+      if (colon == std::string::npos || index.empty() ||
+          index.find_first_not_of("0123456789") != std::string::npos) {
+        std::cerr << "--phase-temp expects IDX:CELSIUS, got '" << value
+                  << "'\n";
+        return 1;
+      }
+      try {
+        phase_temps.emplace_back(std::stoul(index),
+                                 std::stod(value.substr(colon + 1)));
+      } catch (const std::exception&) {
+        std::cerr << "--phase-temp expects IDX:CELSIUS, got '" << value
+                  << "'\n";
+        return 1;
+      }
+    } else if (flag_value(arg, "csv", value)) {
+      csv_path = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
       return 1;
+    } else if (have_file) {
+      std::cerr << "at most one scenario file may be given (got '" << arg
+                << "' after another positional argument)\n";
+      return 1;
+    } else {
+      std::ifstream file(arg);
+      if (!file) {
+        std::cerr << "cannot open scenario file '" << arg << "'\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      text = buffer.str();
+      have_file = true;
     }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    text = buffer.str();
   }
 
   core::ScenarioSpec spec;
   try {
     spec = core::parse_scenario(text);
+    if (!aging_model_override.empty()) {
+      if (!aging::AgingModelRegistry::instance().contains(
+              aging_model_override))
+        throw std::invalid_argument("unknown --aging-model '" +
+                                    aging_model_override + "'");
+      spec.aging_model = aging_model_override;
+    }
+    for (const auto& [index, celsius] : phase_temps) {
+      if (index >= spec.phases.size())
+        throw std::invalid_argument("--phase-temp index " +
+                                    std::to_string(index) +
+                                    " out of range (scenario has " +
+                                    std::to_string(spec.phases.size()) +
+                                    " phases)");
+      spec.phases[index].environment.temperature_c = celsius;
+      aging::validate_environment(spec.phases[index].environment);
+    }
   } catch (const std::exception& error) {
-    std::cerr << "scenario parse error: " << error.what() << "\n";
+    std::cerr << "scenario error: " << error.what() << "\n";
     return 1;
   }
 
   std::cout << "scenario: " << spec.name << " ("
             << core::to_string(spec.hardware) << ", "
-            << quant::to_string(spec.format) << ")\n";
-  const core::ScenarioResult result = core::run_scenario(spec);
+            << quant::to_string(spec.format) << ", model " << spec.aging_model
+            << ")\n";
+  // Runtime validation (e.g. an unreachable lifetime threshold for the
+  // selected model) must reach the user as cleanly as parse errors.
+  std::optional<core::ScenarioResult> run;
+  try {
+    run = core::run_scenario(spec);
+  } catch (const std::exception& error) {
+    std::cerr << "scenario error: " << error.what() << "\n";
+    return 1;
+  }
+  const core::ScenarioResult& result = *run;
   std::cout << "memory: " << result.geometry.rows << " rows x "
             << result.geometry.row_bits << " bits\nphases:";
   for (const std::string& label : result.phase_labels)
     std::cout << " [" << label << "]";
   std::cout << "\n\n";
 
+  const bool has_lifetime = result.lifetime.has_value();
   util::Table table({"region", "cells", "mean SNM [%]", "max SNM [%]",
-                     "mean duty", "% optimal"});
-  for (const auto& region : result.report.regions) {
+                     "mean duty", "% optimal", "lifetime [y]"});
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_path.empty())
+    csv = std::make_unique<util::CsvWriter>(
+        csv_path,
+        std::vector<std::string>{"region", "cells", "unused_cells",
+                                 "snm_mean_pct", "snm_max_pct", "duty_mean",
+                                 "fraction_optimal", "device_lifetime_years",
+                                 "cell_lifetime_mean_years"});
+  for (std::size_t r = 0; r < result.report.regions.size(); ++r) {
+    const auto& region = result.report.regions[r];
+    const aging::RegionLifetime* lifetime =
+        has_lifetime && r < result.lifetime->regions.size()
+            ? &result.lifetime->regions[r]
+            : nullptr;
     const bool used = region.total_cells > region.unused_cells;
     table.add_row({region.name, std::to_string(region.total_cells),
                    used ? util::Table::num(region.snm_stats.mean(), 2) : "-",
                    used ? util::Table::num(region.snm_stats.max(), 2) : "-",
                    used ? util::Table::num(region.duty_stats.mean(), 3) : "-",
                    used ? util::Table::num(100.0 * region.fraction_optimal, 1)
-                        : "-"});
+                        : "-",
+                   lifetime != nullptr && lifetime->cell_lifetime.count() > 0
+                       ? util::Table::num(lifetime->device_lifetime_years, 1)
+                       : "-"});
+    if (csv)
+      csv->add_row(
+          {region.name, std::to_string(region.total_cells),
+           std::to_string(region.unused_cells),
+           util::Table::num(region.snm_stats.mean(), 4),
+           util::Table::num(region.snm_stats.max(), 4),
+           util::Table::num(region.duty_stats.mean(), 5),
+           util::Table::num(region.fraction_optimal, 5),
+           lifetime != nullptr && lifetime->cell_lifetime.count() > 0
+               ? util::Table::num(lifetime->device_lifetime_years, 3)
+               : "",
+           lifetime != nullptr && lifetime->cell_lifetime.count() > 0
+               ? util::Table::num(lifetime->cell_lifetime.mean(), 3)
+               : ""});
   }
-  table.add_row({"(whole memory)", std::to_string(result.report.total_cells),
-                 util::Table::num(result.report.snm_stats.mean(), 2),
-                 util::Table::num(result.report.snm_stats.max(), 2),
-                 util::Table::num(result.report.duty_stats.mean(), 3),
-                 util::Table::num(100.0 * result.report.fraction_optimal, 1)});
+  table.add_row(
+      {"(whole memory)", std::to_string(result.report.total_cells),
+       util::Table::num(result.report.snm_stats.mean(), 2),
+       util::Table::num(result.report.snm_stats.max(), 2),
+       util::Table::num(result.report.duty_stats.mean(), 3),
+       util::Table::num(100.0 * result.report.fraction_optimal, 1),
+       has_lifetime
+           ? util::Table::num(result.lifetime->device_lifetime_years, 1)
+           : "-"});
   std::cout << table.to_string();
+  if (has_lifetime)
+    std::cout << "\ndevice lifetime "
+              << util::Table::num(result.lifetime->device_lifetime_years, 2)
+              << " y ("
+              << util::Table::num(result.lifetime->improvement_over_worst_case,
+                                  1)
+              << "x the worst case, "
+              << util::Table::num(100.0 * result.lifetime->fraction_of_ideal, 1)
+              << "% of ideal) under model " << spec.aging_model << "\n";
+  if (csv)
+    std::cout << "per-region lifetime breakdown written to " << csv_path
+              << "\n";
   std::cout << "\nOne declarative spec drove network construction, "
-               "quantization,\nstream generation, per-region policy "
-               "engines and the aging report.\n";
+               "quantization,\nstream generation, per-region policy engines, "
+               "the environment\ntimeline and the aging/lifetime reports.\n";
   return 0;
 }

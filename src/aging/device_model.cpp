@@ -1,0 +1,282 @@
+#include "aging/device_model.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "aging/nbti_model.hpp"
+#include "util/check.hpp"
+
+namespace dnnlife::aging {
+
+namespace {
+
+/// Shared timeline validation: total positive weight, and the single
+/// positive-weight segment when there is exactly one (the bit-identical
+/// single-operating-point shortcut).
+struct TimelineScan {
+  double total_weight = 0.0;
+  const StressSegment* single = nullptr;  ///< set iff exactly one segment
+};
+
+TimelineScan scan_timeline(std::span<const StressSegment> timeline) {
+  DNNLIFE_EXPECTS(!timeline.empty(), "empty stress timeline");
+  TimelineScan scan;
+  std::size_t positive = 0;
+  for (const StressSegment& segment : timeline) {
+    DNNLIFE_EXPECTS(std::isfinite(segment.weight) && segment.weight >= 0.0,
+                    "segment weight must be finite and non-negative");
+    if (segment.weight <= 0.0) continue;
+    scan.total_weight += segment.weight;
+    scan.single = ++positive == 1 ? &segment : nullptr;
+  }
+  DNNLIFE_EXPECTS(scan.total_weight > 0.0,
+                  "stress timeline has no positive-weight segment");
+  return scan;
+}
+
+}  // namespace
+
+// ---- generic (non-power-law) evaluation --------------------------------------
+
+double DeviceAgingModel::years_to_reach(double duty, double target,
+                                        const EnvironmentSpec& env) const {
+  DNNLIFE_EXPECTS(target >= 0.0, "negative degradation target");
+  if (target <= 0.0) return 0.0;
+  // Bracket the crossing by doubling from the reference horizon, then
+  // bisect. Degradation is monotone non-decreasing in time, so the loop
+  // either brackets or proves the target unreachable (zero-stress
+  // environment) and returns +inf.
+  double hi = reference_years() > 0.0 ? reference_years() : 1.0;
+  int doublings = 0;
+  while (degradation(duty, hi, env) < target) {
+    hi *= 2.0;
+    if (++doublings > 200) return std::numeric_limits<double>::infinity();
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200 && hi - lo > hi * 1e-15; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (degradation(duty, mid, env) < target ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double DeviceAgingModel::degradation_on_timeline(
+    std::span<const StressSegment> timeline, double years) const {
+  const TimelineScan scan = scan_timeline(timeline);
+  if (scan.single != nullptr)
+    return degradation(scan.single->duty, years, scan.single->environment);
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  double total = 0.0;
+  for (const StressSegment& segment : timeline) {
+    if (segment.weight <= 0.0) continue;
+    const double share = years * (segment.weight / scan.total_weight);
+    double equivalent = 0.0;
+    if (total > 0.0) {
+      equivalent = years_to_reach(segment.duty, total, segment.environment);
+      // A segment that cannot even reproduce the degradation reached so
+      // far (e.g. fully power-gated) adds nothing; degradation never
+      // anneals below its running maximum in this composition.
+      if (!std::isfinite(equivalent)) continue;
+    }
+    total = degradation(segment.duty, equivalent + share, segment.environment);
+  }
+  return total;
+}
+
+double DeviceAgingModel::years_to_failure(std::span<const StressSegment> timeline,
+                                          double threshold) const {
+  const TimelineScan scan = scan_timeline(timeline);
+  if (scan.single != nullptr)
+    return years_to_reach(scan.single->duty, threshold,
+                          scan.single->environment);
+  DNNLIFE_EXPECTS(threshold >= 0.0, "negative failure threshold");
+  if (threshold <= 0.0) return 0.0;
+  double hi = reference_years() > 0.0 ? reference_years() : 1.0;
+  int doublings = 0;
+  while (degradation_on_timeline(timeline, hi) < threshold) {
+    hi *= 2.0;
+    if (++doublings > 200) return std::numeric_limits<double>::infinity();
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200 && hi - lo > hi * 1e-15; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (degradation_on_timeline(timeline, mid) < threshold ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+// ---- power-law family --------------------------------------------------------
+
+PowerLawDeviceModel::PowerLawDeviceModel(double t_ref_years,
+                                         double time_exponent)
+    : t_ref_years_(t_ref_years), time_exponent_(time_exponent) {
+  DNNLIFE_EXPECTS(t_ref_years_ > 0.0, "reference horizon");
+  DNNLIFE_EXPECTS(time_exponent_ > 0.0, "time exponent");
+}
+
+double PowerLawDeviceModel::degradation(double duty, double years,
+                                        const EnvironmentSpec& env) const {
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  return amplitude(duty, env) * std::pow(years / t_ref_years_, time_exponent_);
+}
+
+double PowerLawDeviceModel::years_to_reach(double duty, double target,
+                                           const EnvironmentSpec& env) const {
+  DNNLIFE_EXPECTS(target >= 0.0, "negative degradation target");
+  if (target <= 0.0) return 0.0;
+  const double at_reference = amplitude(duty, env);
+  if (at_reference <= 0.0) return std::numeric_limits<double>::infinity();
+  return t_ref_years_ *
+         std::pow(target / at_reference, 1.0 / time_exponent_);
+}
+
+double PowerLawDeviceModel::degradation_on_timeline(
+    std::span<const StressSegment> timeline, double years) const {
+  const TimelineScan scan = scan_timeline(timeline);
+  if (scan.single != nullptr)
+    return degradation(scan.single->duty, years, scan.single->environment);
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  return effective_amplitude(timeline, scan.total_weight) *
+         std::pow(years / t_ref_years_, time_exponent_);
+}
+
+double PowerLawDeviceModel::years_to_failure(
+    std::span<const StressSegment> timeline, double threshold) const {
+  const TimelineScan scan = scan_timeline(timeline);
+  if (scan.single != nullptr)
+    return years_to_reach(scan.single->duty, threshold,
+                          scan.single->environment);
+  DNNLIFE_EXPECTS(threshold >= 0.0, "negative failure threshold");
+  if (threshold <= 0.0) return 0.0;
+  const double effective = effective_amplitude(timeline, scan.total_weight);
+  if (effective <= 0.0) return std::numeric_limits<double>::infinity();
+  return t_ref_years_ *
+         std::pow(threshold / effective, 1.0 / time_exponent_);
+}
+
+double PowerLawDeviceModel::effective_amplitude(
+    std::span<const StressSegment> timeline, double total_weight) const {
+  // Equivalent-time composition of same-exponent power laws collapses to
+  // an effective amplitude: g_eff^(1/beta) = sum_i w_i * g_i^(1/beta).
+  const double inv_beta = 1.0 / time_exponent_;
+  double root_sum = 0.0;
+  for (const StressSegment& segment : timeline) {
+    if (segment.weight <= 0.0) continue;
+    root_sum += (segment.weight / total_weight) *
+                std::pow(amplitude(segment.duty, segment.environment), inv_beta);
+  }
+  return std::pow(root_sum, time_exponent_);
+}
+
+// ---- calibrated NBTI (the default engine) ------------------------------------
+
+CalibratedNbtiDeviceModel::CalibratedNbtiDeviceModel(SnmParams params)
+    : PowerLawDeviceModel(params.t_ref_years, params.time_exponent),
+      params_(params) {
+  DNNLIFE_EXPECTS(params_.snm_at_balanced > 0.0, "balanced anchor");
+  DNNLIFE_EXPECTS(params_.snm_at_full_stress > params_.snm_at_balanced,
+                  "full-stress anchor must exceed balanced anchor");
+  // Same derivation as CalibratedSnmModel: alpha = log2(S_max / S_mid).
+  alpha_ = std::log2(params_.snm_at_full_stress / params_.snm_at_balanced);
+}
+
+double CalibratedNbtiDeviceModel::amplitude(double duty,
+                                            const EnvironmentSpec& env) const {
+  // activity_scale == 1 multiplies by exactly 1.0, keeping the default
+  // environment bit-identical to CalibratedSnmModel.
+  const double stress = NbtiModel::cell_stress_ratio(duty) * env.activity_scale;
+  return params_.snm_at_full_stress * std::pow(stress, alpha_);
+}
+
+// ---- Arrhenius-accelerated NBTI ----------------------------------------------
+
+ArrheniusNbtiDeviceModel::ArrheniusNbtiDeviceModel(SnmParams params,
+                                                   ThermalParams thermal)
+    : CalibratedNbtiDeviceModel(params), thermal_(thermal) {
+  DNNLIFE_EXPECTS(thermal_.activation_energy_ev >= 0.0,
+                  "negative activation energy");
+  DNNLIFE_EXPECTS(thermal_.vdd_exponent >= 0.0, "negative vdd exponent");
+}
+
+double ArrheniusNbtiDeviceModel::amplitude(double duty,
+                                           const EnvironmentSpec& env) const {
+  // Both factors are exactly 1.0 at the nominal environment (exp(0) and
+  // pow(1, gamma)), so the model coincides with the default engine there.
+  return CalibratedNbtiDeviceModel::amplitude(duty, env) *
+         arrhenius_acceleration(env.temperature_c, kNominalTemperatureC,
+                                thermal_.activation_energy_ev) *
+         std::pow(env.vdd / kNominalVdd, thermal_.vdd_exponent);
+}
+
+// ---- PBTI + HCI variant ------------------------------------------------------
+
+PbtiHciDeviceModel::PbtiHciDeviceModel(Params params) : params_(params) {
+  const SnmParams& pbti = params_.pbti;
+  DNNLIFE_EXPECTS(pbti.snm_at_balanced > 0.0, "balanced anchor");
+  DNNLIFE_EXPECTS(pbti.snm_at_full_stress > pbti.snm_at_balanced,
+                  "full-stress anchor must exceed balanced anchor");
+  DNNLIFE_EXPECTS(pbti.t_ref_years > 0.0, "reference horizon");
+  DNNLIFE_EXPECTS(pbti.time_exponent > 0.0, "PBTI time exponent");
+  DNNLIFE_EXPECTS(params_.recovery_floor >= 0.0 && params_.recovery_floor < 1.0,
+                  "recovery floor out of [0, 1)");
+  DNNLIFE_EXPECTS(params_.hci_amplitude >= 0.0, "negative HCI amplitude");
+  DNNLIFE_EXPECTS(params_.hci_time_exponent > 0.0, "HCI time exponent");
+  DNNLIFE_EXPECTS(params_.activation_energy_ev >= 0.0,
+                  "negative activation energy");
+  DNNLIFE_EXPECTS(params_.vdd_exponent >= 0.0, "negative vdd exponent");
+  alpha_ = std::log2(pbti.snm_at_full_stress / pbti.snm_at_balanced);
+}
+
+double PbtiHciDeviceModel::degradation(double duty, double years,
+                                       const EnvironmentSpec& env) const {
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  const Params& p = params_;
+  // Different stress mapping from the NBTI chain: the worst NMOS keeps a
+  // residual stress floor even at balanced duty (weak PBTI recovery), and
+  // the HCI term is switching-driven — independent of duty entirely.
+  const double stress =
+      (p.recovery_floor +
+       (1.0 - p.recovery_floor) * NbtiModel::cell_stress_ratio(duty)) *
+      env.activity_scale;
+  const double t_norm = years / p.pbti.t_ref_years;
+  const double pbti = p.pbti.snm_at_full_stress * std::pow(stress, alpha_) *
+                      std::pow(t_norm, p.pbti.time_exponent);
+  const double hci = p.hci_amplitude * env.activity_scale *
+                     std::pow(t_norm, p.hci_time_exponent);
+  return arrhenius_acceleration(env.temperature_c, kNominalTemperatureC,
+                                p.activation_energy_ev) *
+         std::pow(env.vdd / kNominalVdd, p.vdd_exponent) * (pbti + hci);
+}
+
+// ---- dual BTI as a device model ----------------------------------------------
+
+DualBtiDeviceModel::DualBtiDeviceModel(DualBtiSnmModel::Params params)
+    : PowerLawDeviceModel(params.nbti.t_ref_years, params.nbti.time_exponent),
+      params_(params) {
+  DNNLIFE_EXPECTS(params_.pbti_ratio >= 0.0 && params_.pbti_ratio <= 1.0,
+                  "PBTI ratio out of [0,1]");
+  const SnmParams& nbti = params_.nbti;
+  DNNLIFE_EXPECTS(nbti.snm_at_full_stress > nbti.snm_at_balanced,
+                  "full-stress anchor must exceed balanced anchor");
+  alpha_ = std::log2(nbti.snm_at_full_stress / nbti.snm_at_balanced);
+}
+
+double DualBtiDeviceModel::amplitude(double duty,
+                                     const EnvironmentSpec& env) const {
+  DNNLIFE_EXPECTS(duty >= 0.0 && duty <= 1.0, "duty out of [0,1]");
+  const SnmParams& nbti = params_.nbti;
+  const auto stress_term = [&](double s) {
+    return s <= 0.0 ? 0.0 : std::pow(s, alpha_);
+  };
+  // activity_scale == 1 multiplies each stress fraction by exactly 1.0
+  // (bit-identical to DualBtiSnmModel at the nominal environment).
+  const double a = env.activity_scale;
+  const auto inverter = [&](double pmos_duty) {
+    return nbti.snm_at_full_stress *
+           (stress_term(pmos_duty * a) +
+            params_.pbti_ratio * stress_term((1.0 - pmos_duty) * a));
+  };
+  return std::max(inverter(duty), inverter(1.0 - duty));
+}
+
+}  // namespace dnnlife::aging

@@ -44,4 +44,33 @@ std::size_t DutyCycleTracker::unused_cell_count() const {
       std::count(total_time_.begin(), total_time_.end(), 0u));
 }
 
+void check_segments(std::span<const EnvironmentSegment> segments) {
+  DNNLIFE_EXPECTS(!segments.empty(), "phased workload has no segments");
+  const DutyCycleTracker& first = segments.front().tracker;
+  for (const EnvironmentSegment& segment : segments) {
+    validate_environment(segment.environment);
+    DNNLIFE_EXPECTS(segment.tracker.cell_count() == first.cell_count(),
+                    "segment tracker geometries differ");
+    DNNLIFE_EXPECTS(segment.tracker.regions() == first.regions(),
+                    "segment tracker region tags differ");
+  }
+}
+
+CellResidency gather_cell_segments(std::span<const EnvironmentSegment> segments,
+                                   std::size_t cell,
+                                   std::vector<StressSegment>& out) {
+  out.clear();
+  CellResidency residency;
+  for (const EnvironmentSegment& segment : segments) {
+    const std::uint32_t total = segment.tracker.total_time()[cell];
+    if (total == 0) continue;
+    residency.ones += segment.tracker.ones_time()[cell];
+    residency.total += total;
+    out.push_back(StressSegment{segment.tracker.duty(cell),
+                                static_cast<double>(total),
+                                segment.environment});
+  }
+  return residency;
+}
+
 }  // namespace dnnlife::aging

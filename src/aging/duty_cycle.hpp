@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "aging/environment.hpp"
 #include "util/bitops.hpp"
 #include "util/check.hpp"
 
@@ -126,5 +127,34 @@ class DutyCycleTracker {
   std::vector<std::uint32_t> total_time_;
   std::vector<CellRegion> regions_;
 };
+
+/// One environment segment of a phased workload: the duty-cycle
+/// accumulator of every phase that ran under `environment` (consecutive
+/// equal-environment phases merge — duty time-averages within one
+/// environment; see core::simulate_workload_phased).
+struct EnvironmentSegment {
+  DutyCycleTracker tracker;
+  EnvironmentSpec environment;
+};
+
+/// Reject segment lists whose trackers disagree on cell count or region
+/// tags (they must all come from the same region-policy table).
+void check_segments(std::span<const EnvironmentSegment> segments);
+
+/// A cell's merged residency across every segment (the legacy
+/// single-operating-point view; accumulated in the same wrapping uint32
+/// arithmetic DutyCycleTracker::merge uses).
+struct CellResidency {
+  std::uint32_t ones = 0;
+  std::uint32_t total = 0;
+};
+
+/// Gather `cell`'s stress history across `segments` into `out` (cleared
+/// first; segments where the cell is unused contribute nothing): each
+/// entry's duty is the segment tracker's duty and its weight the cell's
+/// residency slots there. Returns the merged residency.
+CellResidency gather_cell_segments(std::span<const EnvironmentSegment> segments,
+                                   std::size_t cell,
+                                   std::vector<StressSegment>& out);
 
 }  // namespace dnnlife::aging

@@ -1,0 +1,61 @@
+// Operating-environment description for phase-conditioned aging.
+//
+// The paper evaluates one implicit operating point: the SNM anchors of its
+// references bake in a fixed temperature, supply voltage and always-on
+// activity. An EnvironmentSpec makes that point explicit so scenarios can
+// express temperature corners, DVFS phases and power-gated intervals, and
+// the aging layer can integrate degradation across a piecewise-constant
+// environment timeline (see DeviceAgingModel in aging/device_model.hpp).
+#pragma once
+
+#include "util/check.hpp"
+
+namespace dnnlife::aging {
+
+/// The nominal operating point the calibration anchors assume. Every
+/// registered model must reproduce its calibrated behaviour bit-identically
+/// at this environment — that is what keeps the refactored stack pinned to
+/// the paper's numbers.
+inline constexpr double kNominalTemperatureC = 55.0;
+inline constexpr double kNominalVdd = 1.0;
+
+/// Operating conditions of one lifetime phase. Default-constructed ==
+/// nominal, so environment-oblivious callers keep the paper's behaviour.
+struct EnvironmentSpec {
+  double temperature_c = kNominalTemperatureC;  ///< die temperature [°C]
+  /// Supply voltage relative to nominal (1.0 = the calibration point).
+  double vdd = kNominalVdd;
+  /// Fraction of the phase the array is powered and under stress (1.0 =
+  /// always on; 0.0 = fully power-gated, no BTI stress accumulates).
+  double activity_scale = 1.0;
+
+  friend bool operator==(const EnvironmentSpec&,
+                         const EnvironmentSpec&) = default;
+};
+
+inline bool is_nominal(const EnvironmentSpec& env) {
+  return env == EnvironmentSpec{};
+}
+
+/// Reject physically meaningless environments with an explanatory message.
+inline void validate_environment(const EnvironmentSpec& env) {
+  DNNLIFE_EXPECTS(env.temperature_c > -273.15 && env.temperature_c <= 1000.0,
+                  "temperature_c out of (-273.15, 1000]");
+  DNNLIFE_EXPECTS(env.vdd > 0.0 && env.vdd <= 10.0,
+                  "vdd out of (0, 10] (relative to nominal)");
+  DNNLIFE_EXPECTS(env.activity_scale >= 0.0 && env.activity_scale <= 1.0,
+                  "activity_scale out of [0, 1]");
+}
+
+/// One piecewise-constant segment of a cell's stress history: the
+/// time-average duty-cycle it held while the device sat in `environment`,
+/// and the share of the device lifetime the segment covers. Weights are
+/// relative (normalised by the evaluator), so callers may pass raw
+/// residency-slot counts.
+struct StressSegment {
+  double duty = 0.5;
+  double weight = 1.0;
+  EnvironmentSpec environment;
+};
+
+}  // namespace dnnlife::aging

@@ -1,43 +1,132 @@
 #include "aging/lifetime.hpp"
 
-#include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 namespace dnnlife::aging {
 
 LifetimeModel::LifetimeModel(SnmParams snm, LifetimeParams params)
-    : snm_(snm), params_(params) {
-  DNNLIFE_EXPECTS(params_.snm_failure_threshold > snm.snm_at_balanced,
-                  "failure threshold below the balanced-duty degradation at "
-                  "the reference horizon");
+    : model_(std::make_shared<CalibratedNbtiDeviceModel>(snm)),
+      params_(params) {
+  validate_threshold();
+}
+
+LifetimeModel::LifetimeModel(std::shared_ptr<const DeviceAgingModel> model,
+                             LifetimeParams params)
+    : model_(std::move(model)), params_(params) {
+  DNNLIFE_EXPECTS(model_ != nullptr, "lifetime model needs a device model");
+  validate_threshold();
+}
+
+void LifetimeModel::validate_threshold() const {
+  // The actionable form of the header's constraint: compare against the
+  // model's *actual* balanced-duty degradation at its reference horizon,
+  // not just the calibration parameter (composite models like dual-bti
+  // degrade faster than their NBTI anchor alone).
+  const double anchor =
+      model_->snm_degradation(0.5, model_->reference_years());
+  if (params_.snm_failure_threshold > anchor) return;
+  std::ostringstream message;
+  message.precision(4);
+  message << "LifetimeParams::snm_failure_threshold ("
+          << params_.snm_failure_threshold
+          << "%) must exceed the balanced-duty degradation of model '"
+          << model_->name() << "' at its reference horizon (" << anchor
+          << "% at duty 0.5, t = " << model_->reference_years()
+          << " years): even a perfectly balanced memory would be dead "
+             "before t_ref. Raise the threshold or soften the model's "
+             "calibration anchors.";
+  throw std::invalid_argument(message.str());
 }
 
 double LifetimeModel::years_to_failure(double duty) const {
-  const auto& snm = snm_.params();
-  const double degradation_at_ref = snm_.snm_degradation(duty, snm.t_ref_years);
-  return snm.t_ref_years *
-         std::pow(params_.snm_failure_threshold / degradation_at_ref,
-                  1.0 / snm.time_exponent);
+  return years_to_failure(duty, EnvironmentSpec{});
 }
+
+double LifetimeModel::years_to_failure(double duty,
+                                       const EnvironmentSpec& env) const {
+  return model_->years_to_reach(duty, params_.snm_failure_threshold, env);
+}
+
+double LifetimeModel::years_to_failure(
+    std::span<const StressSegment> timeline) const {
+  return model_->years_to_failure(timeline, params_.snm_failure_threshold);
+}
+
+namespace {
+
+/// Min/stats accumulation shared by the single-tracker and the
+/// environment-timeline overloads: the two differ only in how a cell's
+/// years-to-failure is produced.
+class LifetimeBuilder {
+ public:
+  LifetimeBuilder(const std::vector<CellRegion>& tags,
+                  const LifetimeModel& model)
+      : model_(model), tags_(tags) {
+    report_.regions.reserve(tags.size());
+    for (const CellRegion& tag : tags)
+      report_.regions.push_back(RegionLifetime{tag.name, 0.0, {}});
+  }
+
+  /// Cells must be visited in order.
+  void add_cell(std::size_t cell, double years) {
+    while (region_ < tags_.size() && cell >= tags_[region_].cell_end)
+      ++region_;
+    report_.cell_lifetime.add(years);
+    if (first_ || years < report_.device_lifetime_years) {
+      report_.device_lifetime_years = years;
+      first_ = false;
+    }
+    if (region_ < tags_.size()) {
+      RegionLifetime& breakdown = report_.regions[region_];
+      if (breakdown.cell_lifetime.count() == 0 ||
+          years < breakdown.device_lifetime_years)
+        breakdown.device_lifetime_years = years;
+      breakdown.cell_lifetime.add(years);
+    }
+  }
+
+  LifetimeReport finish() {
+    DNNLIFE_EXPECTS(!first_, "no used cells in tracker");
+    report_.improvement_over_worst_case =
+        report_.device_lifetime_years / model_.worst_case_years();
+    report_.fraction_of_ideal =
+        report_.device_lifetime_years / model_.best_case_years();
+    return std::move(report_);
+  }
+
+ private:
+  const LifetimeModel& model_;
+  const std::vector<CellRegion>& tags_;
+  LifetimeReport report_;
+  bool first_ = true;
+  std::size_t region_ = 0;
+};
+
+}  // namespace
 
 LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
                                     const LifetimeModel& model) {
-  LifetimeReport report;
-  double device = 0.0;
-  bool first = true;
+  LifetimeBuilder builder(tracker.regions(), model);
   for (std::size_t cell = 0; cell < tracker.cell_count(); ++cell) {
     if (tracker.is_unused(cell)) continue;
-    const double years = model.years_to_failure(tracker.duty(cell));
-    report.cell_lifetime.add(years);
-    if (first || years < device) {
-      device = years;
-      first = false;
-    }
+    builder.add_cell(cell, model.years_to_failure(tracker.duty(cell)));
   }
-  DNNLIFE_EXPECTS(!first, "no used cells in tracker");
-  report.device_lifetime_years = device;
-  report.improvement_over_worst_case = device / model.worst_case_years();
-  report.fraction_of_ideal = device / model.best_case_years();
-  return report;
+  return builder.finish();
+}
+
+LifetimeReport make_lifetime_report(std::span<const EnvironmentSegment> segments,
+                                    const LifetimeModel& model) {
+  check_segments(segments);
+  const DutyCycleTracker& first = segments.front().tracker;
+  LifetimeBuilder builder(first.regions(), model);
+  std::vector<StressSegment> history;
+  history.reserve(segments.size());
+  for (std::size_t cell = 0; cell < first.cell_count(); ++cell) {
+    if (gather_cell_segments(segments, cell, history).total == 0) continue;
+    builder.add_cell(cell, model.years_to_failure(history));
+  }
+  return builder.finish();
 }
 
 }  // namespace dnnlife::aging

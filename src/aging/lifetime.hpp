@@ -1,19 +1,27 @@
 // Lifetime estimation: the paper's title metric.
 //
 // A cell is considered failed once its SNM degradation crosses a
-// threshold (read-stability margin exhausted). Inverting the calibrated
-// power law  snm(d, t) = S_max * s^alpha * (t/t_ref)^beta  gives the
-// years-to-failure of a cell at duty-cycle d:
+// threshold (read-stability margin exhausted). The years-to-failure
+// inversion is owned by the DeviceAgingModel strategy — for the default
+// calibrated power law  snm(d, t) = S_max * s^alpha * (t/t_ref)^beta  it
+// is the closed form
 //
 //     t_fail(d) = t_ref * (threshold / (S_max * s^alpha))^(1/beta)
 //
-// The memory fails with its first cell (no spare rows modelled), so the
+// and for cells whose lifetime spans several environments the model
+// integrates degradation across the piecewise-constant timeline. The
+// memory fails with its first cell (no spare rows modelled), so the
 // device lifetime is the minimum over cells — which is exactly what
 // balancing the worst cell's duty-cycle maximises.
 #pragma once
 
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aging/device_model.hpp"
 #include "aging/duty_cycle.hpp"
-#include "aging/snm_model.hpp"
 #include "util/statistics.hpp"
 
 namespace dnnlife::aging {
@@ -21,42 +29,81 @@ namespace dnnlife::aging {
 struct LifetimeParams {
   /// SNM degradation (percent) at which a cell is considered failed.
   /// Must exceed the model's degradation-at-balanced anchor at t_ref,
-  /// otherwise even a perfect memory would be "dead" before t_ref.
+  /// otherwise even a perfect memory would be "dead" before t_ref —
+  /// LifetimeModel enforces this at construction.
   double snm_failure_threshold = 20.0;
 };
 
+/// Binds a failure threshold to a device-aging model. Shares the model,
+/// so one registry-created instance can serve report evaluation and many
+/// lifetime solvers.
 class LifetimeModel {
  public:
-  LifetimeModel(SnmParams snm = {}, LifetimeParams params = {});
+  /// The default engine (calibrated NBTI/SNM chain) — identical numbers
+  /// to the pre-registry implementation.
+  explicit LifetimeModel(SnmParams snm = {}, LifetimeParams params = {});
+
+  /// Any device model (typically from the AgingModelRegistry).
+  explicit LifetimeModel(std::shared_ptr<const DeviceAgingModel> model,
+                         LifetimeParams params = {});
 
   /// Years until a cell at lifetime duty-cycle `duty` crosses the
-  /// failure threshold.
+  /// failure threshold, in the nominal environment.
   double years_to_failure(double duty) const;
+  /// Same, in a fixed environment.
+  double years_to_failure(double duty, const EnvironmentSpec& env) const;
+  /// Same, for a cell whose stress history is a piecewise-constant
+  /// environment timeline.
+  double years_to_failure(std::span<const StressSegment> timeline) const;
 
-  /// The theoretical maximum (all cells at duty 0.5).
+  /// The theoretical maximum (all cells at duty 0.5, nominal environment).
   double best_case_years() const { return years_to_failure(0.5); }
   /// The worst case (a cell stuck at duty 0 or 1).
   double worst_case_years() const { return years_to_failure(1.0); }
 
-  const SnmParams& snm_params() const noexcept { return snm_.params(); }
+  const DeviceAgingModel& model() const noexcept { return *model_; }
   const LifetimeParams& params() const noexcept { return params_; }
 
  private:
-  CalibratedSnmModel snm_;
+  void validate_threshold() const;
+
+  std::shared_ptr<const DeviceAgingModel> model_;
   LifetimeParams params_;
+};
+
+/// Lifetime outcome of one named memory region: the whole-memory numbers
+/// restricted to the region's cell range.
+struct RegionLifetime {
+  std::string name;
+  /// Min over the region's used cells; 0 when the region is all unused.
+  double device_lifetime_years = 0.0;
+  util::RunningStats cell_lifetime;
 };
 
 struct LifetimeReport {
   double device_lifetime_years = 0.0;  ///< min over used cells
   util::RunningStats cell_lifetime;    ///< distribution over used cells
-  /// device lifetime / worst-case (duty 0/1) lifetime.
+  /// device lifetime / worst-case (duty 0/1, nominal environment) lifetime.
   double improvement_over_worst_case = 0.0;
-  /// device lifetime / best-case (duty 0.5) lifetime, in (0, 1].
+  /// device lifetime / best-case (duty 0.5, *nominal* environment)
+  /// lifetime. In (0, 1] for nominal timelines; can exceed 1 when the
+  /// actual environment ages milder than the calibration point (e.g. an
+  /// always-cool Arrhenius timeline or power-gated phases).
   double fraction_of_ideal = 0.0;
+  /// Per-region breakdown when the tracker carried region tags (one entry
+  /// per tagged region, in cell order; empty for untagged trackers).
+  std::vector<RegionLifetime> regions;
 };
 
-/// Evaluate every used cell of `tracker` under `model`.
+/// Evaluate every used cell of `tracker` under `model` (nominal
+/// environment).
 LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
+                                    const LifetimeModel& model);
+
+/// Environment-timeline evaluation: every used cell's lifetime is the
+/// model's years-to-failure over its per-segment stress history. A single
+/// nominal segment reproduces the single-tracker overload bit-identically.
+LifetimeReport make_lifetime_report(std::span<const EnvironmentSegment> segments,
                                     const LifetimeModel& model);
 
 }  // namespace dnnlife::aging

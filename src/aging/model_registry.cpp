@@ -1,0 +1,95 @@
+#include "aging/model_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace dnnlife::aging {
+
+AgingModelRegistry::AgingModelRegistry() {
+  factories_.emplace_back(kDefaultAgingModel, [](const SnmParams& snm) {
+    return std::make_unique<CalibratedNbtiDeviceModel>(snm);
+  });
+  factories_.emplace_back("arrhenius-nbti", [](const SnmParams& snm) {
+    return std::make_unique<ArrheniusNbtiDeviceModel>(snm);
+  });
+  factories_.emplace_back("pbti-hci", [](const SnmParams& snm) {
+    PbtiHciDeviceModel::Params params;
+    params.pbti = snm;
+    return std::make_unique<PbtiHciDeviceModel>(params);
+  });
+  factories_.emplace_back("dual-bti", [](const SnmParams& snm) {
+    DualBtiSnmModel::Params params;
+    params.nbti = snm;
+    return std::make_unique<DualBtiDeviceModel>(params);
+  });
+}
+
+AgingModelRegistry& AgingModelRegistry::instance() {
+  static AgingModelRegistry registry;
+  return registry;
+}
+
+void AgingModelRegistry::add(const std::string& name,
+                             DeviceModelFactory factory) {
+  DNNLIFE_EXPECTS(!name.empty(), "aging-model name must not be empty");
+  DNNLIFE_EXPECTS(factory != nullptr, "aging-model factory must not be null");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [existing, _] : factories_)
+    DNNLIFE_EXPECTS(existing != name,
+                    "aging model '" + name + "' is already registered");
+  factories_.emplace_back(name, std::move(factory));
+}
+
+bool AgingModelRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const auto& entry) { return entry.first == name; });
+}
+
+std::vector<std::string> AgingModelRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, _] : factories_) names.push_back(name);
+  return names;
+}
+
+void AgingModelRegistry::check(const std::string& name) const {
+  if (contains(name)) return;
+  std::string known;
+  for (const std::string& registered : names())
+    known += (known.empty() ? "" : ", ") + registered;
+  throw std::invalid_argument("no aging model registered under '" + name +
+                              "' (registered: " + known + ")");
+}
+
+std::unique_ptr<DeviceAgingModel> AgingModelRegistry::create(
+    const std::string& name, const SnmParams& snm) const {
+  DeviceModelFactory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [existing, candidate] : factories_) {
+      if (existing == name) {
+        factory = candidate;
+        break;
+      }
+    }
+  }
+  if (!factory) {
+    check(name);  // throws for unknown names...
+    return create(name, snm);  // ...else it was registered concurrently
+  }
+  auto model = factory(snm);
+  DNNLIFE_ENSURES(model != nullptr,
+                  "aging-model factory '" + name + "' returned null");
+  return model;
+}
+
+std::unique_ptr<DeviceAgingModel> make_aging_model(const std::string& name,
+                                                   const SnmParams& snm) {
+  return AgingModelRegistry::instance().create(name, snm);
+}
+
+}  // namespace dnnlife::aging

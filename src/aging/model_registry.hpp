@@ -1,0 +1,60 @@
+// Name-based device-aging-model registry (the aging-side mirror of
+// core::PolicyRegistry): scenario JSON, ExperimentConfig and the example
+// CLIs select degradation physics by name, and external models plug in
+// without touching the report or lifetime layers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "aging/device_model.hpp"
+
+namespace dnnlife::aging {
+
+/// The registry name of the default engine (the paper's calibrated
+/// NBTI → SNM chain).
+inline constexpr const char* kDefaultAgingModel = "calibrated-nbti";
+
+/// Model factory: builds one immutable device model from the scenario's
+/// SNM calibration anchors. Model-specific knobs (activation energies,
+/// HCI amplitudes, ...) use their documented defaults; custom
+/// registrations close over their own parameters.
+using DeviceModelFactory =
+    std::function<std::unique_ptr<DeviceAgingModel>(const SnmParams&)>;
+
+/// Thread-safe name → factory registry. The built-in models are
+/// pre-registered: "calibrated-nbti" (default), "arrhenius-nbti",
+/// "pbti-hci" and "dual-bti".
+class AgingModelRegistry {
+ public:
+  static AgingModelRegistry& instance();
+
+  /// Register a factory; throws std::invalid_argument on duplicate names.
+  void add(const std::string& name, DeviceModelFactory factory);
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  /// Throw std::invalid_argument listing the registered names when `name`
+  /// is not registered (the shared "unknown aging model" diagnostic).
+  void check(const std::string& name) const;
+
+  std::unique_ptr<DeviceAgingModel> create(const std::string& name,
+                                           const SnmParams& snm) const;
+
+ private:
+  AgingModelRegistry();
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, DeviceModelFactory>> factories_;
+};
+
+/// Create a registered model; an unknown name throws std::invalid_argument
+/// listing the registered names.
+std::unique_ptr<DeviceAgingModel> make_aging_model(const std::string& name,
+                                                   const SnmParams& snm = {});
+
+}  // namespace dnnlife::aging

@@ -28,4 +28,20 @@ double NbtiModel::cell_stress_ratio(double duty) {
   return std::max(duty, 1.0 - duty);
 }
 
+double arrhenius_acceleration(double temperature_c,
+                              double reference_temperature_c,
+                              double activation_energy_ev) {
+  constexpr double kZeroC = 273.15;        // Kelvin offset
+  constexpr double kBoltzmannEv = 8.617333262e-5;  // eV / K
+  DNNLIFE_EXPECTS(temperature_c > -kZeroC, "temperature below absolute zero");
+  DNNLIFE_EXPECTS(reference_temperature_c > -kZeroC,
+                  "reference temperature below absolute zero");
+  DNNLIFE_EXPECTS(activation_energy_ev >= 0.0, "negative activation energy");
+  // At T == T_ref the exponent is exactly 0 and exp(0) is exactly 1, so
+  // nominal-environment evaluations stay bit-identical to the calibration.
+  return std::exp((activation_energy_ev / kBoltzmannEv) *
+                  (1.0 / (reference_temperature_c + kZeroC) -
+                   1.0 / (temperature_c + kZeroC)));
+}
+
 }  // namespace dnnlife::aging

@@ -44,4 +44,13 @@ class NbtiModel {
   NbtiParams params_;
 };
 
+/// Arrhenius acceleration factor of a thermally activated degradation
+/// mechanism: exp((Ea / k_B) * (1/T_ref - 1/T)) with temperatures in °C
+/// (converted to Kelvin internally). Exactly 1.0 at T == T_ref, > 1 when
+/// hotter. `activation_energy_ev` is the mechanism's apparent activation
+/// energy in electron-volts (NBTI Vth shift: ~0.05-0.1 eV).
+double arrhenius_acceleration(double temperature_c,
+                              double reference_temperature_c,
+                              double activation_energy_ev);
+
 }  // namespace dnnlife::aging

@@ -33,62 +33,141 @@ std::string AgingReport::to_string() const {
   return out.str();
 }
 
+namespace {
+
+/// Single-pass report bookkeeping shared by the single-tracker and the
+/// environment-timeline overloads: region tags are a sorted partition of
+/// the cells, so the per-region breakdown fills in the same pass that
+/// accumulates the whole-memory statistics. The two overloads differ only
+/// in how a cell's (duty, snm, optimal-reference) triple is produced.
+class ReportBuilder {
+ public:
+  ReportBuilder(std::size_t cell_count, const std::vector<CellRegion>& tags,
+                const AgingReportOptions& options)
+      : report_{util::Histogram(options.hist_lo, options.hist_hi,
+                                options.hist_bins),
+                {}, {}, cell_count, 0, 0.0, {}},
+        options_(options), tags_(tags),
+        region_optimal_(tags.size(), 0), region_used_(tags.size(), 0) {
+    report_.regions.reserve(tags.size());
+    for (const CellRegion& tag : tags)
+      report_.regions.push_back(RegionAging{
+          tag.name, static_cast<std::size_t>(tag.cell_end - tag.cell_begin), 0,
+          {}, {}, 0.0});
+  }
+
+  /// Cells must be visited in order, exactly once each.
+  void add_unused(std::size_t cell) {
+    advance_region(cell);
+    ++report_.unused_cells;
+    if (region_ < tags_.size()) ++report_.regions[region_].unused_cells;
+  }
+
+  void add_cell(std::size_t cell, double duty, double snm, double optimal) {
+    advance_region(cell);
+    ++used_;
+    report_.snm_histogram.add(snm);
+    report_.snm_stats.add(snm);
+    report_.duty_stats.add(duty);
+    const bool is_optimal = snm <= optimal + options_.optimal_tolerance;
+    if (is_optimal) ++optimal_cells_;
+    if (region_ < tags_.size()) {
+      RegionAging& breakdown = report_.regions[region_];
+      breakdown.snm_stats.add(snm);
+      breakdown.duty_stats.add(duty);
+      ++region_used_[region_];
+      if (is_optimal) ++region_optimal_[region_];
+    }
+  }
+
+  AgingReport finish() {
+    report_.fraction_optimal =
+        used_ == 0 ? 0.0
+                   : static_cast<double>(optimal_cells_) /
+                         static_cast<double>(used_);
+    for (std::size_t r = 0; r < report_.regions.size(); ++r) {
+      report_.regions[r].fraction_optimal =
+          region_used_[r] == 0 ? 0.0
+                               : static_cast<double>(region_optimal_[r]) /
+                                     static_cast<double>(region_used_[r]);
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void advance_region(std::size_t cell) {
+    while (region_ < tags_.size() && cell >= tags_[region_].cell_end)
+      ++region_;
+  }
+
+  AgingReport report_;
+  AgingReportOptions options_;
+  const std::vector<CellRegion>& tags_;
+  std::vector<std::uint64_t> region_optimal_;
+  std::vector<std::uint64_t> region_used_;
+  std::uint64_t optimal_cells_ = 0;
+  std::uint64_t used_ = 0;
+  std::size_t region_ = 0;
+};
+
+}  // namespace
+
 AgingReport make_aging_report(const DutyCycleTracker& tracker,
                               const AgingModel& model,
                               const AgingReportOptions& options) {
-  AgingReport report{
-      util::Histogram(options.hist_lo, options.hist_hi, options.hist_bins),
-      {}, {}, tracker.cell_count(), 0, 0.0, {}};
+  ReportBuilder builder(tracker.cell_count(), tracker.regions(), options);
   const double optimal = model.snm_degradation(0.5, options.years);
-  std::uint64_t optimal_cells = 0;
-  std::uint64_t used = 0;
-
-  // Region tags are a sorted partition of the cells, so the per-region
-  // breakdown is filled in the same single pass that accumulates the
-  // whole-memory statistics.
-  const std::vector<CellRegion>& tags = tracker.regions();
-  report.regions.reserve(tags.size());
-  for (const CellRegion& tag : tags)
-    report.regions.push_back(RegionAging{
-        tag.name, static_cast<std::size_t>(tag.cell_end - tag.cell_begin), 0,
-        {}, {}, 0.0});
-  std::size_t region = 0;
-  std::vector<std::uint64_t> region_optimal(tags.size(), 0);
-  std::vector<std::uint64_t> region_used(tags.size(), 0);
-
   for (std::size_t cell = 0; cell < tracker.cell_count(); ++cell) {
-    while (region < tags.size() && cell >= tags[region].cell_end) ++region;
     if (tracker.is_unused(cell)) {
-      ++report.unused_cells;
-      if (region < tags.size()) ++report.regions[region].unused_cells;
+      builder.add_unused(cell);
       continue;
     }
-    ++used;
     const double duty = tracker.duty(cell);
-    const double snm = model.snm_degradation(duty, options.years);
-    report.snm_histogram.add(snm);
-    report.snm_stats.add(snm);
-    report.duty_stats.add(duty);
-    const bool is_optimal = snm <= optimal + options.optimal_tolerance;
-    if (is_optimal) ++optimal_cells;
-    if (region < tags.size()) {
-      RegionAging& breakdown = report.regions[region];
-      breakdown.snm_stats.add(snm);
-      breakdown.duty_stats.add(duty);
-      ++region_used[region];
-      if (is_optimal) ++region_optimal[region];
+    builder.add_cell(cell, duty, model.snm_degradation(duty, options.years),
+                     optimal);
+  }
+  return builder.finish();
+}
+
+AgingReport make_aging_report(std::span<const EnvironmentSegment> segments,
+                              const DeviceAgingModel& model,
+                              const AgingReportOptions& options) {
+  check_segments(segments);
+  const DutyCycleTracker& first = segments.front().tracker;
+  ReportBuilder builder(first.cell_count(), first.regions(), options);
+  // With one segment the balanced reference is cell-independent (the
+  // legacy hoisted computation); with several it depends on each cell's
+  // residency weights and must be composed per cell.
+  const bool single_segment = segments.size() == 1;
+  const double single_optimal =
+      single_segment
+          ? model.degradation(0.5, options.years, segments.front().environment)
+          : 0.0;
+  std::vector<StressSegment> history;
+  std::vector<StressSegment> balanced;
+  history.reserve(segments.size());
+  balanced.reserve(segments.size());
+  for (std::size_t cell = 0; cell < first.cell_count(); ++cell) {
+    const CellResidency residency =
+        gather_cell_segments(segments, cell, history);
+    if (residency.total == 0) {
+      builder.add_unused(cell);
+      continue;
     }
+    const double duty = static_cast<double>(residency.ones) /
+                        static_cast<double>(residency.total);
+    const double snm = model.degradation_on_timeline(history, options.years);
+    // The minimum achievable degradation for *this* cell: balanced duty
+    // under the same environment exposure.
+    double optimal = single_optimal;
+    if (!single_segment) {
+      balanced = history;
+      for (StressSegment& segment : balanced) segment.duty = 0.5;
+      optimal = model.degradation_on_timeline(balanced, options.years);
+    }
+    builder.add_cell(cell, duty, snm, optimal);
   }
-  report.fraction_optimal =
-      used == 0 ? 0.0
-                : static_cast<double>(optimal_cells) / static_cast<double>(used);
-  for (std::size_t r = 0; r < report.regions.size(); ++r) {
-    report.regions[r].fraction_optimal =
-        region_used[r] == 0 ? 0.0
-                            : static_cast<double>(region_optimal[r]) /
-                                  static_cast<double>(region_used[r]);
-  }
-  return report;
+  return builder.finish();
 }
 
 }  // namespace dnnlife::aging

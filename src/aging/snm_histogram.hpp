@@ -5,6 +5,9 @@
 #include <string>
 #include <vector>
 
+#include <span>
+
+#include "aging/device_model.hpp"
 #include "aging/duty_cycle.hpp"
 #include "aging/snm_model.hpp"
 #include "util/histogram.hpp"
@@ -56,6 +59,16 @@ struct AgingReportOptions {
 /// Evaluate every used cell of `tracker` under `model`.
 AgingReport make_aging_report(const DutyCycleTracker& tracker,
                               const AgingModel& model,
+                              const AgingReportOptions& options = {});
+
+/// Environment-timeline evaluation: every used cell's degradation is the
+/// model's composition over its per-segment stress history (see
+/// DeviceAgingModel::degradation_on_timeline). The "optimal" reference of
+/// each cell is a duty-0.5 cell with the same segment weights and
+/// environments. A single nominal segment reproduces the single-tracker
+/// overload bit-identically.
+AgingReport make_aging_report(std::span<const EnvironmentSegment> segments,
+                              const DeviceAgingModel& model,
                               const AgingReportOptions& options = {});
 
 }  // namespace dnnlife::aging

@@ -68,12 +68,14 @@ Workbench::Workbench(const ExperimentConfig& config) : config_(config) {
       stream_ = std::make_unique<sim::NpuWeightStream>(*codec_, config.npu);
       break;
   }
+  model_ = aging::make_aging_model(config.aging_model, config.snm);
+  aging::validate_environment(config.environment);
 }
 
 aging::AgingReport Workbench::evaluate(PolicyConfig policy) const {
   // The barrel shifter rotates at weight-word granularity.
   policy.weight_bits = codec_->bits();
-  const aging::CalibratedSnmModel model(config_.snm);
+  const aging::EnvironmentBoundModel model(*model_, config_.environment);
   StreamRunOptions options;
   options.inferences = config_.inferences;
   options.use_reference_simulator = config_.use_reference_simulator;
@@ -83,7 +85,7 @@ aging::AgingReport Workbench::evaluate(PolicyConfig policy) const {
 
 aging::AgingReport Workbench::evaluate_regions(
     const RegionPolicyTable& policies) const {
-  const aging::CalibratedSnmModel model(config_.snm);
+  const aging::EnvironmentBoundModel model(*model_, config_.environment);
   StreamRunOptions options;
   options.inferences = config_.inferences;
   options.use_reference_simulator = config_.use_reference_simulator;

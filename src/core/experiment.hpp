@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "aging/model_registry.hpp"
 #include "aging/snm_histogram.hpp"
 #include "core/region_policy.hpp"
 #include "dnn/weight_gen.hpp"
@@ -34,6 +35,12 @@ struct ExperimentConfig {
   PolicyConfig policy;
   unsigned inferences = 100;  ///< paper: duty-cycles observed over 100
   aging::SnmParams snm;
+  /// Device-aging model, by AgingModelRegistry name (the default engine
+  /// reproduces the pre-registry numbers bit-identically).
+  std::string aging_model = aging::kDefaultAgingModel;
+  /// Operating conditions of the whole run (single-phase experiments sit
+  /// at one operating point; scenarios express per-phase timelines).
+  aging::EnvironmentSpec environment;
   dnn::WeightGenConfig weights;
   aging::AgingReportOptions report;
   /// Use the literal simulator (small configs / validation).
@@ -85,6 +92,11 @@ class Workbench {
   const dnn::WeightStreamer& streamer() const noexcept { return *streamer_; }
   const dnn::Network& network() const noexcept { return *network_; }
   const ExperimentConfig& config() const noexcept { return config_; }
+  /// The registry-created device-aging model the reports evaluate under.
+  const aging::DeviceAgingModel& model() const noexcept { return *model_; }
+  std::shared_ptr<const aging::DeviceAgingModel> shared_model() const noexcept {
+    return model_;
+  }
 
   /// Evaluate one policy uniformly on the shared stream.
   aging::AgingReport evaluate(PolicyConfig policy) const;
@@ -118,6 +130,7 @@ class Workbench {
   std::unique_ptr<dnn::WeightStreamer> streamer_;
   std::unique_ptr<quant::WeightWordCodec> codec_;
   std::unique_ptr<sim::WriteStream> stream_;
+  std::shared_ptr<const aging::DeviceAgingModel> model_;
 };
 
 }  // namespace dnnlife::core

@@ -2,9 +2,9 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
-#include "aging/snm_model.hpp"
 #include "core/policy_engine.hpp"
 #include "core/workload.hpp"
 #include "dnn/model_zoo.hpp"
@@ -75,12 +75,28 @@ PolicyConfig parse_policy(const JsonValue& object) {
   return policy;
 }
 
+aging::EnvironmentSpec parse_environment(const JsonValue& object) {
+  check_members(object, "environment",
+                {"temperature_c", "vdd", "activity_scale"});
+  aging::EnvironmentSpec env;
+  if (const JsonValue* v = object.find("temperature_c"))
+    env.temperature_c = v->as_number_in(-273.0, 1000.0, "temperature_c");
+  if (const JsonValue* v = object.find("vdd"))
+    env.vdd = v->as_number_in(0.05, 10.0, "vdd");
+  if (const JsonValue* v = object.find("activity_scale"))
+    env.activity_scale = v->as_number_in(0.0, 1.0, "activity_scale");
+  aging::validate_environment(env);
+  return env;
+}
+
 ScenarioPhaseSpec parse_phase(const JsonValue& object) {
-  check_members(object, "phase", {"network", "inferences"});
+  check_members(object, "phase", {"network", "inferences", "environment"});
   ScenarioPhaseSpec phase;
   phase.network = object.at("network").as_string();
   if (const JsonValue* v = object.find("inferences"))
     phase.inferences = parse_bounded_uint(*v, "inferences", 1u << 30);
+  if (const JsonValue* v = object.find("environment"))
+    phase.environment = parse_environment(*v);
   return phase;
 }
 
@@ -123,6 +139,13 @@ void parse_report(const JsonValue& object, aging::AgingReportOptions& report) {
     report.optimal_tolerance = v->as_number();
 }
 
+void parse_lifetime(const JsonValue& object, aging::LifetimeParams& lifetime) {
+  check_members(object, "lifetime", {"snm_failure_threshold"});
+  if (const JsonValue* v = object.find("snm_failure_threshold"))
+    lifetime.snm_failure_threshold =
+        v->as_number_in(1e-6, 100.0, "snm_failure_threshold");
+}
+
 void parse_snm(const JsonValue& object, aging::SnmParams& snm) {
   check_members(object, "snm",
                 {"snm_at_balanced", "snm_at_full_stress", "t_ref_years",
@@ -144,7 +167,7 @@ ScenarioSpec parse_scenario(const std::string& json_text) {
   check_members(root, "scenario",
                 {"name", "format", "hardware", "baseline", "npu", "phases",
                  "regions", "threads", "use_reference_simulator", "report",
-                 "snm"});
+                 "snm", "aging_model", "lifetime"});
   ScenarioSpec spec;
   if (const JsonValue* v = root.find("name")) spec.name = v->as_string();
   if (const JsonValue* v = root.find("format"))
@@ -167,6 +190,12 @@ ScenarioSpec parse_scenario(const std::string& json_text) {
     spec.use_reference_simulator = v->as_bool();
   if (const JsonValue* v = root.find("report")) parse_report(*v, spec.report);
   if (const JsonValue* v = root.find("snm")) parse_snm(*v, spec.snm);
+  if (const JsonValue* v = root.find("aging_model")) {
+    spec.aging_model = v->as_string();
+    aging::AgingModelRegistry::instance().check(spec.aging_model);
+  }
+  if (const JsonValue* v = root.find("lifetime"))
+    parse_lifetime(*v, spec.lifetime);
   return spec;
 }
 
@@ -237,22 +266,43 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 
   std::vector<WorkloadPhase> phases;
   ScenarioResult result{geometry, {}, aging::AgingReport{{0.0, 1.0, 1}, {}, {},
-                                                         0, 0, 0.0, {}}};
+                                                         0, 0, 0.0, {}},
+                        std::nullopt};
   phases.reserve(spec.phases.size());
   for (const ScenarioPhaseSpec& phase : spec.phases) {
     phases.push_back(WorkloadPhase{pipelines.at(phase.network).stream.get(),
-                                   phase.inferences});
-    result.phase_labels.push_back(phase.network + " x " +
-                                  std::to_string(phase.inferences));
+                                   phase.inferences, phase.environment});
+    std::string label =
+        phase.network + " x " + std::to_string(phase.inferences);
+    if (!aging::is_nominal(phase.environment)) {
+      std::ostringstream env;
+      env.precision(3);
+      env << " @ " << phase.environment.temperature_c << "C";
+      if (phase.environment.vdd != aging::kNominalVdd)
+        env << ", " << phase.environment.vdd << " vdd";
+      if (phase.environment.activity_scale != 1.0)
+        env << ", " << phase.environment.activity_scale << " activity";
+      label += env.str();
+    }
+    result.phase_labels.push_back(std::move(label));
   }
 
   WorkloadOptions options;
   options.threads = spec.threads;
   options.use_reference_simulator = spec.use_reference_simulator;
-  const aging::DutyCycleTracker tracker =
-      simulate_workload(phases, table, options);
-  const aging::CalibratedSnmModel model(spec.snm);
-  result.report = make_aging_report(tracker, model, spec.report);
+  const PhasedWorkloadResult phased =
+      simulate_workload_phased(phases, table, options);
+  const std::shared_ptr<const aging::DeviceAgingModel> model =
+      aging::make_aging_model(spec.aging_model, spec.snm);
+  if (phased.segments.empty()) {
+    // Every phase dormant: an all-unused report, no lifetime to solve.
+    result.report =
+        make_aging_report(phased.combined, *model, spec.report);
+    return result;
+  }
+  result.report = make_aging_report(phased.segments, *model, spec.report);
+  const aging::LifetimeModel lifetime(model, spec.lifetime);
+  result.lifetime = make_lifetime_report(phased.segments, lifetime);
   return result;
 }
 

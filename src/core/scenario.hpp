@@ -9,9 +9,12 @@
 // Layering: scenario → workbench/workload → policy engine → simulators.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "aging/lifetime.hpp"
+#include "aging/model_registry.hpp"
 #include "aging/snm_histogram.hpp"
 #include "core/experiment.hpp"
 #include "core/region_policy.hpp"
@@ -19,11 +22,15 @@
 namespace dnnlife::core {
 
 /// One lifetime phase: a network run for a number of inferences on the
-/// scenario's hardware. Zero inferences describe a provisioned-but-dormant
-/// model (the phase is skipped).
+/// scenario's hardware, in an operating environment. Zero inferences
+/// describe a provisioned-but-dormant model (the phase is skipped).
 struct ScenarioPhaseSpec {
   std::string network = "custom_mnist";
   unsigned inferences = 100;
+  /// Temperature / vdd / activity during the phase; default = nominal.
+  /// Distinct environments keep their own duty-cycle accumulators and the
+  /// aging layer integrates degradation across the resulting timeline.
+  aging::EnvironmentSpec environment;
 };
 
 /// One memory region and its policy. `row_fraction`s of all regions must
@@ -50,6 +57,12 @@ struct ScenarioSpec {
   bool use_reference_simulator = false;
   aging::AgingReportOptions report;
   aging::SnmParams snm;
+  /// Device-aging model, by AgingModelRegistry name. The default engine
+  /// is temperature-agnostic (pinned to the paper's calibration); pick
+  /// "arrhenius-nbti" to make per-phase temperatures matter.
+  std::string aging_model = aging::kDefaultAgingModel;
+  /// Failure threshold of the lifetime solve.
+  aging::LifetimeParams lifetime;
 };
 
 /// Parse a scenario from its JSON description. Strict: unknown members,
@@ -60,8 +73,13 @@ ScenarioSpec parse_scenario(const std::string& json_text);
 
 struct ScenarioResult {
   sim::MemoryGeometry geometry;          ///< resolved weight-memory shape
-  std::vector<std::string> phase_labels; ///< "network x inferences" per phase
+  /// "network x inferences" per phase, with the environment appended when
+  /// it deviates from nominal.
+  std::vector<std::string> phase_labels;
   aging::AgingReport report;             ///< includes the per-region breakdown
+  /// Years-to-failure over the phase-conditioned environment timeline
+  /// (per-region breakdown included); absent when every phase is dormant.
+  std::optional<aging::LifetimeReport> lifetime;
 };
 
 /// Run the scenario end-to-end: build the per-network streams (hardware

@@ -5,33 +5,52 @@
 
 namespace dnnlife::core {
 
-aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
-                                          const RegionPolicyTable& policies,
-                                          const WorkloadOptions& options) {
+namespace {
+
+/// One phase's tracker, with randomness derived from the phase's position
+/// in the workload (identical for the merged and the phased paths).
+aging::DutyCycleTracker simulate_phase(const WorkloadPhase& phase,
+                                       const RegionPolicyTable& policies,
+                                       const WorkloadOptions& options,
+                                       std::size_t phase_index) {
+  const RegionPolicyTable phase_policies =
+      policies.with_derived_seeds(phase_index + 1);
+  if (options.use_reference_simulator) {
+    ReferenceSimOptions reference;
+    reference.inferences = phase.inferences;
+    reference.verify_decode = false;
+    return simulate_reference(*phase.stream, phase_policies, reference);
+  }
+  FastSimOptions fast;
+  fast.inferences = phase.inferences;
+  fast.threads = options.threads;
+  return simulate_fast(*phase.stream, phase_policies, fast);
+}
+
+void check_phases(std::span<const WorkloadPhase> phases,
+                  const sim::MemoryGeometry& geometry) {
   DNNLIFE_EXPECTS(!phases.empty(), "workload needs at least one phase");
-  const sim::MemoryGeometry geometry = policies.geometry();
-  aging::DutyCycleTracker combined(geometry.cells());
-  combined.set_regions(policies.cell_regions());
-  for (std::size_t p = 0; p < phases.size(); ++p) {
-    const WorkloadPhase& phase = phases[p];
+  for (const WorkloadPhase& phase : phases) {
     DNNLIFE_EXPECTS(phase.stream != nullptr, "phase without stream");
     DNNLIFE_EXPECTS(phase.stream->geometry().rows == geometry.rows &&
                         phase.stream->geometry().row_bits == geometry.row_bits,
                     "phases must share the memory geometry");
-    if (phase.inferences == 0) continue;  // a dormant phase ages nothing
-    const RegionPolicyTable phase_policies = policies.with_derived_seeds(p + 1);
-    if (options.use_reference_simulator) {
-      ReferenceSimOptions reference;
-      reference.inferences = phase.inferences;
-      reference.verify_decode = false;
-      combined.merge(
-          simulate_reference(*phase.stream, phase_policies, reference));
-    } else {
-      FastSimOptions fast;
-      fast.inferences = phase.inferences;
-      fast.threads = options.threads;
-      combined.merge(simulate_fast(*phase.stream, phase_policies, fast));
-    }
+    aging::validate_environment(phase.environment);
+  }
+}
+
+}  // namespace
+
+aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
+                                          const RegionPolicyTable& policies,
+                                          const WorkloadOptions& options) {
+  const sim::MemoryGeometry geometry = policies.geometry();
+  check_phases(phases, geometry);
+  aging::DutyCycleTracker combined(geometry.cells());
+  combined.set_regions(policies.cell_regions());
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    if (phases[p].inferences == 0) continue;  // a dormant phase ages nothing
+    combined.merge(simulate_phase(phases[p], policies, options, p));
   }
   return combined;
 }
@@ -43,6 +62,33 @@ aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
   return simulate_workload(
       phases,
       RegionPolicyTable::uniform(phases.front().stream->geometry(), policy));
+}
+
+PhasedWorkloadResult simulate_workload_phased(
+    std::span<const WorkloadPhase> phases, const RegionPolicyTable& policies,
+    const WorkloadOptions& options) {
+  const sim::MemoryGeometry geometry = policies.geometry();
+  check_phases(phases, geometry);
+  PhasedWorkloadResult result{{}, aging::DutyCycleTracker(geometry.cells())};
+  result.combined.set_regions(policies.cell_regions());
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    if (phases[p].inferences == 0) continue;  // a dormant phase ages nothing
+    aging::DutyCycleTracker tracker =
+        simulate_phase(phases[p], policies, options, p);
+    result.combined.merge(tracker);
+    // Consecutive active phases in the same environment share a segment:
+    // duty-cycle time-averages within one operating point (the paper's
+    // long-term-average model), so an all-nominal workload stays a single
+    // segment and evaluates bit-identically to the legacy path.
+    if (!result.segments.empty() &&
+        result.segments.back().environment == phases[p].environment) {
+      result.segments.back().tracker.merge(tracker);
+    } else {
+      result.segments.push_back(aging::EnvironmentSegment{
+          std::move(tracker), phases[p].environment});
+    }
+  }
+  return result;
 }
 
 }  // namespace dnnlife::core

@@ -17,11 +17,19 @@
 namespace dnnlife::core {
 
 /// One phase of the device lifetime: a network/accelerator write stream
-/// run for a number of inferences. A phase with zero inferences is
-/// skipped (it contributes no residency time).
+/// run for a number of inferences in an operating environment. A phase
+/// with zero inferences is skipped (it contributes no residency time).
 struct WorkloadPhase {
+  WorkloadPhase() = default;
+  WorkloadPhase(const sim::WriteStream* stream, unsigned inferences,
+                aging::EnvironmentSpec environment = {})
+      : stream(stream), inferences(inferences), environment(environment) {}
+
   const sim::WriteStream* stream = nullptr;  // non-owning
   unsigned inferences = 100;
+  /// Operating conditions during the phase (temperature / vdd / activity);
+  /// default = the nominal calibration point.
+  aging::EnvironmentSpec environment;
 };
 
 struct WorkloadOptions {
@@ -46,5 +54,26 @@ aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
 /// Whole-memory convenience wrapper (uniform region).
 aging::DutyCycleTracker simulate_workload(std::span<const WorkloadPhase> phases,
                                           const PolicyConfig& policy);
+
+/// Environment-aware workload result: `segments` holds one duty-cycle
+/// accumulator per run of consecutive equal-environment phases (duty
+/// time-averages within one environment, so a workload whose phases all
+/// share the nominal environment collapses to a single segment —
+/// bit-identical to the legacy path), and `combined` is the all-phase
+/// merge (the legacy single-operating-point view). Segments may be empty
+/// when every phase is dormant; `combined` is always valid.
+struct PhasedWorkloadResult {
+  std::vector<aging::EnvironmentSegment> segments;
+  aging::DutyCycleTracker combined;
+};
+
+/// Simulate the phases like simulate_workload but keep per-environment
+/// duty-cycle accumulators so the aging layer can integrate degradation
+/// across the environment timeline. Phase randomness derivation is
+/// identical to simulate_workload (per original phase index), so
+/// `combined` matches it bit-for-bit.
+PhasedWorkloadResult simulate_workload_phased(
+    std::span<const WorkloadPhase> phases, const RegionPolicyTable& policies,
+    const WorkloadOptions& options = {});
 
 }  // namespace dnnlife::core

@@ -246,6 +246,17 @@ double JsonValue::as_number() const {
   return number_;
 }
 
+double JsonValue::as_number_in(double lo, double hi,
+                               std::string_view what) const {
+  const double number = as_number();
+  if (!(number >= lo && number <= hi))
+    throw std::invalid_argument(std::string(what) + " " +
+                                std::to_string(number) + " out of [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  return number;
+}
+
 std::uint64_t JsonValue::as_uint() const {
   const double number = as_number();
   if (number < 0.0 || std::floor(number) != number ||

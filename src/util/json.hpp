@@ -35,6 +35,10 @@ class JsonValue {
   /// Typed accessors; throw std::invalid_argument on a type mismatch.
   bool as_bool() const;
   double as_number() const;
+  /// as_number checked against an inclusive range; the error message names
+  /// `what` and the violated bound (spec parsers reject out-of-range
+  /// values at the document, not mid-run).
+  double as_number_in(double lo, double hi, std::string_view what) const;
   /// as_number checked to be a non-negative integer that fits the type.
   std::uint64_t as_uint() const;
   const std::string& as_string() const;

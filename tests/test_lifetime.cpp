@@ -41,7 +41,18 @@ TEST(LifetimeModel, PowerLawImprovementFactor) {
 TEST(LifetimeModel, RejectsUnreachableThreshold) {
   LifetimeParams params;
   params.snm_failure_threshold = 5.0;  // below the balanced anchor
-  EXPECT_THROW(LifetimeModel({}, params), std::invalid_argument);
+  EXPECT_THROW(LifetimeModel(SnmParams{}, params), std::invalid_argument);
+  // The rejection is actionable: it names the parameter, the model and
+  // the anchor it must exceed.
+  try {
+    LifetimeModel model(SnmParams{}, params);
+    FAIL() << "unreachable threshold accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("snm_failure_threshold"), std::string::npos);
+    EXPECT_NE(message.find("calibrated-nbti"), std::string::npos);
+    EXPECT_NE(message.find("duty 0.5"), std::string::npos);
+  }
 }
 
 TEST(LifetimeReport, DeviceDiesWithFirstCell) {

@@ -186,8 +186,14 @@ TEST(ScenarioRun, HybridRegionsEndToEnd) {
   // the used cells (DNN-Life balances duty-cycles).
   const auto& hot = result.report.regions[0];
   const auto& cold = result.report.regions[1];
-  if (hot.snm_stats.count() > 0 && cold.snm_stats.count() > 0)
+  if (hot.snm_stats.count() > 0 && cold.snm_stats.count() > 0) {
     EXPECT_LE(hot.snm_stats.mean(), cold.snm_stats.mean() + 1e-9);
+  }
+  // The lifetime solve rides along, with the same per-region breakdown.
+  ASSERT_TRUE(result.lifetime.has_value());
+  ASSERT_EQ(result.lifetime->regions.size(), 2u);
+  EXPECT_EQ(result.lifetime->regions[0].name, "hot");
+  EXPECT_GT(result.lifetime->device_lifetime_years, 0.0);
 }
 
 TEST(ScenarioRun, UniformScenarioMatchesDirectWorkload) {
@@ -216,6 +222,139 @@ TEST(ScenarioRun, UniformScenarioMatchesDirectWorkload) {
   EXPECT_EQ(result.report.unused_cells, direct.unused_cells);
   EXPECT_DOUBLE_EQ(result.report.duty_stats.mean(), direct.duty_stats.mean());
   EXPECT_DOUBLE_EQ(result.report.snm_stats.mean(), direct.snm_stats.mean());
+}
+
+// ---- environment / aging-model schema ----------------------------------------
+
+TEST(ScenarioParse, ReadsPhaseEnvironmentsAndAgingModel) {
+  const ScenarioSpec spec = parse_scenario(R"json({
+    "aging_model": "arrhenius-nbti",
+    "lifetime": {"snm_failure_threshold": 22.5},
+    "phases": [
+      {"network": "custom_mnist", "inferences": 4,
+       "environment": {"temperature_c": 85.0, "vdd": 1.1,
+                       "activity_scale": 0.75}},
+      {"network": "custom_mnist", "inferences": 2}
+    ]
+  })json");
+  EXPECT_EQ(spec.aging_model, "arrhenius-nbti");
+  EXPECT_DOUBLE_EQ(spec.lifetime.snm_failure_threshold, 22.5);
+  ASSERT_EQ(spec.phases.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.phases[0].environment.temperature_c, 85.0);
+  EXPECT_DOUBLE_EQ(spec.phases[0].environment.vdd, 1.1);
+  EXPECT_DOUBLE_EQ(spec.phases[0].environment.activity_scale, 0.75);
+  EXPECT_TRUE(aging::is_nominal(spec.phases[1].environment));
+}
+
+TEST(ScenarioParse, RejectsMalformedEnvironmentBlocks) {
+  // Unknown member.
+  EXPECT_THROW(parse_scenario(
+                   R"({"phases": [{"network": "custom_mnist",
+                       "environment": {"temp": 85}}]})"),
+               std::invalid_argument);
+  // Wrong type.
+  EXPECT_THROW(parse_scenario(
+                   R"({"phases": [{"network": "custom_mnist",
+                       "environment": {"temperature_c": "hot"}}]})"),
+               std::invalid_argument);
+  // Out-of-range values.
+  EXPECT_THROW(parse_scenario(
+                   R"({"phases": [{"network": "custom_mnist",
+                       "environment": {"temperature_c": -400}}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(
+                   R"({"phases": [{"network": "custom_mnist",
+                       "environment": {"vdd": 0}}]})"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario(
+                   R"({"phases": [{"network": "custom_mnist",
+                       "environment": {"activity_scale": 1.5}}]})"),
+               std::invalid_argument);
+  // Environment must be an object, not a scalar.
+  EXPECT_THROW(parse_scenario(
+                   R"({"phases": [{"network": "custom_mnist",
+                       "environment": 85}]})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioParse, RejectsUnknownAgingModelListingRegistered) {
+  try {
+    parse_scenario(R"({"aging_model": "martian-model",
+                       "phases": [{"network": "custom_mnist"}]})");
+    FAIL() << "unknown aging model accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("martian-model"), std::string::npos);
+    EXPECT_NE(message.find("calibrated-nbti"), std::string::npos);
+    EXPECT_NE(message.find("arrhenius-nbti"), std::string::npos);
+  }
+  // An unreachable lifetime threshold is rejected at the document too.
+  EXPECT_THROW(parse_scenario(R"({"lifetime": {"snm_failure_threshold": -1},
+                                  "phases": [{"network": "custom_mnist"}]})"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRun, PerPhaseTemperaturesShortenLifetimeEndToEnd) {
+  const char* base = R"json({
+    "hardware": "tpu-like-npu",
+    "npu": {"array_dim": 64, "fifo_tiles": 2},
+    "aging_model": "arrhenius-nbti",
+    "phases": [
+      {"network": "custom_mnist", "inferences": 6},
+      {"network": "custom_mnist", "inferences": 6%ENV%}
+    ]
+  })json";
+  const auto run_with = [&](const std::string& env_suffix) {
+    std::string json = base;
+    json.replace(json.find("%ENV%"), 5, env_suffix);
+    return run_scenario(parse_scenario(json));
+  };
+  const ScenarioResult cool = run_with("");
+  const ScenarioResult heated = run_with(
+      R"(, "environment": {"temperature_c": 95.0})");
+  ASSERT_TRUE(cool.lifetime.has_value());
+  ASSERT_TRUE(heated.lifetime.has_value());
+  EXPECT_LT(heated.lifetime->device_lifetime_years,
+            cool.lifetime->device_lifetime_years);
+  EXPECT_GT(heated.report.snm_stats.mean(), cool.report.snm_stats.mean());
+  // The phase label names the non-nominal environment.
+  EXPECT_NE(heated.phase_labels[1].find("95"), std::string::npos);
+  EXPECT_EQ(heated.phase_labels[0], "custom_mnist x 6");
+}
+
+TEST(ScenarioRun, DefaultModelNominalEnvironmentsMatchLegacyNumbers) {
+  // A multi-phase all-nominal scenario must produce the same aging report
+  // the legacy merged-tracker path computes (single-segment collapse).
+  const char* json = R"json({
+    "hardware": "baseline-accelerator",
+    "baseline": {"weight_memory_bytes": 16384},
+    "phases": [
+      {"network": "custom_mnist", "inferences": 3},
+      {"network": "custom_mnist", "inferences": 3}
+    ]
+  })json";
+  const ScenarioResult result = run_scenario(parse_scenario(json));
+  ExperimentConfig config;
+  config.network = "custom_mnist";
+  config.baseline.weight_memory_bytes = 16384;
+  const Workbench bench(config);
+  const std::vector<WorkloadPhase> phases = {
+      WorkloadPhase{&bench.stream(), 3}, WorkloadPhase{&bench.stream(), 3}};
+  const auto tracker = simulate_workload(
+      phases, RegionPolicyTable::uniform(bench.stream().geometry(),
+                                         PolicyConfig{}));
+  const aging::CalibratedSnmModel model;
+  const auto direct = make_aging_report(tracker, model);
+  EXPECT_EQ(result.report.snm_stats.mean(), direct.snm_stats.mean());
+  EXPECT_EQ(result.report.snm_stats.max(), direct.snm_stats.max());
+  EXPECT_EQ(result.report.fraction_optimal, direct.fraction_optimal);
+  ASSERT_TRUE(result.lifetime.has_value());
+  const auto direct_lifetime =
+      make_lifetime_report(tracker, aging::LifetimeModel{});
+  EXPECT_EQ(result.lifetime->device_lifetime_years,
+            direct_lifetime.device_lifetime_years);
+  EXPECT_EQ(result.lifetime->cell_lifetime.mean(),
+            direct_lifetime.cell_lifetime.mean());
 }
 
 TEST(ScenarioRun, ZeroInferencePhaseIsSkipped) {
