@@ -6,6 +6,8 @@
 // Flags (override the document without editing it):
 //   --aging-model=NAME    device model from the AgingModelRegistry
 //   --phase-temp=IDX:C    temperature [°C] of phase IDX (repeatable)
+//   --jobs=N              simulation/report worker threads (0 = hardware
+//                         concurrency; overrides the document's "threads")
 //   --csv=PATH            export the per-region lifetime breakdown as CSV
 //
 // Without a file it runs a built-in thermal scenario: a TPU-like NPU
@@ -14,6 +16,7 @@
 // quarter of the weight FIFO, evaluated under the Arrhenius-accelerated
 // NBTI model — the temperature-corner deployment the paper's single
 // operating point cannot express.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,7 +25,9 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -62,12 +67,20 @@ int main(int argc, char** argv) {
   bool have_file = false;
   std::string aging_model_override;
   std::string csv_path;
+  std::optional<unsigned> jobs;
   std::vector<std::pair<std::size_t, double>> phase_temps;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
     if (flag_value(arg, "aging-model", value)) {
       aging_model_override = value;
+    } else if (flag_value(arg, "jobs", value)) {
+      unsigned parsed = 0;
+      if (!util::parse_unsigned_flag(value, parsed)) {
+        std::cerr << "--jobs expects a number, got '" << value << "'\n";
+        return 1;
+      }
+      jobs = parsed;
     } else if (flag_value(arg, "phase-temp", value)) {
       const std::size_t colon = value.find(':');
       const std::string index = value.substr(0, colon);
@@ -132,19 +145,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (jobs.has_value()) spec.threads = *jobs;
   std::cout << "scenario: " << spec.name << " ("
             << core::to_string(spec.hardware) << ", "
             << quant::to_string(spec.format) << ", model " << spec.aging_model
             << ")\n";
+  std::cout << "running " << spec.phases.size() << " phase"
+            << (spec.phases.size() == 1 ? "" : "s") << " on "
+            << util::resolve_thread_count(spec.threads)
+            << " worker thread(s) ..." << std::endl;
   // Runtime validation (e.g. an unreachable lifetime threshold for the
   // selected model) must reach the user as cleanly as parse errors.
   std::optional<core::ScenarioResult> run;
+  const auto start = std::chrono::steady_clock::now();
   try {
     run = core::run_scenario(spec);
   } catch (const std::exception& error) {
     std::cerr << "scenario error: " << error.what() << "\n";
     return 1;
   }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << "done in " << util::Table::num(seconds, 2) << " s\n";
   const core::ScenarioResult& result = *run;
   std::cout << "memory: " << result.geometry.rows << " rows x "
             << result.geometry.row_bits << " bits\nphases:";

@@ -1,0 +1,166 @@
+// Scenario sweep runner: a directory (or list) of scenario JSON files run
+// in parallel and aggregated into one summary — the production-sweep entry
+// point of the framework.
+//
+//   example_sweep_runner <dir | scenario.json...> [flags]
+//
+// Flags:
+//   --jobs=N         concurrent scenarios (default 0 = hardware concurrency)
+//   --threads=N      per-scenario simulation/report thread budget
+//                    (default 0 = keep each document's own "threads")
+//   --csv=PATH       write the per-scenario summary as CSV
+//   --json=PATH      write the per-scenario summary + aggregate as JSON
+//   --quiet          suppress per-scenario progress lines
+//
+// Exit status is non-zero when any scenario failed, so CI sweeps gate
+// naturally.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scenario_suite.hpp"
+#include "util/cli.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+bool flag_value(const std::string& arg, const std::string& name,
+                std::string& value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dnnlife;
+  std::vector<std::string> inputs;
+  unsigned jobs = 0;  // hardware concurrency
+  unsigned threads_per_scenario = 0;
+  std::string csv_path;
+  std::string json_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(arg, "jobs", value)) {
+      if (!util::parse_unsigned_flag(value, jobs)) {
+        std::cerr << "--jobs expects a number, got '" << value << "'\n";
+        return 1;
+      }
+    } else if (flag_value(arg, "threads", value)) {
+      if (!util::parse_unsigned_flag(value, threads_per_scenario)) {
+        std::cerr << "--threads expects a number, got '" << value << "'\n";
+        return 1;
+      }
+    } else if (flag_value(arg, "csv", value)) {
+      csv_path = value;
+    } else if (flag_value(arg, "json", value)) {
+      json_path = value;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 1;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: example_sweep_runner <dir | scenario.json...> "
+                 "[--jobs=N] [--threads=N] [--csv=PATH] [--json=PATH] "
+                 "[--quiet]\n";
+    return 1;
+  }
+
+  core::ScenarioSuite suite;
+  try {
+    if (inputs.size() == 1 && std::filesystem::is_directory(inputs.front()))
+      suite = core::ScenarioSuite::from_directory(inputs.front());
+    else
+      suite = core::ScenarioSuite::from_files(inputs);
+  } catch (const std::exception& error) {
+    std::cerr << "sweep error: " << error.what() << "\n";
+    return 1;
+  }
+
+  const unsigned resolved_jobs =
+      std::min<unsigned>(util::resolve_thread_count(jobs),
+                         static_cast<unsigned>(suite.size()));
+  std::cout << "sweep: " << suite.size() << " scenario"
+            << (suite.size() == 1 ? "" : "s") << ", " << resolved_jobs
+            << " job" << (resolved_jobs == 1 ? "" : "s");
+  if (threads_per_scenario != 0)
+    std::cout << ", " << threads_per_scenario << " threads each";
+  std::cout << "\n";
+
+  core::SuiteRunOptions options;
+  options.jobs = jobs;
+  options.threads_per_scenario = threads_per_scenario;
+  if (!quiet) {
+    options.progress = [](const core::SuiteProgress& progress) {
+      const core::SuiteOutcome& outcome = *progress.outcome;
+      std::cout << "[" << progress.completed << "/" << progress.total << "] "
+                << outcome.name;
+      if (!outcome.ok) {
+        std::cout << ": ERROR " << outcome.error;
+      } else if (outcome.result->lifetime.has_value()) {
+        std::cout << ": lifetime "
+                  << util::Table::num(
+                         outcome.result->lifetime->device_lifetime_years, 2)
+                  << " y";
+      } else {
+        std::cout << ": dormant (no used cells)";
+      }
+      std::cout << " (" << util::Table::num(outcome.wall_seconds, 2) << " s)"
+                << std::endl;
+    };
+  }
+  const std::vector<core::SuiteOutcome> outcomes = suite.run(options);
+
+  util::Table table({"scenario", "status", "mean SNM [%]", "max SNM [%]",
+                     "lifetime [y]", "x worst-case", "wall [s]"});
+  std::size_t failures = 0;
+  for (const core::SuiteOutcome& outcome : outcomes) {
+    if (!outcome.ok) ++failures;
+    const bool lifetime =
+        outcome.ok && outcome.result->lifetime.has_value();
+    table.add_row(
+        {outcome.name, outcome.ok ? "ok" : "ERROR",
+         outcome.ok ? util::Table::num(outcome.result->report.snm_stats.mean(), 2)
+                    : "-",
+         outcome.ok ? util::Table::num(outcome.result->report.snm_stats.max(), 2)
+                    : "-",
+         lifetime ? util::Table::num(
+                        outcome.result->lifetime->device_lifetime_years, 2)
+                  : "-",
+         lifetime ? util::Table::num(
+                        outcome.result->lifetime->improvement_over_worst_case, 2)
+                  : "-",
+         util::Table::num(outcome.wall_seconds, 2)});
+  }
+  std::cout << "\n" << table.to_string();
+  if (failures != 0)
+    std::cout << failures << " scenario" << (failures == 1 ? "" : "s")
+              << " failed\n";
+
+  if (!csv_path.empty()) {
+    core::write_suite_csv(csv_path, outcomes);
+    std::cout << "sweep summary written to " << csv_path << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    json << core::suite_summary_json(outcomes);
+    std::cout << "sweep summary written to " << json_path << "\n";
+  }
+  return failures == 0 ? 0 : 2;
+}

@@ -5,6 +5,7 @@
 
 #include "aging/nbti_model.hpp"
 #include "util/check.hpp"
+#include "util/root_find.hpp"
 
 namespace dnnlife::aging {
 
@@ -34,30 +35,40 @@ TimelineScan scan_timeline(std::span<const StressSegment> timeline) {
   return scan;
 }
 
+/// Relative step of the central finite differences below: cbrt(epsilon),
+/// the accuracy-optimal choice for a central difference.
+constexpr double kFiniteDifferenceStep = 6e-6;
+
 }  // namespace
 
 // ---- generic (non-power-law) evaluation --------------------------------------
+
+double DeviceAgingModel::degradation_slope(double duty, double years,
+                                           const EnvironmentSpec& env) const {
+  // Central difference with a relative step; at years == 0 the stencil
+  // degenerates to a forward difference from the origin (degradation is
+  // only defined for non-negative time).
+  double scale = years;
+  if (scale <= 0.0) scale = reference_years() > 0.0 ? reference_years() : 1.0;
+  const double h = scale * kFiniteDifferenceStep;
+  const double below = years > h ? years - h : 0.0;
+  const double above = years + h;
+  return (degradation(duty, above, env) - degradation(duty, below, env)) /
+         (above - below);
+}
 
 double DeviceAgingModel::years_to_reach(double duty, double target,
                                         const EnvironmentSpec& env) const {
   DNNLIFE_EXPECTS(target >= 0.0, "negative degradation target");
   if (target <= 0.0) return 0.0;
-  // Bracket the crossing by doubling from the reference horizon, then
-  // bisect. Degradation is monotone non-decreasing in time, so the loop
-  // either brackets or proves the target unreachable (zero-stress
-  // environment) and returns +inf.
-  double hi = reference_years() > 0.0 ? reference_years() : 1.0;
-  int doublings = 0;
-  while (degradation(duty, hi, env) < target) {
-    hi *= 2.0;
-    if (++doublings > 200) return std::numeric_limits<double>::infinity();
-  }
-  double lo = 0.0;
-  for (int i = 0; i < 200 && hi - lo > hi * 1e-15; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    (degradation(duty, mid, env) < target ? lo : hi) = mid;
-  }
-  return 0.5 * (lo + hi);
+  // Bracket the crossing by doubling from the reference horizon, then run
+  // safeguarded Newton on the (monotone non-decreasing) degradation curve.
+  // A flat or undefined slope falls back to a bisection step, and an
+  // unbracketable target (zero-stress environment) reports +inf.
+  return util::invert_monotone(
+      [&](double years) { return degradation(duty, years, env); },
+      [&](double years) { return degradation_slope(duty, years, env); },
+      target, reference_years());
 }
 
 double DeviceAgingModel::degradation_on_timeline(
@@ -91,18 +102,21 @@ double DeviceAgingModel::years_to_failure(std::span<const StressSegment> timelin
                           scan.single->environment);
   DNNLIFE_EXPECTS(threshold >= 0.0, "negative failure threshold");
   if (threshold <= 0.0) return 0.0;
-  double hi = reference_years() > 0.0 ? reference_years() : 1.0;
-  int doublings = 0;
-  while (degradation_on_timeline(timeline, hi) < threshold) {
-    hi *= 2.0;
-    if (++doublings > 200) return std::numeric_limits<double>::infinity();
-  }
-  double lo = 0.0;
-  for (int i = 0; i < 200 && hi - lo > hi * 1e-15; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    (degradation_on_timeline(timeline, mid) < threshold ? lo : hi) = mid;
-  }
-  return 0.5 * (lo + hi);
+  // Same safeguarded Newton as years_to_reach, over the composed timeline
+  // curve. The composition has no model-provided derivative, so the slope
+  // is a central finite difference — still ~10x fewer curve evaluations
+  // than bisection, and each evaluation's inner equivalent-time inversions
+  // are themselves Newton solves now.
+  const auto curve = [&](double years) {
+    return degradation_on_timeline(timeline, years);
+  };
+  const auto slope = [&](double years) {
+    const double scale = years > 0.0 ? years : 1.0;
+    const double h = scale * kFiniteDifferenceStep;
+    const double below = years > h ? years - h : 0.0;
+    return (curve(years + h) - curve(below)) / (years + h - below);
+  };
+  return util::invert_monotone(curve, slope, threshold, reference_years());
 }
 
 // ---- power-law family --------------------------------------------------------
@@ -118,6 +132,16 @@ double PowerLawDeviceModel::degradation(double duty, double years,
                                         const EnvironmentSpec& env) const {
   DNNLIFE_EXPECTS(years >= 0.0, "negative time");
   return amplitude(duty, env) * std::pow(years / t_ref_years_, time_exponent_);
+}
+
+double PowerLawDeviceModel::degradation_slope(double duty, double years,
+                                              const EnvironmentSpec& env) const {
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  // d/dt [ g * (t/t_ref)^beta ] = g * beta / t_ref * (t/t_ref)^(beta - 1);
+  // +inf at t = 0 for the sublinear exponents BTI follows (the solver's
+  // safeguard handles that iterate).
+  return amplitude(duty, env) * (time_exponent_ / t_ref_years_) *
+         std::pow(years / t_ref_years_, time_exponent_ - 1.0);
 }
 
 double PowerLawDeviceModel::years_to_reach(double duty, double target,
@@ -227,9 +251,8 @@ PbtiHciDeviceModel::PbtiHciDeviceModel(Params params) : params_(params) {
   alpha_ = std::log2(pbti.snm_at_full_stress / pbti.snm_at_balanced);
 }
 
-double PbtiHciDeviceModel::degradation(double duty, double years,
-                                       const EnvironmentSpec& env) const {
-  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+PbtiHciDeviceModel::Terms PbtiHciDeviceModel::amplitude_terms(
+    double duty, const EnvironmentSpec& env) const {
   const Params& p = params_;
   // Different stress mapping from the NBTI chain: the worst NMOS keeps a
   // residual stress floor even at balanced duty (weak PBTI recovery), and
@@ -238,14 +261,38 @@ double PbtiHciDeviceModel::degradation(double duty, double years,
       (p.recovery_floor +
        (1.0 - p.recovery_floor) * NbtiModel::cell_stress_ratio(duty)) *
       env.activity_scale;
-  const double t_norm = years / p.pbti.t_ref_years;
-  const double pbti = p.pbti.snm_at_full_stress * std::pow(stress, alpha_) *
-                      std::pow(t_norm, p.pbti.time_exponent);
-  const double hci = p.hci_amplitude * env.activity_scale *
-                     std::pow(t_norm, p.hci_time_exponent);
-  return arrhenius_acceleration(env.temperature_c, kNominalTemperatureC,
-                                p.activation_energy_ev) *
-         std::pow(env.vdd / kNominalVdd, p.vdd_exponent) * (pbti + hci);
+  Terms terms;
+  terms.scale = arrhenius_acceleration(env.temperature_c, kNominalTemperatureC,
+                                       p.activation_energy_ev) *
+                std::pow(env.vdd / kNominalVdd, p.vdd_exponent);
+  terms.pbti = p.pbti.snm_at_full_stress * std::pow(stress, alpha_);
+  terms.hci = p.hci_amplitude * env.activity_scale;
+  return terms;
+}
+
+double PbtiHciDeviceModel::degradation(double duty, double years,
+                                       const EnvironmentSpec& env) const {
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  const Terms terms = amplitude_terms(duty, env);
+  const double t_norm = years / params_.pbti.t_ref_years;
+  return terms.scale *
+         (terms.pbti * std::pow(t_norm, params_.pbti.time_exponent) +
+          terms.hci * std::pow(t_norm, params_.hci_time_exponent));
+}
+
+double PbtiHciDeviceModel::degradation_slope(double duty, double years,
+                                             const EnvironmentSpec& env) const {
+  DNNLIFE_EXPECTS(years >= 0.0, "negative time");
+  // Term-wise power-law derivative of the two-exponent sum (+inf at t = 0,
+  // where both exponents are sublinear — the solver bisects that iterate).
+  const Terms terms = amplitude_terms(duty, env);
+  const double t_ref = params_.pbti.t_ref_years;
+  const double t_norm = years / t_ref;
+  const double b1 = params_.pbti.time_exponent;
+  const double b2 = params_.hci_time_exponent;
+  return terms.scale *
+         (terms.pbti * (b1 / t_ref) * std::pow(t_norm, b1 - 1.0) +
+          terms.hci * (b2 / t_ref) * std::pow(t_norm, b2 - 1.0));
 }
 
 // ---- dual BTI as a device model ----------------------------------------------

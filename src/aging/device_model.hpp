@@ -59,13 +59,25 @@ class DeviceAgingModel : public AgingModel {
   virtual double degradation(double duty, double years,
                              const EnvironmentSpec& env) const = 0;
 
+  /// Time derivative of degradation() at (duty, years, env), in percent
+  /// per year. Drives the Newton iteration of years_to_reach; the default
+  /// is a central finite difference over degradation(), and models whose
+  /// curve has a cheap analytic derivative (the power-law family, the
+  /// smooth convex PBTI+HCI sum) override it. May return 0, +inf or NaN
+  /// where the derivative is undefined (e.g. a sublinear power law at
+  /// t = 0) — the solver falls back to a bisection step there.
+  virtual double degradation_slope(double duty, double years,
+                                   const EnvironmentSpec& env) const;
+
   /// Inverse of degradation() in time: the years at (duty, env) until the
   /// degradation reaches `target` percent. This is both the
   /// years-to-failure inversion and the equivalent-time primitive of the
   /// timeline composition. Returns +inf when the target is unreachable
   /// (e.g. a fully power-gated segment accumulates no stress). The default
-  /// implementation brackets and bisects degradation(); power-law models
-  /// override it with the closed form.
+  /// implementation brackets the crossing and runs safeguarded Newton on
+  /// degradation() / degradation_slope() (util::invert_monotone — the
+  /// legacy bracketing bisection remains the fallback safeguard);
+  /// power-law models override it with the closed form.
   virtual double years_to_reach(double duty, double target,
                                 const EnvironmentSpec& env) const;
 
@@ -112,6 +124,9 @@ class PowerLawDeviceModel : public DeviceAgingModel {
 
   double degradation(double duty, double years,
                      const EnvironmentSpec& env) const final;
+  /// Analytic: amplitude * (beta / t_ref) * (t / t_ref)^(beta - 1).
+  double degradation_slope(double duty, double years,
+                           const EnvironmentSpec& env) const final;
   double years_to_reach(double duty, double target,
                         const EnvironmentSpec& env) const final;
   double degradation_on_timeline(std::span<const StressSegment> timeline,
@@ -211,10 +226,22 @@ class PbtiHciDeviceModel final : public DeviceAgingModel {
   }
   double degradation(double duty, double years,
                      const EnvironmentSpec& env) const override;
+  /// Analytic derivative of the two-exponent sum — the PBTI+HCI total is
+  /// smooth and convex in its inverse, so Newton converges quadratically.
+  double degradation_slope(double duty, double years,
+                           const EnvironmentSpec& env) const override;
 
   const Params& params() const noexcept { return params_; }
 
  private:
+  /// The shared duty/environment factors of degradation() and its slope.
+  struct Terms {
+    double scale = 0.0;  ///< Arrhenius x vdd acceleration
+    double pbti = 0.0;   ///< PBTI amplitude at t_ref [percent]
+    double hci = 0.0;    ///< HCI amplitude at t_ref [percent]
+  };
+  Terms amplitude_terms(double duty, const EnvironmentSpec& env) const;
+
   Params params_;
   double alpha_;
 };

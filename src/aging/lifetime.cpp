@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "aging/report_evaluator.hpp"
+
 namespace dnnlife::aging {
 
 LifetimeModel::LifetimeModel(SnmParams snm, LifetimeParams params)
@@ -103,29 +105,57 @@ class LifetimeBuilder {
   std::size_t region_ = 0;
 };
 
+/// Per-cell lifetime solve result buffered between the parallel shard
+/// phase and the in-order min/stats fold.
+struct CellLifetime {
+  double years = 0.0;
+  bool used = false;
+};
+
 }  // namespace
 
 LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
-                                    const LifetimeModel& model) {
+                                    const LifetimeModel& model,
+                                    unsigned threads) {
   LifetimeBuilder builder(tracker.regions(), model);
-  for (std::size_t cell = 0; cell < tracker.cell_count(); ++cell) {
-    if (tracker.is_unused(cell)) continue;
-    builder.add_cell(cell, model.years_to_failure(tracker.duty(cell)));
-  }
+  ReportEvaluator(threads).run<CellLifetime>(
+      tracker.cell_count(),
+      [&] {
+        return [&](std::size_t cell) -> CellLifetime {
+          if (tracker.is_unused(cell)) return {};
+          return {model.years_to_failure(tracker.duty(cell)), true};
+        };
+      },
+      [&](std::size_t cell, const CellLifetime& value) {
+        if (value.used) builder.add_cell(cell, value.years);
+      });
   return builder.finish();
 }
 
 LifetimeReport make_lifetime_report(std::span<const EnvironmentSegment> segments,
-                                    const LifetimeModel& model) {
+                                    const LifetimeModel& model,
+                                    unsigned threads) {
   check_segments(segments);
   const DutyCycleTracker& first = segments.front().tracker;
   LifetimeBuilder builder(first.regions(), model);
-  std::vector<StressSegment> history;
-  history.reserve(segments.size());
-  for (std::size_t cell = 0; cell < first.cell_count(); ++cell) {
-    if (gather_cell_segments(segments, cell, history).total == 0) continue;
-    builder.add_cell(cell, model.years_to_failure(history));
-  }
+  // Per-shard evaluation state: the gathered stress history is scratch
+  // reused across the shard's cells.
+  struct CellEval {
+    std::span<const EnvironmentSegment> segments;
+    const LifetimeModel& model;
+    std::vector<StressSegment> history;
+
+    CellLifetime operator()(std::size_t cell) {
+      if (gather_cell_segments(segments, cell, history).total == 0) return {};
+      return {model.years_to_failure(history), true};
+    }
+  };
+  ReportEvaluator(threads).run<CellLifetime>(
+      first.cell_count(),
+      [&] { return CellEval{segments, model, {}}; },
+      [&](std::size_t cell, const CellLifetime& value) {
+        if (value.used) builder.add_cell(cell, value.years);
+      });
   return builder.finish();
 }
 

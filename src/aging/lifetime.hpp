@@ -96,14 +96,18 @@ struct LifetimeReport {
 };
 
 /// Evaluate every used cell of `tracker` under `model` (nominal
-/// environment).
+/// environment). `threads` shards the per-cell lifetime solves across a
+/// util::ThreadPool (0 = hardware concurrency); results are bit-identical
+/// for any value (see aging/report_evaluator.hpp).
 LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
-                                    const LifetimeModel& model);
+                                    const LifetimeModel& model,
+                                    unsigned threads = 1);
 
 /// Environment-timeline evaluation: every used cell's lifetime is the
 /// model's years-to-failure over its per-segment stress history. A single
 /// nominal segment reproduces the single-tracker overload bit-identically.
 LifetimeReport make_lifetime_report(std::span<const EnvironmentSegment> segments,
-                                    const LifetimeModel& model);
+                                    const LifetimeModel& model,
+                                    unsigned threads = 1);
 
 }  // namespace dnnlife::aging

@@ -7,23 +7,75 @@
 
 namespace dnnlife::aging {
 
+double ModelParamReader::get(const std::string& key, double fallback) {
+  known_.push_back(key);
+  const auto it = params_.find(key);
+  return it == params_.end() ? fallback : it->second;
+}
+
+void ModelParamReader::finish() const {
+  for (const auto& [key, _] : params_) {
+    if (std::find(known_.begin(), known_.end(), key) != known_.end()) continue;
+    std::string known;
+    for (const std::string& name : known_)
+      known += (known.empty() ? "" : ", ") + name;
+    throw std::invalid_argument(
+        "unknown aging_model_params key '" + key + "' for model '" + model_ +
+        "' (known: " + (known.empty() ? "none — this model has no knobs" : known) +
+        ")");
+  }
+}
+
 AgingModelRegistry::AgingModelRegistry() {
-  factories_.emplace_back(kDefaultAgingModel, [](const SnmParams& snm) {
-    return std::make_unique<CalibratedNbtiDeviceModel>(snm);
-  });
-  factories_.emplace_back("arrhenius-nbti", [](const SnmParams& snm) {
-    return std::make_unique<ArrheniusNbtiDeviceModel>(snm);
-  });
-  factories_.emplace_back("pbti-hci", [](const SnmParams& snm) {
-    PbtiHciDeviceModel::Params params;
-    params.pbti = snm;
-    return std::make_unique<PbtiHciDeviceModel>(params);
-  });
-  factories_.emplace_back("dual-bti", [](const SnmParams& snm) {
-    DualBtiSnmModel::Params params;
-    params.nbti = snm;
-    return std::make_unique<DualBtiDeviceModel>(params);
-  });
+  // The default engine is deliberately knob-free: it *is* the paper's
+  // calibration, and every tunable lives in the SNM anchors it is built
+  // from.
+  factories_.emplace_back(
+      kDefaultAgingModel,
+      [](const SnmParams& snm, const AgingModelParams& params) {
+        ModelParamReader reader(params, kDefaultAgingModel);
+        reader.finish();
+        return std::make_unique<CalibratedNbtiDeviceModel>(snm);
+      });
+  factories_.emplace_back(
+      "arrhenius-nbti",
+      [](const SnmParams& snm, const AgingModelParams& params) {
+        ModelParamReader reader(params, "arrhenius-nbti");
+        ThermalParams thermal;
+        thermal.activation_energy_ev =
+            reader.get("activation_energy_ev", thermal.activation_energy_ev);
+        thermal.vdd_exponent = reader.get("vdd_exponent", thermal.vdd_exponent);
+        reader.finish();
+        return std::make_unique<ArrheniusNbtiDeviceModel>(snm, thermal);
+      });
+  factories_.emplace_back(
+      "pbti-hci", [](const SnmParams& snm, const AgingModelParams& params) {
+        ModelParamReader reader(params, "pbti-hci");
+        PbtiHciDeviceModel::Params model_params;
+        model_params.pbti = snm;
+        model_params.recovery_floor =
+            reader.get("recovery_floor", model_params.recovery_floor);
+        model_params.hci_amplitude =
+            reader.get("hci_amplitude", model_params.hci_amplitude);
+        model_params.hci_time_exponent =
+            reader.get("hci_time_exponent", model_params.hci_time_exponent);
+        model_params.activation_energy_ev = reader.get(
+            "activation_energy_ev", model_params.activation_energy_ev);
+        model_params.vdd_exponent =
+            reader.get("vdd_exponent", model_params.vdd_exponent);
+        reader.finish();
+        return std::make_unique<PbtiHciDeviceModel>(model_params);
+      });
+  factories_.emplace_back(
+      "dual-bti", [](const SnmParams& snm, const AgingModelParams& params) {
+        ModelParamReader reader(params, "dual-bti");
+        DualBtiSnmModel::Params model_params;
+        model_params.nbti = snm;
+        model_params.pbti_ratio =
+            reader.get("pbti_ratio", model_params.pbti_ratio);
+        reader.finish();
+        return std::make_unique<DualBtiDeviceModel>(model_params);
+      });
 }
 
 AgingModelRegistry& AgingModelRegistry::instance() {
@@ -40,6 +92,17 @@ void AgingModelRegistry::add(const std::string& name,
     DNNLIFE_EXPECTS(existing != name,
                     "aging model '" + name + "' is already registered");
   factories_.emplace_back(name, std::move(factory));
+}
+
+void AgingModelRegistry::add(const std::string& name,
+                             LegacyDeviceModelFactory factory) {
+  DNNLIFE_EXPECTS(factory != nullptr, "aging-model factory must not be null");
+  add(name, [name, factory = std::move(factory)](
+                const SnmParams& snm, const AgingModelParams& params) {
+    ModelParamReader reader(params, name);
+    reader.finish();  // a pre-parameter factory exposes no knobs
+    return factory(snm);
+  });
 }
 
 bool AgingModelRegistry::contains(const std::string& name) const {
@@ -66,7 +129,8 @@ void AgingModelRegistry::check(const std::string& name) const {
 }
 
 std::unique_ptr<DeviceAgingModel> AgingModelRegistry::create(
-    const std::string& name, const SnmParams& snm) const {
+    const std::string& name, const SnmParams& snm,
+    const AgingModelParams& params) const {
   DeviceModelFactory factory;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -79,17 +143,18 @@ std::unique_ptr<DeviceAgingModel> AgingModelRegistry::create(
   }
   if (!factory) {
     check(name);  // throws for unknown names...
-    return create(name, snm);  // ...else it was registered concurrently
+    return create(name, snm, params);  // ...else it was registered concurrently
   }
-  auto model = factory(snm);
+  auto model = factory(snm, params);
   DNNLIFE_ENSURES(model != nullptr,
                   "aging-model factory '" + name + "' returned null");
   return model;
 }
 
-std::unique_ptr<DeviceAgingModel> make_aging_model(const std::string& name,
-                                                   const SnmParams& snm) {
-  return AgingModelRegistry::instance().create(name, snm);
+std::unique_ptr<DeviceAgingModel> make_aging_model(
+    const std::string& name, const SnmParams& snm,
+    const AgingModelParams& params) {
+  return AgingModelRegistry::instance().create(name, snm, params);
 }
 
 }  // namespace dnnlife::aging

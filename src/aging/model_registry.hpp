@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -18,11 +19,43 @@ namespace dnnlife::aging {
 /// NBTI → SNM chain).
 inline constexpr const char* kDefaultAgingModel = "calibrated-nbti";
 
+/// Per-model tuning knobs, as parsed from a scenario's optional
+/// "aging_model_params" JSON object (name → number). Factories consume the
+/// knobs they understand through a ModelParamReader and reject the rest,
+/// so a typo fails loudly instead of silently running the default physics.
+using AgingModelParams = std::map<std::string, double>;
+
+/// Strict reader of an AgingModelParams block. A factory calls get() for
+/// every knob it supports (recording the key as known) and finish() last;
+/// finish() throws std::invalid_argument naming the offending key and the
+/// model's known knobs when any key was never requested.
+class ModelParamReader {
+ public:
+  ModelParamReader(const AgingModelParams& params, std::string model_name)
+      : params_(params), model_(std::move(model_name)) {}
+
+  /// The knob's value, or `fallback` when absent.
+  double get(const std::string& key, double fallback);
+
+  /// Reject any key no get() call asked for.
+  void finish() const;
+
+ private:
+  const AgingModelParams& params_;
+  std::string model_;
+  std::vector<std::string> known_;
+};
+
 /// Model factory: builds one immutable device model from the scenario's
-/// SNM calibration anchors. Model-specific knobs (activation energies,
-/// HCI amplitudes, ...) use their documented defaults; custom
-/// registrations close over their own parameters.
-using DeviceModelFactory =
+/// SNM calibration anchors plus the scenario's model-parameter block.
+/// Factories must consume `params` strictly (see ModelParamReader).
+using DeviceModelFactory = std::function<std::unique_ptr<DeviceAgingModel>(
+    const SnmParams&, const AgingModelParams&)>;
+
+/// Pre-parameter factory shape, still accepted by add(): the registry
+/// wraps it and rejects any non-empty parameter block (the model exposes
+/// no knobs).
+using LegacyDeviceModelFactory =
     std::function<std::unique_ptr<DeviceAgingModel>(const SnmParams&)>;
 
 /// Thread-safe name → factory registry. The built-in models are
@@ -34,6 +67,9 @@ class AgingModelRegistry {
 
   /// Register a factory; throws std::invalid_argument on duplicate names.
   void add(const std::string& name, DeviceModelFactory factory);
+  /// Parameter-oblivious registration: the model accepts no
+  /// "aging_model_params" keys (any non-empty block throws at creation).
+  void add(const std::string& name, LegacyDeviceModelFactory factory);
 
   bool contains(const std::string& name) const;
   std::vector<std::string> names() const;
@@ -42,8 +78,9 @@ class AgingModelRegistry {
   /// is not registered (the shared "unknown aging model" diagnostic).
   void check(const std::string& name) const;
 
-  std::unique_ptr<DeviceAgingModel> create(const std::string& name,
-                                           const SnmParams& snm) const;
+  std::unique_ptr<DeviceAgingModel> create(
+      const std::string& name, const SnmParams& snm,
+      const AgingModelParams& params = {}) const;
 
  private:
   AgingModelRegistry();
@@ -53,8 +90,10 @@ class AgingModelRegistry {
 };
 
 /// Create a registered model; an unknown name throws std::invalid_argument
-/// listing the registered names.
-std::unique_ptr<DeviceAgingModel> make_aging_model(const std::string& name,
-                                                   const SnmParams& snm = {});
+/// listing the registered names, an unknown parameter key throws naming
+/// the model's known knobs.
+std::unique_ptr<DeviceAgingModel> make_aging_model(
+    const std::string& name, const SnmParams& snm = {},
+    const AgingModelParams& params = {});
 
 }  // namespace dnnlife::aging

@@ -1,0 +1,84 @@
+// Shardable per-cell report evaluation.
+//
+// make_aging_report / make_lifetime_report used to be monolithic per-cell
+// loops: evaluate the model for cell 0..n-1, feeding a builder that owns
+// the RunningStats / histogram / per-region accumulators. The expensive
+// part — per-cell model evaluation, up to a full Newton lifetime solve per
+// cell — is embarrassingly parallel; the cheap part, statistical
+// accumulation, is order-sensitive (Welford updates and histogram adds do
+// not commute bitwise). ReportEvaluator splits the two:
+//
+//  * cells are partitioned into contiguous shards (util::shard_range) and
+//    each shard's per-cell values are evaluated on a util::ThreadPool into
+//    its own buffer — a pure function of the cell index, so scheduling
+//    cannot influence any value;
+//  * the per-shard buffers are then merged in deterministic shard order by
+//    replaying them, cell by cell, through the single accumulation fold.
+//
+// The fold therefore sees exactly the sequence of (cell, value) pairs the
+// single-threaded loop produced, which makes the parallel reports
+// bit-identical to the serial ones — for ANY shard count, the invariant
+// the rest of the framework already holds (see util/parallel.hpp).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace dnnlife::aging {
+
+/// Runs per-cell evaluations in contiguous shards across a thread pool and
+/// folds the results in cell order. One evaluator is one thread budget;
+/// reports pass AgingReportOptions::threads (0 = hardware concurrency).
+class ReportEvaluator {
+ public:
+  explicit ReportEvaluator(unsigned threads)
+      : threads_(util::resolve_thread_count(threads)) {}
+
+  unsigned threads() const noexcept { return threads_; }
+
+  /// Evaluate `make_eval()(cell)` for every cell in [0, cell_count) and
+  /// call `fold(cell, value)` in ascending cell order. `make_eval` is
+  /// invoked once per shard so the returned functor can own scratch
+  /// buffers (timeline gathers) without sharing them across threads; it
+  /// must be a pure function of the cell index. Value is the per-cell
+  /// evaluation result buffered between the parallel and the fold phase.
+  template <class Value, class MakeEval, class Fold>
+  void run(std::size_t cell_count, MakeEval&& make_eval, Fold&& fold) const {
+    if (cell_count == 0) return;
+    unsigned shards = threads_;
+    if (static_cast<std::size_t>(shards) > cell_count)
+      shards = static_cast<unsigned>(cell_count);
+    if (shards <= 1) {
+      // Serial: no buffering, evaluate and fold interleaved. The fold
+      // sequence is identical to the sharded path below.
+      auto eval = make_eval();
+      for (std::size_t cell = 0; cell < cell_count; ++cell)
+        fold(cell, eval(cell));
+      return;
+    }
+    std::vector<std::vector<Value>> buffers(shards);
+    {
+      util::ThreadPool pool(shards);
+      util::parallel_for_shards(
+          pool, cell_count, shards,
+          [&](unsigned shard, std::uint64_t begin, std::uint64_t end) {
+            auto eval = make_eval();
+            std::vector<Value>& buffer = buffers[shard];
+            buffer.reserve(static_cast<std::size_t>(end - begin));
+            for (std::uint64_t cell = begin; cell < end; ++cell)
+              buffer.push_back(eval(static_cast<std::size_t>(cell)));
+          });
+    }
+    std::size_t cell = 0;
+    for (std::vector<Value>& buffer : buffers)
+      for (Value& value : buffer) fold(cell++, std::move(value));
+  }
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace dnnlife::aging

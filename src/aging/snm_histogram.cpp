@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "aging/report_evaluator.hpp"
+
 namespace dnnlife::aging {
 
 std::string AgingReport::to_string() const {
@@ -110,6 +112,23 @@ class ReportBuilder {
   std::size_t region_ = 0;
 };
 
+/// Per-cell evaluation result buffered between the parallel shard phase
+/// and the in-order accumulation fold.
+struct CellAging {
+  double duty = 0.0;
+  double snm = 0.0;
+  double optimal = 0.0;
+  bool used = false;
+};
+
+void fold_cell(ReportBuilder& builder, std::size_t cell,
+               const CellAging& value) {
+  if (value.used)
+    builder.add_cell(cell, value.duty, value.snm, value.optimal);
+  else
+    builder.add_unused(cell);
+}
+
 }  // namespace
 
 AgingReport make_aging_report(const DutyCycleTracker& tracker,
@@ -117,15 +136,20 @@ AgingReport make_aging_report(const DutyCycleTracker& tracker,
                               const AgingReportOptions& options) {
   ReportBuilder builder(tracker.cell_count(), tracker.regions(), options);
   const double optimal = model.snm_degradation(0.5, options.years);
-  for (std::size_t cell = 0; cell < tracker.cell_count(); ++cell) {
-    if (tracker.is_unused(cell)) {
-      builder.add_unused(cell);
-      continue;
-    }
-    const double duty = tracker.duty(cell);
-    builder.add_cell(cell, duty, model.snm_degradation(duty, options.years),
-                     optimal);
-  }
+  ReportEvaluator(options.threads)
+      .run<CellAging>(
+          tracker.cell_count(),
+          [&] {
+            return [&](std::size_t cell) -> CellAging {
+              if (tracker.is_unused(cell)) return {};
+              const double duty = tracker.duty(cell);
+              return {duty, model.snm_degradation(duty, options.years),
+                      optimal, true};
+            };
+          },
+          [&](std::size_t cell, const CellAging& value) {
+            fold_cell(builder, cell, value);
+          });
   return builder.finish();
 }
 
@@ -143,30 +167,46 @@ AgingReport make_aging_report(std::span<const EnvironmentSegment> segments,
       single_segment
           ? model.degradation(0.5, options.years, segments.front().environment)
           : 0.0;
-  std::vector<StressSegment> history;
-  std::vector<StressSegment> balanced;
-  history.reserve(segments.size());
-  balanced.reserve(segments.size());
-  for (std::size_t cell = 0; cell < first.cell_count(); ++cell) {
-    const CellResidency residency =
-        gather_cell_segments(segments, cell, history);
-    if (residency.total == 0) {
-      builder.add_unused(cell);
-      continue;
+  // Per-shard evaluation state: the gathered stress history and its
+  // balanced-duty twin are scratch buffers reused across the shard's
+  // cells, so each shard owns its own pair.
+  struct CellEval {
+    std::span<const EnvironmentSegment> segments;
+    const DeviceAgingModel& model;
+    const AgingReportOptions& options;
+    bool single_segment;
+    double single_optimal;
+    std::vector<StressSegment> history;
+    std::vector<StressSegment> balanced;
+
+    CellAging operator()(std::size_t cell) {
+      const CellResidency residency =
+          gather_cell_segments(segments, cell, history);
+      if (residency.total == 0) return {};
+      const double duty = static_cast<double>(residency.ones) /
+                          static_cast<double>(residency.total);
+      const double snm = model.degradation_on_timeline(history, options.years);
+      // The minimum achievable degradation for *this* cell: balanced duty
+      // under the same environment exposure.
+      double optimal = single_optimal;
+      if (!single_segment) {
+        balanced = history;
+        for (StressSegment& segment : balanced) segment.duty = 0.5;
+        optimal = model.degradation_on_timeline(balanced, options.years);
+      }
+      return {duty, snm, optimal, true};
     }
-    const double duty = static_cast<double>(residency.ones) /
-                        static_cast<double>(residency.total);
-    const double snm = model.degradation_on_timeline(history, options.years);
-    // The minimum achievable degradation for *this* cell: balanced duty
-    // under the same environment exposure.
-    double optimal = single_optimal;
-    if (!single_segment) {
-      balanced = history;
-      for (StressSegment& segment : balanced) segment.duty = 0.5;
-      optimal = model.degradation_on_timeline(balanced, options.years);
-    }
-    builder.add_cell(cell, duty, snm, optimal);
-  }
+  };
+  ReportEvaluator(options.threads)
+      .run<CellAging>(
+          first.cell_count(),
+          [&] {
+            return CellEval{segments, model,          options,
+                            single_segment, single_optimal, {},     {}};
+          },
+          [&](std::size_t cell, const CellAging& value) {
+            fold_cell(builder, cell, value);
+          });
   return builder.finish();
 }
 

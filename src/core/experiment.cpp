@@ -68,7 +68,8 @@ Workbench::Workbench(const ExperimentConfig& config) : config_(config) {
       stream_ = std::make_unique<sim::NpuWeightStream>(*codec_, config.npu);
       break;
   }
-  model_ = aging::make_aging_model(config.aging_model, config.snm);
+  model_ = aging::make_aging_model(config.aging_model, config.snm,
+                                   config.aging_model_params);
   aging::validate_environment(config.environment);
 }
 

@@ -38,6 +38,9 @@ struct ExperimentConfig {
   /// Device-aging model, by AgingModelRegistry name (the default engine
   /// reproduces the pre-registry numbers bit-identically).
   std::string aging_model = aging::kDefaultAgingModel;
+  /// Optional per-model knobs routed through the registry factory
+  /// (strict: unknown keys throw at Workbench construction).
+  aging::AgingModelParams aging_model_params;
   /// Operating conditions of the whole run (single-phase experiments sit
   /// at one operating point; scenarios express per-phase timelines).
   aging::EnvironmentSpec environment;

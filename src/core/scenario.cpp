@@ -167,7 +167,7 @@ ScenarioSpec parse_scenario(const std::string& json_text) {
   check_members(root, "scenario",
                 {"name", "format", "hardware", "baseline", "npu", "phases",
                  "regions", "threads", "use_reference_simulator", "report",
-                 "snm", "aging_model", "lifetime"});
+                 "snm", "aging_model", "aging_model_params", "lifetime"});
   ScenarioSpec spec;
   if (const JsonValue* v = root.find("name")) spec.name = v->as_string();
   if (const JsonValue* v = root.find("format"))
@@ -194,8 +194,17 @@ ScenarioSpec parse_scenario(const std::string& json_text) {
     spec.aging_model = v->as_string();
     aging::AgingModelRegistry::instance().check(spec.aging_model);
   }
+  if (const JsonValue* v = root.find("aging_model_params"))
+    for (const auto& [key, value] : v->members())
+      spec.aging_model_params.emplace(key, value.as_number());
   if (const JsonValue* v = root.find("lifetime"))
     parse_lifetime(*v, spec.lifetime);
+  if (!spec.aging_model_params.empty()) {
+    // Surface unknown-knob and out-of-range errors at parse time, where
+    // they read as document errors, not deep inside a sweep run.
+    aging::make_aging_model(spec.aging_model, spec.snm,
+                            spec.aging_model_params);
+  }
   return spec;
 }
 
@@ -293,16 +302,22 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   const PhasedWorkloadResult phased =
       simulate_workload_phased(phases, table, options);
   const std::shared_ptr<const aging::DeviceAgingModel> model =
-      aging::make_aging_model(spec.aging_model, spec.snm);
+      aging::make_aging_model(spec.aging_model, spec.snm,
+                              spec.aging_model_params);
+  // The scenario's thread budget covers report evaluation too: the
+  // per-cell model solves shard across the same worker count the
+  // simulation used (bit-identical for any value).
+  aging::AgingReportOptions report = spec.report;
+  report.threads = spec.threads;
   if (phased.segments.empty()) {
     // Every phase dormant: an all-unused report, no lifetime to solve.
-    result.report =
-        make_aging_report(phased.combined, *model, spec.report);
+    result.report = make_aging_report(phased.combined, *model, report);
     return result;
   }
-  result.report = make_aging_report(phased.segments, *model, spec.report);
+  result.report = make_aging_report(phased.segments, *model, report);
   const aging::LifetimeModel lifetime(model, spec.lifetime);
-  result.lifetime = make_lifetime_report(phased.segments, lifetime);
+  result.lifetime =
+      make_lifetime_report(phased.segments, lifetime, spec.threads);
   return result;
 }
 

@@ -61,6 +61,10 @@ struct ScenarioSpec {
   /// is temperature-agnostic (pinned to the paper's calibration); pick
   /// "arrhenius-nbti" to make per-phase temperatures matter.
   std::string aging_model = aging::kDefaultAgingModel;
+  /// Optional per-model knobs (the scenario's "aging_model_params" JSON
+  /// object, e.g. activation_energy_ev / recovery_floor), routed through
+  /// the model's registry factory. Unknown keys are rejected strictly.
+  aging::AgingModelParams aging_model_params;
   /// Failure threshold of the lifetime solve.
   aging::LifetimeParams lifetime;
 };

@@ -1,0 +1,246 @@
+#include "core/scenario_suite.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/parallel.hpp"
+#include "util/table.hpp"
+
+namespace dnnlife::core {
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file)
+    throw std::invalid_argument("cannot open scenario file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+SuiteEntry load_entry(const std::string& path) {
+  try {
+    return SuiteEntry{path, parse_scenario(read_file(path))};
+  } catch (const std::exception& error) {
+    // Re-throw with the file named: a sweep directory error message must
+    // say *which* document is broken.
+    throw std::invalid_argument("scenario file '" + path +
+                                "': " + error.what());
+  }
+}
+
+}  // namespace
+
+ScenarioSuite ScenarioSuite::from_directory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  DNNLIFE_EXPECTS(fs::is_directory(directory),
+                  "'" + directory + "' is not a directory");
+  std::vector<std::string> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".json") continue;
+    paths.push_back(entry.path().string());
+  }
+  DNNLIFE_EXPECTS(!paths.empty(), "directory '" + directory +
+                                      "' holds no scenario *.json files");
+  std::sort(paths.begin(), paths.end());
+  return from_files(paths);
+}
+
+ScenarioSuite ScenarioSuite::from_files(const std::vector<std::string>& paths) {
+  ScenarioSuite suite;
+  suite.entries_.reserve(paths.size());
+  for (const std::string& path : paths) suite.entries_.push_back(load_entry(path));
+  return suite;
+}
+
+std::vector<SuiteOutcome> ScenarioSuite::run(
+    const SuiteRunOptions& options) const {
+  std::vector<SuiteOutcome> outcomes(entries_.size());
+  if (entries_.empty()) return outcomes;
+
+  std::mutex progress_mutex;
+  std::size_t completed = 0;
+  const auto run_one = [&](std::size_t index) {
+    const SuiteEntry& entry = entries_[index];
+    SuiteOutcome& outcome = outcomes[index];
+    outcome.path = entry.path;
+    outcome.name = entry.spec.name;
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      ScenarioSpec spec = entry.spec;
+      if (options.threads_per_scenario != 0)
+        spec.threads = options.threads_per_scenario;
+      outcome.result = run_scenario(spec);
+      outcome.ok = true;
+    } catch (const std::exception& error) {
+      outcome.error = error.what();
+    }
+    outcome.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (options.progress) {
+      const std::lock_guard<std::mutex> lock(progress_mutex);
+      ++completed;
+      SuiteProgress progress;
+      progress.completed = completed;
+      progress.total = entries_.size();
+      progress.outcome = &outcome;
+      options.progress(progress);
+    }
+  };
+
+  unsigned jobs = util::resolve_thread_count(options.jobs);
+  if (static_cast<std::size_t>(jobs) > entries_.size())
+    jobs = static_cast<unsigned>(entries_.size());
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < entries_.size(); ++i) run_one(i);
+    return outcomes;
+  }
+  // One task per scenario; outcomes land in disjoint slots, so suite order
+  // is preserved no matter which job finishes first.
+  util::ThreadPool pool(jobs);
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    pool.submit([&run_one, i] { run_one(i); });
+  pool.wait();
+  return outcomes;
+}
+
+namespace {
+
+/// Shared row shape of the CSV and JSON emitters: the whole-memory metrics
+/// of one outcome, empty strings when the scenario failed or was dormant.
+struct OutcomeRow {
+  std::string cells, unused, snm_mean, snm_max, duty_mean, optimal;
+  std::string lifetime, x_worst, of_ideal;
+};
+
+/// Format a metric, or "" (CSV empty / JSON null) when it is not finite —
+/// an all-power-gated scenario legitimately never fails (+inf lifetime),
+/// and a bare "inf" token would corrupt the JSON document.
+std::string finite_num(double value, int precision) {
+  return std::isfinite(value) ? util::Table::num(value, precision)
+                              : std::string();
+}
+
+OutcomeRow metrics_of(const SuiteOutcome& outcome) {
+  OutcomeRow row;
+  if (!outcome.ok) return row;
+  const ScenarioResult& result = *outcome.result;
+  const aging::AgingReport& report = result.report;
+  row.cells = std::to_string(report.total_cells);
+  row.unused = std::to_string(report.unused_cells);
+  row.snm_mean = finite_num(report.snm_stats.mean(), 4);
+  row.snm_max = finite_num(report.snm_stats.max(), 4);
+  row.duty_mean = finite_num(report.duty_stats.mean(), 5);
+  row.optimal = finite_num(report.fraction_optimal, 5);
+  if (result.lifetime.has_value()) {
+    row.lifetime = finite_num(result.lifetime->device_lifetime_years, 4);
+    row.x_worst =
+        finite_num(result.lifetime->improvement_over_worst_case, 4);
+    row.of_ideal = finite_num(result.lifetime->fraction_of_ideal, 5);
+  }
+  return row;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A numeric JSON field from a formatted metric ("" → null).
+std::string json_number(const std::string& formatted) {
+  return formatted.empty() ? "null" : formatted;
+}
+
+}  // namespace
+
+void write_suite_csv(const std::string& path,
+                     std::span<const SuiteOutcome> outcomes) {
+  util::CsvWriter csv(
+      path, {"file", "scenario", "status", "error", "total_cells",
+             "unused_cells", "snm_mean_pct", "snm_max_pct", "duty_mean",
+             "fraction_optimal", "device_lifetime_years",
+             "improvement_over_worst_case", "fraction_of_ideal",
+             "wall_seconds"});
+  for (const SuiteOutcome& outcome : outcomes) {
+    const OutcomeRow row = metrics_of(outcome);
+    csv.add_row({outcome.path, outcome.name, outcome.ok ? "ok" : "error",
+                 outcome.error, row.cells, row.unused, row.snm_mean,
+                 row.snm_max, row.duty_mean, row.optimal, row.lifetime,
+                 row.x_worst, row.of_ideal,
+                 util::Table::num(outcome.wall_seconds, 3)});
+  }
+}
+
+std::string suite_summary_json(std::span<const SuiteOutcome> outcomes) {
+  std::ostringstream out;
+  out << "{\n  \"scenarios\": [\n";
+  std::size_t failures = 0;
+  double total_seconds = 0.0;
+  double min_lifetime = std::numeric_limits<double>::infinity();
+  double max_lifetime = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const SuiteOutcome& outcome = outcomes[i];
+    const OutcomeRow row = metrics_of(outcome);
+    total_seconds += outcome.wall_seconds;
+    if (!outcome.ok) ++failures;
+    if (!row.lifetime.empty()) {
+      const double years = outcome.result->lifetime->device_lifetime_years;
+      min_lifetime = std::min(min_lifetime, years);
+      max_lifetime = std::max(max_lifetime, years);
+    }
+    out << "    {\"file\": \"" << json_escape(outcome.path)
+        << "\", \"scenario\": \"" << json_escape(outcome.name)
+        << "\", \"status\": \"" << (outcome.ok ? "ok" : "error") << "\"";
+    if (!outcome.ok)
+      out << ", \"error\": \"" << json_escape(outcome.error) << "\"";
+    out << ", \"snm_mean_pct\": " << json_number(row.snm_mean)
+        << ", \"snm_max_pct\": " << json_number(row.snm_max)
+        << ", \"fraction_optimal\": " << json_number(row.optimal)
+        << ", \"device_lifetime_years\": " << json_number(row.lifetime)
+        << ", \"improvement_over_worst_case\": " << json_number(row.x_worst)
+        << ", \"wall_seconds\": " << util::Table::num(outcome.wall_seconds, 3)
+        << "}" << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"summary\": {\"scenarios\": " << outcomes.size()
+      << ", \"failures\": " << failures
+      << ", \"total_wall_seconds\": " << util::Table::num(total_seconds, 3);
+  if (std::isfinite(min_lifetime))
+    out << ", \"min_device_lifetime_years\": "
+        << util::Table::num(min_lifetime, 4)
+        << ", \"max_device_lifetime_years\": "
+        << util::Table::num(max_lifetime, 4);
+  out << "}\n}\n";
+  return out.str();
+}
+
+}  // namespace dnnlife::core

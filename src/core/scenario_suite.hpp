@@ -1,0 +1,100 @@
+// Scenario sweeps: a directory of scenario JSON files run as one batch.
+//
+// The scenario layer made a single experiment declarative; a production
+// parameter sweep is hundreds of such documents. ScenarioSuite is the
+// batch entry point: glob a directory (or take an explicit file list),
+// parse every document strictly up front — a typo fails the load, not the
+// 400th scenario of an overnight sweep — then run the specs across a
+// util::ThreadPool with per-scenario thread budgets and aggregate the
+// outcomes into one CSV / JSON summary. Run-time failures (e.g. a
+// lifetime threshold a model cannot reach) are captured per outcome so
+// one bad point does not kill the sweep.
+//
+// Layering: suite → scenario → workbench/workload → policy engines →
+// simulators. Per-scenario processes shard across machines naturally; this
+// runner shards across cores.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace dnnlife::core {
+
+/// One loaded scenario of a suite.
+struct SuiteEntry {
+  std::string path;  ///< source file; "" for specs added in memory
+  ScenarioSpec spec;
+};
+
+/// The outcome of one scenario run.
+struct SuiteOutcome {
+  std::string path;
+  std::string name;
+  bool ok = false;
+  std::string error;                     ///< failure message when !ok
+  std::optional<ScenarioResult> result;  ///< present when ok
+  double wall_seconds = 0.0;
+};
+
+/// Progress of a running suite, reported once per finished scenario.
+struct SuiteProgress {
+  std::size_t completed = 0;  ///< finished scenarios, this one included
+  std::size_t total = 0;
+  const SuiteOutcome* outcome = nullptr;  ///< the scenario that just finished
+};
+
+struct SuiteRunOptions {
+  /// Concurrent scenario jobs (0 = hardware concurrency, clamped to the
+  /// suite size).
+  unsigned jobs = 0;
+  /// Override every spec's own `threads` (simulation + report evaluation)
+  /// with this budget; 0 keeps the per-document values. With J jobs in
+  /// flight a budget of hardware/J keeps the machine exactly subscribed.
+  unsigned threads_per_scenario = 0;
+  /// Invoked after each scenario finishes. Serialized internally, so a CLI
+  /// can print from it without locking; must not throw.
+  std::function<void(const SuiteProgress&)> progress;
+};
+
+class ScenarioSuite {
+ public:
+  ScenarioSuite() = default;
+
+  /// Load every *.json file of `directory` (sorted by path, so suite order
+  /// — and therefore aggregation order — is stable across filesystems).
+  /// Throws std::invalid_argument naming the file on any parse error, and
+  /// when the directory holds no scenario documents at all.
+  static ScenarioSuite from_directory(const std::string& directory);
+
+  /// Load an explicit file list, in the given order.
+  static ScenarioSuite from_files(const std::vector<std::string>& paths);
+
+  void add(SuiteEntry entry) { entries_.push_back(std::move(entry)); }
+  const std::vector<SuiteEntry>& entries() const noexcept { return entries_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Run every scenario, `jobs` at a time. Outcomes are returned in suite
+  /// order regardless of completion order (each job fills its own slot).
+  std::vector<SuiteOutcome> run(const SuiteRunOptions& options = {}) const;
+
+ private:
+  std::vector<SuiteEntry> entries_;
+};
+
+/// Write the one-line-per-scenario sweep summary as CSV (whole-memory
+/// aging and lifetime numbers; failed scenarios keep their error message
+/// and empty metric columns).
+void write_suite_csv(const std::string& path,
+                     std::span<const SuiteOutcome> outcomes);
+
+/// The same summary as a JSON document: a "scenarios" array plus a
+/// "summary" object (counts, total wall time, min/max device lifetime over
+/// the successful scenarios).
+std::string suite_summary_json(std::span<const SuiteOutcome> outcomes);
+
+}  // namespace dnnlife::core

@@ -1,0 +1,26 @@
+// Tiny shared CLI flag parsing helpers for the example/bench executables.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dnnlife::util {
+
+/// Parse a non-negative decimal flag value into `out`. Returns false (and
+/// leaves `out` untouched) on empty input, non-digit characters, or
+/// overflow — callers print their own usage message instead of letting
+/// std::stoul terminate the process.
+inline bool parse_unsigned_flag(const std::string& text, unsigned& out) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  try {
+    const unsigned long value = std::stoul(text);
+    if (value > static_cast<unsigned long>(~0u)) return false;
+    out = static_cast<unsigned>(value);
+  } catch (const std::exception&) {
+    return false;  // out_of_range on absurdly long digit strings
+  }
+  return true;
+}
+
+}  // namespace dnnlife::util

@@ -1,0 +1,386 @@
+// Tests for the shardable report-evaluation pipeline and the Newton
+// lifetime inversion.
+//
+//  * Hash-pinned golden reports for all four built-in aging models at 1, 2
+//    and 8 threads, legacy and environment-timeline overloads: parallel
+//    evaluation must be bit-identical to the serial loop, and the serial
+//    loop bit-identical to the pre-refactor monolithic one (hashes marked
+//    "pre-refactor" below were captured from the per-cell-loop build).
+//    The pbti-hci lifetime solves are the one intentional exception: the
+//    safeguarded Newton inversion replaced blind bisection there, so those
+//    hashes pin the Newton results and a separate test bounds the
+//    Newton-vs-bisection difference at ulp scale.
+//  * Solver tests: Newton agreement with the legacy bisection, a pinned
+//    iteration-count budget (~10 evaluations vs bisection's ~50+), and the
+//    finite-difference default of degradation_slope against the analytic
+//    overrides.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "aging/lifetime.hpp"
+#include "aging/model_registry.hpp"
+#include "aging/report_evaluator.hpp"
+#include "aging/snm_histogram.hpp"
+#include "core/fast_simulator.hpp"
+#include "sim/write_stream.hpp"
+#include "util/bitops.hpp"
+#include "util/root_find.hpp"
+
+namespace dnnlife::aging {
+namespace {
+
+constexpr EnvironmentSpec kNominal{};
+
+EnvironmentSpec hot(double temperature_c) {
+  EnvironmentSpec env;
+  env.temperature_c = temperature_c;
+  return env;
+}
+
+std::uint64_t fnv1a_doubles(const std::vector<double>& values) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const double value : values) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (bits >> (8 * b)) & 0xffu;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+std::vector<double> report_fields(const AgingReport& report) {
+  std::vector<double> fields = {
+      report.snm_stats.mean(),  report.snm_stats.min(),
+      report.snm_stats.max(),   report.snm_stats.variance(),
+      report.duty_stats.mean(), report.duty_stats.min(),
+      report.duty_stats.max(),  report.duty_stats.variance(),
+      report.fraction_optimal,  static_cast<double>(report.total_cells),
+      static_cast<double>(report.unused_cells)};
+  for (std::size_t b = 0; b < report.snm_histogram.bin_count(); ++b)
+    fields.push_back(report.snm_histogram.fraction_in_bin(b));
+  return fields;
+}
+
+std::vector<double> lifetime_fields(const LifetimeReport& report) {
+  return {report.device_lifetime_years,      report.cell_lifetime.mean(),
+          report.cell_lifetime.min(),        report.cell_lifetime.max(),
+          report.cell_lifetime.variance(),   report.improvement_over_worst_case,
+          report.fraction_of_ideal};
+}
+
+/// The same stream tests/test_device_models.cpp pins hashes for (6 rows x
+/// 96 bits = 576 cells, so an 8-way shard split is non-trivial).
+sim::VectorWriteStream make_golden_stream() {
+  sim::VectorWriteStream stream(sim::MemoryGeometry{6, 96}, 5);
+  const std::vector<std::uint64_t> a{0x0123456789abcdefULL, 0x0000000055aa55aaULL};
+  const std::vector<std::uint64_t> b{0xdeadbeefcafef00dULL, 0x00000000ffff0000ULL};
+  const std::vector<std::uint64_t> c{0x5555555555555555ULL, 0x0000000033333333ULL};
+  const std::vector<std::uint64_t> zeros{0, 0};
+  const std::vector<std::uint64_t> ones{~0ULL, util::low_mask(32)};
+  stream.add_write(0, 0, a);
+  stream.add_write(1, 0, b);
+  stream.add_write(2, 1, c);
+  stream.add_write(3, 1, a);
+  stream.add_write(3, 1, b);
+  stream.add_write(0, 2, c);
+  stream.add_write(4, 2, zeros);
+  stream.add_write(1, 3, b);
+  stream.add_write(0, 4, b);
+  stream.add_write(5, 4, ones);
+  return stream;
+}
+
+struct ModelPins {
+  const char* model;
+  std::uint64_t legacy_aging;
+  std::uint64_t legacy_lifetime;
+  std::uint64_t timeline_aging;
+  std::uint64_t timeline_lifetime;
+};
+
+/// Captured from the pre-refactor monolithic per-cell loops, except the
+/// three pbti-hci entries marked Newton: the pbti-hci lifetime solves (and
+/// the inner equivalent-time inversions of its multi-segment composition)
+/// now run safeguarded Newton, whose results differ from bisection's
+/// midpoint in the last ~dozen ulps (bounded by NewtonMatchesBisection
+/// below). Everything else — all power-law models everywhere, and the
+/// pbti-hci degradation-only legacy report — is pinned to pre-refactor
+/// bits.
+const std::vector<ModelPins> kPins = {
+    {"calibrated-nbti", 0x14fc8df43e43fdf1ULL, 0x94118fe2a80e877bULL,
+     0x8993660969b25cbfULL, 0xe6769c8b811e27adULL},
+    {"arrhenius-nbti", 0x14fc8df43e43fdf1ULL, 0x94118fe2a80e877bULL,
+     0xa572bc5cc4de0775ULL, 0x013c01b3f53f7f88ULL},
+    {"pbti-hci", 0x7245b2239f20e8a8ULL,
+     0xb4bfec997bf6097fULL /* Newton */, 0x7f14f787ec7e6e67ULL /* Newton */,
+     0x1f9ccee1f628ae6bULL /* Newton */},
+    {"dual-bti", 0xc6171e288f2533d4ULL, 0x5b2a0fabde2002caULL,
+     0x77c1f1548cd0ead4ULL, 0x1eee893a8f1a40caULL},
+};
+
+class ReportEvaluatorGolden : public ::testing::Test {
+ protected:
+  ReportEvaluatorGolden() {
+    const auto stream = make_golden_stream();
+    cool_ = std::make_unique<DutyCycleTracker>(
+        core::simulate_fast(stream, core::PolicyConfig::dnn_life(0.5), {16, 1}));
+    hot_ = std::make_unique<DutyCycleTracker>(
+        core::simulate_fast(stream, core::PolicyConfig::none(), {16, 1}));
+    segments_.push_back(EnvironmentSegment{*cool_, kNominal});
+    segments_.push_back(EnvironmentSegment{*hot_, hot(85.0)});
+  }
+
+  std::unique_ptr<DutyCycleTracker> cool_;
+  std::unique_ptr<DutyCycleTracker> hot_;
+  std::vector<EnvironmentSegment> segments_;
+};
+
+TEST_F(ReportEvaluatorGolden, AllModelsAllThreadCountsBitIdentical) {
+  for (const ModelPins& pins : kPins) {
+    const std::shared_ptr<const DeviceAgingModel> model =
+        make_aging_model(pins.model);
+    const LifetimeModel lifetime(model);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      AgingReportOptions options;
+      options.threads = threads;
+      EXPECT_EQ(fnv1a_doubles(report_fields(
+                    make_aging_report(*cool_, *model, options))),
+                pins.legacy_aging)
+          << pins.model << " legacy aging, " << threads << " threads";
+      EXPECT_EQ(fnv1a_doubles(lifetime_fields(
+                    make_lifetime_report(*cool_, lifetime, threads))),
+                pins.legacy_lifetime)
+          << pins.model << " legacy lifetime, " << threads << " threads";
+      EXPECT_EQ(fnv1a_doubles(report_fields(
+                    make_aging_report(segments_, *model, options))),
+                pins.timeline_aging)
+          << pins.model << " timeline aging, " << threads << " threads";
+      EXPECT_EQ(fnv1a_doubles(lifetime_fields(
+                    make_lifetime_report(segments_, lifetime, threads))),
+                pins.timeline_lifetime)
+          << pins.model << " timeline lifetime, " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ReportEvaluatorGolden, HardwareThreadCountAlsoBitIdentical) {
+  // threads = 0 resolves to the hardware concurrency — whatever that is
+  // on the machine running the tests, the reports must not change.
+  const std::shared_ptr<const DeviceAgingModel> model =
+      make_aging_model(kDefaultAgingModel);
+  AgingReportOptions options;
+  options.threads = 0;
+  EXPECT_EQ(fnv1a_doubles(report_fields(
+                make_aging_report(*cool_, *model, options))),
+            kPins[0].legacy_aging);
+  const LifetimeModel lifetime(model);
+  EXPECT_EQ(fnv1a_doubles(lifetime_fields(
+                make_lifetime_report(segments_, lifetime, 0))),
+            kPins[0].timeline_lifetime);
+}
+
+TEST_F(ReportEvaluatorGolden, RegionBreakdownIdenticalAcrossThreadCounts) {
+  // Region accumulators live inside the fold, so the per-region breakdown
+  // must be bitwise thread-count-invariant too.
+  const std::vector<CellRegion> regions = {CellRegion{"a", 0, 192},
+                                           CellRegion{"b", 192, 384},
+                                           CellRegion{"c", 384, 576}};
+  cool_->set_regions(regions);
+  hot_->set_regions(regions);
+  std::vector<EnvironmentSegment> segments;
+  segments.push_back(EnvironmentSegment{*cool_, kNominal});
+  segments.push_back(EnvironmentSegment{*hot_, hot(85.0)});
+  const std::shared_ptr<const DeviceAgingModel> model =
+      make_aging_model("arrhenius-nbti");
+  const LifetimeModel lifetime(model);
+
+  AgingReportOptions serial_options;
+  const AgingReport serial = make_aging_report(segments, *model, serial_options);
+  const LifetimeReport serial_life = make_lifetime_report(segments, lifetime, 1);
+  for (const unsigned threads : {2u, 8u}) {
+    AgingReportOptions options;
+    options.threads = threads;
+    const AgingReport parallel = make_aging_report(segments, *model, options);
+    ASSERT_EQ(parallel.regions.size(), serial.regions.size());
+    for (std::size_t r = 0; r < serial.regions.size(); ++r) {
+      EXPECT_EQ(parallel.regions[r].snm_stats.mean(),
+                serial.regions[r].snm_stats.mean());
+      EXPECT_EQ(parallel.regions[r].snm_stats.variance(),
+                serial.regions[r].snm_stats.variance());
+      EXPECT_EQ(parallel.regions[r].duty_stats.mean(),
+                serial.regions[r].duty_stats.mean());
+      EXPECT_EQ(parallel.regions[r].fraction_optimal,
+                serial.regions[r].fraction_optimal);
+    }
+    const LifetimeReport parallel_life =
+        make_lifetime_report(segments, lifetime, threads);
+    ASSERT_EQ(parallel_life.regions.size(), serial_life.regions.size());
+    for (std::size_t r = 0; r < serial_life.regions.size(); ++r) {
+      EXPECT_EQ(parallel_life.regions[r].device_lifetime_years,
+                serial_life.regions[r].device_lifetime_years);
+      EXPECT_EQ(parallel_life.regions[r].cell_lifetime.mean(),
+                serial_life.regions[r].cell_lifetime.mean());
+    }
+  }
+}
+
+TEST(ReportEvaluator, FoldsEveryCellInOrderForAnyShardCount) {
+  for (const unsigned threads : {1u, 2u, 3u, 8u, 64u}) {
+    const std::size_t cells = 37;  // not divisible by any shard count above
+    std::vector<std::size_t> order;
+    ReportEvaluator(threads).run<std::size_t>(
+        cells, [&] { return [](std::size_t cell) { return cell * cell; }; },
+        [&](std::size_t cell, std::size_t value) {
+          EXPECT_EQ(value, cell * cell);
+          order.push_back(cell);
+        });
+    ASSERT_EQ(order.size(), cells) << threads << " threads";
+    for (std::size_t i = 0; i < cells; ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
+// ---- Newton inversion --------------------------------------------------------
+
+TEST(NewtonInversion, MatchesBisectionAtUlpScale) {
+  // The safeguarded Newton solve and the legacy bracketing bisection must
+  // agree to ulp scale: both stop within ~5 ulps of the true crossing, so
+  // their difference is bounded by a small multiple of that.
+  const PbtiHciDeviceModel model;
+  for (const double duty : {0.05, 0.3, 0.5, 0.77, 0.93, 1.0}) {
+    for (const double target : {2.0, 5.0, 12.0, 20.0, 26.0, 40.0}) {
+      const double newton = model.years_to_reach(duty, target, kNominal);
+      const double bisection = util::invert_monotone_bisection(
+          [&](double t) { return model.degradation(duty, t, kNominal); },
+          target, model.reference_years());
+      ASSERT_TRUE(std::isfinite(newton));
+      EXPECT_NEAR(newton, bisection, bisection * 1e-13)
+          << "duty " << duty << " target " << target;
+    }
+  }
+}
+
+TEST(NewtonInversion, StaysWithinThePinnedEvaluationBudget) {
+  // The whole point of the derivative-aware path: ~10 degradation
+  // evaluations per solve (bracketing included) where bisection needs 50+.
+  // This budget is pinned — a solver regression that starts falling back
+  // to bisection shows up here as a budget overrun.
+  constexpr int kNewtonEvaluationBudget = 12;
+  constexpr int kNewtonSlopeBudget = 6;
+  const PbtiHciDeviceModel model;
+  for (const double duty : {0.05, 0.3, 0.5, 0.77, 0.93, 1.0}) {
+    for (const double target : {2.0, 5.0, 12.0, 20.0, 26.0, 40.0}) {
+      util::InvertStats newton;
+      util::invert_monotone(
+          [&](double t) { return model.degradation(duty, t, kNominal); },
+          [&](double t) { return model.degradation_slope(duty, t, kNominal); },
+          target, model.reference_years(), &newton);
+      EXPECT_LE(newton.evaluations, kNewtonEvaluationBudget)
+          << "duty " << duty << " target " << target;
+      EXPECT_LE(newton.slope_evaluations, kNewtonSlopeBudget)
+          << "duty " << duty << " target " << target;
+      util::InvertStats bisection;
+      util::invert_monotone_bisection(
+          [&](double t) { return model.degradation(duty, t, kNominal); },
+          target, model.reference_years(), &bisection);
+      EXPECT_GE(bisection.evaluations, 50)
+          << "duty " << duty << " target " << target;
+    }
+  }
+}
+
+TEST(NewtonInversion, TimelineSolveAgreesWithBisectionAndReproducesThreshold) {
+  const PbtiHciDeviceModel model;
+  const std::vector<StressSegment> timeline = {{0.8, 2.0, kNominal},
+                                               {0.6, 1.0, hot(95.0)},
+                                               {0.9, 1.0, hot(85.0)}};
+  for (const double threshold : {10.0, 20.0, 26.0}) {
+    const double newton = model.years_to_failure(timeline, threshold);
+    ASSERT_TRUE(std::isfinite(newton));
+    EXPECT_NEAR(model.degradation_on_timeline(timeline, newton), threshold,
+                threshold * 1e-9);
+    const double bisection = util::invert_monotone_bisection(
+        [&](double t) { return model.degradation_on_timeline(timeline, t); },
+        threshold, model.reference_years());
+    EXPECT_NEAR(newton, bisection, bisection * 1e-12);
+  }
+}
+
+TEST(NewtonInversion, UnreachableTargetStillReportsInfinity) {
+  EnvironmentSpec gated;
+  gated.activity_scale = 0.0;
+  const PbtiHciDeviceModel model;
+  EXPECT_EQ(model.years_to_reach(0.9, 20.0, gated),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(DegradationSlope, FiniteDifferenceDefaultMatchesAnalyticOverrides) {
+  // A wrapper hiding the concrete type exercises the base-class central
+  // finite difference; the analytic overrides must agree to the stencil's
+  // truncation error.
+  struct OpaqueWrapper final : DeviceAgingModel {
+    PbtiHciDeviceModel inner;
+    std::string_view name() const noexcept override { return "opaque"; }
+    double reference_years() const noexcept override {
+      return inner.reference_years();
+    }
+    double degradation(double duty, double years,
+                       const EnvironmentSpec& env) const override {
+      return inner.degradation(duty, years, env);
+    }
+  };
+  const OpaqueWrapper wrapper;
+  const CalibratedNbtiDeviceModel power_law;
+  for (const double duty : {0.1, 0.5, 0.9}) {
+    for (const double years : {0.5, 3.0, 7.0, 15.0}) {
+      const double analytic =
+          wrapper.inner.degradation_slope(duty, years, kNominal);
+      const double numeric = wrapper.degradation_slope(duty, years, kNominal);
+      EXPECT_NEAR(numeric, analytic, analytic * 1e-8)
+          << "pbti-hci duty " << duty << " years " << years;
+      // And the power-law analytic slope against its own curve.
+      const double h = years * 1e-7;
+      const double fd = (power_law.degradation(duty, years + h, kNominal) -
+                         power_law.degradation(duty, years - h, kNominal)) /
+                        (2.0 * h);
+      EXPECT_NEAR(power_law.degradation_slope(duty, years, kNominal), fd,
+                  std::abs(fd) * 1e-6)
+          << "power-law duty " << duty << " years " << years;
+    }
+  }
+}
+
+TEST(DegradationSlope, NewtonViaFiniteDifferenceMatchesAnalyticSolve) {
+  // A model without an analytic slope must still solve correctly (and
+  // agree with the analytic-slope solve at ulp scale) through the
+  // finite-difference default.
+  struct OpaqueWrapper final : DeviceAgingModel {
+    PbtiHciDeviceModel inner;
+    std::string_view name() const noexcept override { return "opaque"; }
+    double reference_years() const noexcept override {
+      return inner.reference_years();
+    }
+    double degradation(double duty, double years,
+                       const EnvironmentSpec& env) const override {
+      return inner.degradation(duty, years, env);
+    }
+  };
+  const OpaqueWrapper wrapper;
+  for (const double duty : {0.2, 0.5, 0.9}) {
+    for (const double target : {5.0, 15.0, 26.0}) {
+      const double analytic = wrapper.inner.years_to_reach(duty, target, kNominal);
+      const double numeric = wrapper.years_to_reach(duty, target, kNominal);
+      EXPECT_NEAR(numeric, analytic, analytic * 1e-12)
+          << "duty " << duty << " target " << target;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dnnlife::aging
