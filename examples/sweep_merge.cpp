@@ -1,0 +1,93 @@
+// Shard-summary merge tool: N sweep-runner shard summaries → the one
+// aggregate a single-machine run would have produced.
+//
+//   example_sweep_merge shard1.json shard2.json ... [flags]
+//
+// Flags:
+//   --csv=PATH    write the merged per-scenario summary as CSV
+//   --json=PATH   write the merged summary + aggregate as JSON
+//
+// Shard files may be given in any order; the tool sorts them by shard
+// index. It refuses to merge summaries that do not form exactly one sweep:
+// different manifest hashes or totals, duplicate or missing shards, and
+// overlapping or incomplete scenario covers all fail with the offending
+// file named. When the shards were written with --omit-timing, the merged
+// CSV/JSON is byte-identical to the unsharded run's (wall clocks are the
+// only nondeterministic field; CI diffs the two).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/sweep_merge.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using dnnlife::util::flag_value;
+using dnnlife::util::read_file;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dnnlife;
+  std::vector<std::string> inputs;
+  std::string csv_path;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (flag_value(arg, "csv", value)) {
+      csv_path = value;
+    } else if (flag_value(arg, "json", value)) {
+      json_path = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 1;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::cerr << "usage: example_sweep_merge shard1.json shard2.json ... "
+                 "[--csv=PATH] [--json=PATH]\n";
+    return 1;
+  }
+
+  core::SuiteSummary merged;
+  try {
+    std::vector<core::SuiteSummary> shards;
+    shards.reserve(inputs.size());
+    for (const std::string& path : inputs)
+      shards.push_back(core::parse_suite_summary(read_file(path), path));
+    merged = core::merge_suite_summaries(std::move(shards));
+  } catch (const std::exception& error) {
+    std::cerr << "merge error: " << error.what() << "\n";
+    return 1;
+  }
+
+  std::size_t failures = 0;
+  for (const core::SuiteRecord& record : merged.records)
+    if (!record.ok) ++failures;
+  std::cout << "merged " << inputs.size() << " shard"
+            << (inputs.size() == 1 ? "" : "s") << ": "
+            << merged.records.size() << " scenario"
+            << (merged.records.size() == 1 ? "" : "s") << ", " << failures
+            << " failure" << (failures == 1 ? "" : "s") << " (manifest "
+            << merged.info.manifest_hash << ")\n";
+
+  if (!csv_path.empty()) {
+    core::write_suite_csv(csv_path, merged.records, merged.info);
+    std::cout << "merged summary written to " << csv_path << "\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    json << core::suite_summary_json(merged.records, merged.info);
+    std::cout << "merged summary written to " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,16 +1,30 @@
-// Scenario sweep runner: a directory (or list) of scenario JSON files run
-// in parallel and aggregated into one summary — the production-sweep entry
-// point of the framework.
+// Scenario sweep runner: a directory (or list) of scenario JSON files — or
+// a generated grid from a sweep spec — run in parallel and aggregated into
+// one summary. The production-sweep entry point of the framework.
 //
 //   example_sweep_runner <dir | scenario.json...> [flags]
+//   example_sweep_runner --spec=SWEEP.json [flags]
 //
 // Flags:
+//   --spec=FILE      generate the suite from a sweep spec (grid/jitter
+//                    axes; see README "Distributed sweeps") instead of
+//                    loading scenario files
+//   --materialize=DIR  with --spec: write the generated documents as
+//                    per-point JSON files into DIR and exit
+//   --shard=K/N      run only shard K of N (every N-th scenario of the
+//                    stable suite order, 1-based); the summary records the
+//                    manifest so example_sweep_merge can reassemble shards
 //   --jobs=N         concurrent scenarios (default 0 = hardware concurrency)
 //   --threads=N      per-scenario simulation/report thread budget
 //                    (default 0 = keep each document's own "threads")
 //   --csv=PATH       write the per-scenario summary as CSV
 //   --json=PATH      write the per-scenario summary + aggregate as JSON
+//   --omit-timing    drop wall-clock fields from CSV/JSON so summaries of
+//                    identical sweeps are byte-comparable across runs
 //   --quiet          suppress per-scenario progress lines
+//
+// Cross-machine sweep: run `--spec=S.json --shard=K/N --json=shard-K.json`
+// on each of N machines, then `example_sweep_merge shard-*.json`.
 //
 // Exit status is non-zero when any scenario failed, so CI sweeps gate
 // naturally.
@@ -20,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/scenario_generator.hpp"
 #include "core/scenario_suite.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
@@ -27,11 +42,19 @@
 
 namespace {
 
-bool flag_value(const std::string& arg, const std::string& name,
-                std::string& value) {
-  const std::string prefix = "--" + name + "=";
-  if (arg.rfind(prefix, 0) != 0) return false;
-  value = arg.substr(prefix.size());
+using dnnlife::util::flag_value;
+using dnnlife::util::read_file;
+
+bool parse_shard(const std::string& text, dnnlife::core::SuiteShard& shard) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) return false;
+  unsigned index = 0, count = 0;
+  if (!dnnlife::util::parse_unsigned_flag(text.substr(0, slash), index) ||
+      !dnnlife::util::parse_unsigned_flag(text.substr(slash + 1), count))
+    return false;
+  if (index < 1 || count < 1 || index > count) return false;
+  shard.index = index;
+  shard.count = count;
   return true;
 }
 
@@ -44,6 +67,10 @@ int main(int argc, char** argv) {
   unsigned threads_per_scenario = 0;
   std::string csv_path;
   std::string json_path;
+  std::string spec_path;
+  std::string materialize_dir;
+  core::SuiteShard shard;
+  bool omit_timing = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -58,10 +85,22 @@ int main(int argc, char** argv) {
         std::cerr << "--threads expects a number, got '" << value << "'\n";
         return 1;
       }
+    } else if (flag_value(arg, "shard", value)) {
+      if (!parse_shard(value, shard)) {
+        std::cerr << "--shard expects K/N with 1 <= K <= N, got '" << value
+                  << "'\n";
+        return 1;
+      }
+    } else if (flag_value(arg, "spec", value)) {
+      spec_path = value;
+    } else if (flag_value(arg, "materialize", value)) {
+      materialize_dir = value;
     } else if (flag_value(arg, "csv", value)) {
       csv_path = value;
     } else if (flag_value(arg, "json", value)) {
       json_path = value;
+    } else if (arg == "--omit-timing") {
+      omit_timing = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -71,30 +110,75 @@ int main(int argc, char** argv) {
       inputs.push_back(arg);
     }
   }
-  if (inputs.empty()) {
+  const bool from_spec = !spec_path.empty();
+  if (from_spec == !inputs.empty()) {
     std::cerr << "usage: example_sweep_runner <dir | scenario.json...> "
-                 "[--jobs=N] [--threads=N] [--csv=PATH] [--json=PATH] "
-                 "[--quiet]\n";
+                 "[--shard=K/N] [--jobs=N] [--threads=N] [--csv=PATH] "
+                 "[--json=PATH] [--omit-timing] [--quiet]\n"
+                 "   or: example_sweep_runner --spec=SWEEP.json "
+                 "[--materialize=DIR] [same flags]\n";
+    return 1;
+  }
+  if (!materialize_dir.empty() && !from_spec) {
+    std::cerr << "--materialize requires --spec\n";
+    return 1;
+  }
+  if (!materialize_dir.empty() &&
+      (shard.count > 1 || !csv_path.empty() || !json_path.empty())) {
+    // Materialisation writes the whole grid and runs nothing, so a shard
+    // selection or summary path would be silently ignored — reject the
+    // contradiction instead.
+    std::cerr << "--materialize only writes the documents; it cannot be "
+                 "combined with --shard, --csv or --json\n";
     return 1;
   }
 
   core::ScenarioSuite suite;
   try {
-    if (inputs.size() == 1 && std::filesystem::is_directory(inputs.front()))
+    if (from_spec) {
+      const core::ScenarioGenerator generator =
+          core::ScenarioGenerator::parse(read_file(spec_path));
+      if (!materialize_dir.empty()) {
+        const std::vector<std::string> paths =
+            generator.materialize(materialize_dir);
+        std::cout << "materialized " << paths.size() << " scenario"
+                  << (paths.size() == 1 ? "" : "s") << " into "
+                  << materialize_dir << "\n";
+        return 0;
+      }
+      for (core::GeneratedScenario& point : generator.generate())
+        suite.add(core::SuiteEntry{point.name + ".json",
+                                   std::move(point.spec),
+                                   std::move(point.document)});
+    } else if (inputs.size() == 1 &&
+               std::filesystem::is_directory(inputs.front())) {
       suite = core::ScenarioSuite::from_directory(inputs.front());
-    else
+    } else {
       suite = core::ScenarioSuite::from_files(inputs);
+    }
   } catch (const std::exception& error) {
     std::cerr << "sweep error: " << error.what() << "\n";
     return 1;
   }
 
+  std::vector<std::size_t> selection;
+  try {
+    selection = core::ScenarioSuite::shard_selection(suite.size(), shard);
+  } catch (const std::exception& error) {
+    std::cerr << "sweep error: " << error.what() << "\n";
+    return 1;
+  }
   const unsigned resolved_jobs =
       std::min<unsigned>(util::resolve_thread_count(jobs),
-                         static_cast<unsigned>(suite.size()));
+                         static_cast<unsigned>(std::max<std::size_t>(
+                             selection.size(), 1)));
   std::cout << "sweep: " << suite.size() << " scenario"
-            << (suite.size() == 1 ? "" : "s") << ", " << resolved_jobs
-            << " job" << (resolved_jobs == 1 ? "" : "s");
+            << (suite.size() == 1 ? "" : "s");
+  if (shard.count > 1)
+    std::cout << ", shard " << shard.index << "/" << shard.count << " ("
+              << selection.size() << " selected)";
+  std::cout << ", " << resolved_jobs << " job"
+            << (resolved_jobs == 1 ? "" : "s");
   if (threads_per_scenario != 0)
     std::cout << ", " << threads_per_scenario << " threads each";
   std::cout << "\n";
@@ -102,6 +186,7 @@ int main(int argc, char** argv) {
   core::SuiteRunOptions options;
   options.jobs = jobs;
   options.threads_per_scenario = threads_per_scenario;
+  options.shard = shard;
   if (!quiet) {
     options.progress = [](const core::SuiteProgress& progress) {
       const core::SuiteOutcome& outcome = *progress.outcome;
@@ -149,8 +234,15 @@ int main(int argc, char** argv) {
     std::cout << failures << " scenario" << (failures == 1 ? "" : "s")
               << " failed\n";
 
+  core::SuiteSummaryInfo info;
+  info.total_scenarios = suite.size();
+  info.manifest_hash = suite.manifest_hash();
+  info.shard = shard;
+  info.include_timing = !omit_timing;
+  const std::vector<core::SuiteRecord> records =
+      core::make_suite_records(outcomes);
   if (!csv_path.empty()) {
-    core::write_suite_csv(csv_path, outcomes);
+    core::write_suite_csv(csv_path, records, info);
     std::cout << "sweep summary written to " << csv_path << "\n";
   }
   if (!json_path.empty()) {
@@ -159,7 +251,7 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open '" << json_path << "' for writing\n";
       return 1;
     }
-    json << core::suite_summary_json(outcomes);
+    json << core::suite_summary_json(records, info);
     std::cout << "sweep summary written to " << json_path << "\n";
   }
   return failures == 0 ? 0 : 2;

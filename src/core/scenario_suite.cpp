@@ -12,7 +12,9 @@
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/json_writer.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace dnnlife::core {
@@ -30,13 +32,24 @@ std::string read_file(const std::string& path) {
 
 SuiteEntry load_entry(const std::string& path) {
   try {
-    return SuiteEntry{path, parse_scenario(read_file(path))};
+    std::string document = read_file(path);
+    ScenarioSpec spec = parse_scenario(document);
+    return SuiteEntry{path, std::move(spec), std::move(document)};
   } catch (const std::exception& error) {
     // Re-throw with the file named: a sweep directory error message must
     // say *which* document is broken.
     throw std::invalid_argument("scenario file '" + path +
                                 "': " + error.what());
   }
+}
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
 }
 
 }  // namespace
@@ -64,16 +77,48 @@ ScenarioSuite ScenarioSuite::from_files(const std::vector<std::string>& paths) {
   return suite;
 }
 
+std::vector<std::size_t> ScenarioSuite::shard_selection(
+    std::size_t size, const SuiteShard& shard) {
+  if (shard.count == 0)
+    throw std::invalid_argument("shard count must be at least 1");
+  if (shard.index < 1 || shard.index > shard.count)
+    throw std::invalid_argument(
+        "shard index " + std::to_string(shard.index) + " out of 1.." +
+        std::to_string(shard.count));
+  std::vector<std::size_t> selection;
+  for (std::size_t i = shard.index - 1; i < size; i += shard.count)
+    selection.push_back(i);
+  return selection;
+}
+
+std::string ScenarioSuite::manifest_hash() const {
+  // Mix every entry's name and exact document bytes, in suite order. The
+  // path is deliberately excluded: two machines loading the same generated
+  // documents from different directories still agree.
+  std::uint64_t hash = util::splitmix64(entries_.size());
+  for (const SuiteEntry& entry : entries_) {
+    hash = util::splitmix64(hash ^ fnv1a64(entry.spec.name));
+    hash = util::splitmix64(hash ^ fnv1a64(entry.document));
+  }
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(hex, 16);
+}
+
 std::vector<SuiteOutcome> ScenarioSuite::run(
     const SuiteRunOptions& options) const {
-  std::vector<SuiteOutcome> outcomes(entries_.size());
-  if (entries_.empty()) return outcomes;
+  const std::vector<std::size_t> selection =
+      shard_selection(entries_.size(), options.shard);
+  std::vector<SuiteOutcome> outcomes(selection.size());
+  if (selection.empty()) return outcomes;
 
   std::mutex progress_mutex;
   std::size_t completed = 0;
-  const auto run_one = [&](std::size_t index) {
-    const SuiteEntry& entry = entries_[index];
-    SuiteOutcome& outcome = outcomes[index];
+  const auto run_one = [&](std::size_t slot) {
+    const SuiteEntry& entry = entries_[selection[slot]];
+    SuiteOutcome& outcome = outcomes[slot];
+    outcome.index = selection[slot];
     outcome.path = entry.path;
     outcome.name = entry.spec.name;
     const auto start = std::chrono::steady_clock::now();
@@ -94,23 +139,23 @@ std::vector<SuiteOutcome> ScenarioSuite::run(
       ++completed;
       SuiteProgress progress;
       progress.completed = completed;
-      progress.total = entries_.size();
+      progress.total = selection.size();
       progress.outcome = &outcome;
       options.progress(progress);
     }
   };
 
   unsigned jobs = util::resolve_thread_count(options.jobs);
-  if (static_cast<std::size_t>(jobs) > entries_.size())
-    jobs = static_cast<unsigned>(entries_.size());
+  if (static_cast<std::size_t>(jobs) > selection.size())
+    jobs = static_cast<unsigned>(selection.size());
   if (jobs <= 1) {
-    for (std::size_t i = 0; i < entries_.size(); ++i) run_one(i);
+    for (std::size_t i = 0; i < selection.size(); ++i) run_one(i);
     return outcomes;
   }
   // One task per scenario; outcomes land in disjoint slots, so suite order
   // is preserved no matter which job finishes first.
   util::ThreadPool pool(jobs);
-  for (std::size_t i = 0; i < entries_.size(); ++i)
+  for (std::size_t i = 0; i < selection.size(); ++i)
     pool.submit([&run_one, i] { run_one(i); });
   pool.wait();
   return outcomes;
@@ -118,12 +163,7 @@ std::vector<SuiteOutcome> ScenarioSuite::run(
 
 namespace {
 
-/// Shared row shape of the CSV and JSON emitters: the whole-memory metrics
-/// of one outcome, empty strings when the scenario failed or was dormant.
-struct OutcomeRow {
-  std::string cells, unused, snm_mean, snm_max, duty_mean, optimal;
-  std::string lifetime, x_worst, of_ideal;
-};
+constexpr double kAbsent = std::numeric_limits<double>::quiet_NaN();
 
 /// Format a metric, or "" (CSV empty / JSON null) when it is not finite —
 /// an all-power-gated scenario legitimately never fails (+inf lifetime),
@@ -133,49 +173,6 @@ std::string finite_num(double value, int precision) {
                               : std::string();
 }
 
-OutcomeRow metrics_of(const SuiteOutcome& outcome) {
-  OutcomeRow row;
-  if (!outcome.ok) return row;
-  const ScenarioResult& result = *outcome.result;
-  const aging::AgingReport& report = result.report;
-  row.cells = std::to_string(report.total_cells);
-  row.unused = std::to_string(report.unused_cells);
-  row.snm_mean = finite_num(report.snm_stats.mean(), 4);
-  row.snm_max = finite_num(report.snm_stats.max(), 4);
-  row.duty_mean = finite_num(report.duty_stats.mean(), 5);
-  row.optimal = finite_num(report.fraction_optimal, 5);
-  if (result.lifetime.has_value()) {
-    row.lifetime = finite_num(result.lifetime->device_lifetime_years, 4);
-    row.x_worst =
-        finite_num(result.lifetime->improvement_over_worst_case, 4);
-    row.of_ideal = finite_num(result.lifetime->fraction_of_ideal, 5);
-  }
-  return row;
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 /// A numeric JSON field from a formatted metric ("" → null).
 std::string json_number(const std::string& formatted) {
   return formatted.empty() ? "null" : formatted;
@@ -183,57 +180,133 @@ std::string json_number(const std::string& formatted) {
 
 }  // namespace
 
+SuiteRecord make_suite_record(const SuiteOutcome& outcome) {
+  SuiteRecord record;
+  record.index = outcome.index;
+  record.path = outcome.path;
+  record.name = outcome.name;
+  record.ok = outcome.ok;
+  record.error = outcome.error;
+  record.wall_seconds = outcome.wall_seconds;
+  record.snm_mean = record.snm_max = kAbsent;
+  record.duty_mean = record.fraction_optimal = kAbsent;
+  record.lifetime_years = record.improvement_over_worst = kAbsent;
+  record.fraction_of_ideal = kAbsent;
+  if (!outcome.ok) return record;
+  const ScenarioResult& result = *outcome.result;
+  const aging::AgingReport& report = result.report;
+  record.total_cells = report.total_cells;
+  record.unused_cells = report.unused_cells;
+  record.snm_mean = report.snm_stats.mean();
+  record.snm_max = report.snm_stats.max();
+  record.duty_mean = report.duty_stats.mean();
+  record.fraction_optimal = report.fraction_optimal;
+  if (result.lifetime.has_value()) {
+    record.lifetime_years = result.lifetime->device_lifetime_years;
+    record.improvement_over_worst =
+        result.lifetime->improvement_over_worst_case;
+    record.fraction_of_ideal = result.lifetime->fraction_of_ideal;
+  }
+  return record;
+}
+
+std::vector<SuiteRecord> make_suite_records(
+    std::span<const SuiteOutcome> outcomes) {
+  std::vector<SuiteRecord> records;
+  records.reserve(outcomes.size());
+  for (const SuiteOutcome& outcome : outcomes)
+    records.push_back(make_suite_record(outcome));
+  return records;
+}
+
 void write_suite_csv(const std::string& path,
-                     std::span<const SuiteOutcome> outcomes) {
+                     std::span<const SuiteRecord> records,
+                     const SuiteSummaryInfo& info) {
   util::CsvWriter csv(
       path, {"file", "scenario", "status", "error", "total_cells",
              "unused_cells", "snm_mean_pct", "snm_max_pct", "duty_mean",
              "fraction_optimal", "device_lifetime_years",
              "improvement_over_worst_case", "fraction_of_ideal",
              "wall_seconds"});
-  for (const SuiteOutcome& outcome : outcomes) {
-    const OutcomeRow row = metrics_of(outcome);
-    csv.add_row({outcome.path, outcome.name, outcome.ok ? "ok" : "error",
-                 outcome.error, row.cells, row.unused, row.snm_mean,
-                 row.snm_max, row.duty_mean, row.optimal, row.lifetime,
-                 row.x_worst, row.of_ideal,
-                 util::Table::num(outcome.wall_seconds, 3)});
+  for (const SuiteRecord& record : records) {
+    csv.add_row({record.path, record.name, record.ok ? "ok" : "error",
+                 record.error,
+                 record.ok ? std::to_string(record.total_cells) : "",
+                 record.ok ? std::to_string(record.unused_cells) : "",
+                 finite_num(record.snm_mean, 4), finite_num(record.snm_max, 4),
+                 finite_num(record.duty_mean, 5),
+                 finite_num(record.fraction_optimal, 5),
+                 finite_num(record.lifetime_years, 4),
+                 finite_num(record.improvement_over_worst, 4),
+                 finite_num(record.fraction_of_ideal, 5),
+                 info.include_timing
+                     ? util::Table::num(record.wall_seconds, 3)
+                     : ""});
   }
 }
 
-std::string suite_summary_json(std::span<const SuiteOutcome> outcomes) {
+void write_suite_csv(const std::string& path,
+                     std::span<const SuiteOutcome> outcomes) {
+  SuiteSummaryInfo info;
+  info.total_scenarios = outcomes.size();
+  const std::vector<SuiteRecord> records = make_suite_records(outcomes);
+  write_suite_csv(path, records, info);
+}
+
+std::string suite_summary_json(std::span<const SuiteRecord> records,
+                               const SuiteSummaryInfo& info) {
   std::ostringstream out;
-  out << "{\n  \"scenarios\": [\n";
+  out << "{\n";
+  if (!info.manifest_hash.empty())
+    out << "  \"manifest\": {\"hash\": \""
+        << util::json_escape(info.manifest_hash)
+        << "\", \"scenarios\": " << info.total_scenarios << "},\n";
+  if (info.shard.count > 1)
+    out << "  \"shard\": {\"index\": " << info.shard.index
+        << ", \"count\": " << info.shard.count << "},\n";
+  out << "  \"scenarios\": [\n";
   std::size_t failures = 0;
   double total_seconds = 0.0;
   double min_lifetime = std::numeric_limits<double>::infinity();
   double max_lifetime = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    const SuiteOutcome& outcome = outcomes[i];
-    const OutcomeRow row = metrics_of(outcome);
-    total_seconds += outcome.wall_seconds;
-    if (!outcome.ok) ++failures;
-    if (!row.lifetime.empty()) {
-      const double years = outcome.result->lifetime->device_lifetime_years;
-      min_lifetime = std::min(min_lifetime, years);
-      max_lifetime = std::max(max_lifetime, years);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SuiteRecord& record = records[i];
+    total_seconds += record.wall_seconds;
+    if (!record.ok) ++failures;
+    if (std::isfinite(record.lifetime_years)) {
+      min_lifetime = std::min(min_lifetime, record.lifetime_years);
+      max_lifetime = std::max(max_lifetime, record.lifetime_years);
     }
-    out << "    {\"file\": \"" << json_escape(outcome.path)
-        << "\", \"scenario\": \"" << json_escape(outcome.name)
-        << "\", \"status\": \"" << (outcome.ok ? "ok" : "error") << "\"";
-    if (!outcome.ok)
-      out << ", \"error\": \"" << json_escape(outcome.error) << "\"";
-    out << ", \"snm_mean_pct\": " << json_number(row.snm_mean)
-        << ", \"snm_max_pct\": " << json_number(row.snm_max)
-        << ", \"fraction_optimal\": " << json_number(row.optimal)
-        << ", \"device_lifetime_years\": " << json_number(row.lifetime)
-        << ", \"improvement_over_worst_case\": " << json_number(row.x_worst)
-        << ", \"wall_seconds\": " << util::Table::num(outcome.wall_seconds, 3)
-        << "}" << (i + 1 < outcomes.size() ? "," : "") << "\n";
+    out << "    {\"index\": " << record.index << ", \"file\": \""
+        << util::json_escape(record.path) << "\", \"scenario\": \""
+        << util::json_escape(record.name) << "\", \"status\": \""
+        << (record.ok ? "ok" : "error") << "\"";
+    if (!record.ok)
+      out << ", \"error\": \"" << util::json_escape(record.error) << "\"";
+    out << ", \"total_cells\": "
+        << (record.ok ? std::to_string(record.total_cells) : "null")
+        << ", \"unused_cells\": "
+        << (record.ok ? std::to_string(record.unused_cells) : "null")
+        << ", \"snm_mean_pct\": " << json_number(finite_num(record.snm_mean, 4))
+        << ", \"snm_max_pct\": " << json_number(finite_num(record.snm_max, 4))
+        << ", \"duty_mean\": " << json_number(finite_num(record.duty_mean, 5))
+        << ", \"fraction_optimal\": "
+        << json_number(finite_num(record.fraction_optimal, 5))
+        << ", \"device_lifetime_years\": "
+        << json_number(finite_num(record.lifetime_years, 4))
+        << ", \"improvement_over_worst_case\": "
+        << json_number(finite_num(record.improvement_over_worst, 4))
+        << ", \"fraction_of_ideal\": "
+        << json_number(finite_num(record.fraction_of_ideal, 5));
+    if (info.include_timing)
+      out << ", \"wall_seconds\": "
+          << util::Table::num(record.wall_seconds, 3);
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"summary\": {\"scenarios\": " << outcomes.size()
-      << ", \"failures\": " << failures
-      << ", \"total_wall_seconds\": " << util::Table::num(total_seconds, 3);
+  out << "  ],\n  \"summary\": {\"scenarios\": " << records.size()
+      << ", \"failures\": " << failures;
+  if (info.include_timing)
+    out << ", \"total_wall_seconds\": " << util::Table::num(total_seconds, 3);
   if (std::isfinite(min_lifetime))
     out << ", \"min_device_lifetime_years\": "
         << util::Table::num(min_lifetime, 4)
@@ -241,6 +314,13 @@ std::string suite_summary_json(std::span<const SuiteOutcome> outcomes) {
         << util::Table::num(max_lifetime, 4);
   out << "}\n}\n";
   return out.str();
+}
+
+std::string suite_summary_json(std::span<const SuiteOutcome> outcomes) {
+  SuiteSummaryInfo info;
+  info.total_scenarios = outcomes.size();
+  const std::vector<SuiteRecord> records = make_suite_records(outcomes);
+  return suite_summary_json(records, info);
 }
 
 }  // namespace dnnlife::core

@@ -10,11 +10,19 @@
 // lifetime threshold a model cannot reach) are captured per outcome so
 // one bad point does not kill the sweep.
 //
+// Cross-machine sharding: a SuiteShard (--shard=K/N) selects every N-th
+// entry of the stable suite order, so N machines split one sweep with no
+// coordinator. Each shard's summary records the suite's manifest hash and
+// the global index of every outcome; core/sweep_merge.hpp reassembles N
+// shard summaries into the byte-identical aggregate a single-machine run
+// would have produced.
+//
 // Layering: suite → scenario → workbench/workload → policy engines →
-// simulators. Per-scenario processes shard across machines naturally; this
-// runner shards across cores.
+// simulators. This runner shards across cores; SuiteShard shards across
+// machines.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
@@ -27,12 +35,25 @@ namespace dnnlife::core {
 
 /// One loaded scenario of a suite.
 struct SuiteEntry {
-  std::string path;  ///< source file; "" for specs added in memory
+  std::string path;  ///< source file; synthetic "<name>.json" for generated specs
   ScenarioSpec spec;
+  /// The exact document text (file bytes, or the generator's materialised
+  /// output). Input to the suite's manifest hash, so a sweep loaded from a
+  /// directory and the same sweep generated in memory hash identically.
+  std::string document;
+};
+
+/// One machine's slice of a sweep: shard `index` (1-based) of `count`,
+/// selecting entries index-1, index-1+count, ... of the suite order.
+/// The default {1, 1} selects everything.
+struct SuiteShard {
+  unsigned index = 1;
+  unsigned count = 1;
 };
 
 /// The outcome of one scenario run.
 struct SuiteOutcome {
+  std::size_t index = 0;  ///< global position in the (unsharded) suite order
   std::string path;
   std::string name;
   bool ok = false;
@@ -44,7 +65,7 @@ struct SuiteOutcome {
 /// Progress of a running suite, reported once per finished scenario.
 struct SuiteProgress {
   std::size_t completed = 0;  ///< finished scenarios, this one included
-  std::size_t total = 0;
+  std::size_t total = 0;      ///< scenarios this run executes (the shard's share)
   const SuiteOutcome* outcome = nullptr;  ///< the scenario that just finished
 };
 
@@ -56,6 +77,8 @@ struct SuiteRunOptions {
   /// with this budget; 0 keeps the per-document values. With J jobs in
   /// flight a budget of hardware/J keeps the machine exactly subscribed.
   unsigned threads_per_scenario = 0;
+  /// Run only this shard's selection of the suite.
+  SuiteShard shard;
   /// Invoked after each scenario finishes. Serialized internally, so a CLI
   /// can print from it without locking; must not throw.
   std::function<void(const SuiteProgress&)> progress;
@@ -74,27 +97,83 @@ class ScenarioSuite {
   /// Load an explicit file list, in the given order.
   static ScenarioSuite from_files(const std::vector<std::string>& paths);
 
+  /// The global indices shard selects from a suite of `size` entries:
+  /// index-1, index-1+count, ... Shards of the same count are pairwise
+  /// disjoint and together cover exactly [0, size). Throws
+  /// std::invalid_argument on count == 0 or index outside [1, count].
+  static std::vector<std::size_t> shard_selection(std::size_t size,
+                                                  const SuiteShard& shard);
+
   void add(SuiteEntry entry) { entries_.push_back(std::move(entry)); }
   const std::vector<SuiteEntry>& entries() const noexcept { return entries_; }
   std::size_t size() const noexcept { return entries_.size(); }
 
-  /// Run every scenario, `jobs` at a time. Outcomes are returned in suite
-  /// order regardless of completion order (each job fills its own slot).
+  /// Stable 64-bit hex hash over every entry's (name, document) in suite
+  /// order: two machines agree on it exactly when they loaded the same
+  /// sweep in the same order, which is what makes shard summaries safely
+  /// mergeable.
+  std::string manifest_hash() const;
+
+  /// Run the shard's scenarios, `jobs` at a time. Outcomes are returned in
+  /// suite order regardless of completion order (each job fills its own
+  /// slot), carrying their global suite index.
   std::vector<SuiteOutcome> run(const SuiteRunOptions& options = {}) const;
 
  private:
   std::vector<SuiteEntry> entries_;
 };
 
+/// One summary row: the whole-memory metrics of an outcome reduced to the
+/// values the CSV/JSON emitters print. Built either from a live
+/// SuiteOutcome or parsed back from a shard summary (core/sweep_merge.hpp);
+/// both paths feed the same emitters, which is what makes a merged summary
+/// byte-identical to a single-machine one. Absent metrics (failed or
+/// dormant scenarios, infinite lifetimes) are NaN and render as CSV
+/// empty / JSON null.
+struct SuiteRecord {
+  std::size_t index = 0;  ///< global suite index
+  std::string path;
+  std::string name;
+  bool ok = false;
+  std::string error;
+  std::uint64_t total_cells = 0;   ///< valid when ok
+  std::uint64_t unused_cells = 0;  ///< valid when ok
+  double snm_mean = 0.0, snm_max = 0.0;
+  double duty_mean = 0.0, fraction_optimal = 0.0;
+  double lifetime_years = 0.0, improvement_over_worst = 0.0;
+  double fraction_of_ideal = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// What a summary says about the sweep it belongs to, beyond the rows.
+struct SuiteSummaryInfo {
+  std::size_t total_scenarios = 0;  ///< full suite size across all shards
+  std::string manifest_hash;        ///< "" omits the manifest object
+  SuiteShard shard;                 ///< count == 1 → unsharded (no shard object)
+  /// Wall-clock fields are nondeterministic; omit them (--omit-timing)
+  /// when summaries must be byte-comparable across runs.
+  bool include_timing = true;
+};
+
+SuiteRecord make_suite_record(const SuiteOutcome& outcome);
+std::vector<SuiteRecord> make_suite_records(
+    std::span<const SuiteOutcome> outcomes);
+
 /// Write the one-line-per-scenario sweep summary as CSV (whole-memory
 /// aging and lifetime numbers; failed scenarios keep their error message
 /// and empty metric columns).
 void write_suite_csv(const std::string& path,
+                     std::span<const SuiteRecord> records,
+                     const SuiteSummaryInfo& info);
+void write_suite_csv(const std::string& path,
                      std::span<const SuiteOutcome> outcomes);
 
-/// The same summary as a JSON document: a "scenarios" array plus a
-/// "summary" object (counts, total wall time, min/max device lifetime over
-/// the successful scenarios).
+/// The same summary as a JSON document: an optional "manifest"/"shard"
+/// header, a "scenarios" array (one object per record, global index
+/// included) and a "summary" object (counts, total wall time, min/max
+/// device lifetime over the successful scenarios).
+std::string suite_summary_json(std::span<const SuiteRecord> records,
+                               const SuiteSummaryInfo& info);
 std::string suite_summary_json(std::span<const SuiteOutcome> outcomes);
 
 }  // namespace dnnlife::core

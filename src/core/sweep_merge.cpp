@@ -1,0 +1,224 @@
+#include "core/sweep_merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace dnnlife::core {
+
+namespace {
+
+using util::JsonValue;
+
+constexpr double kAbsent = std::numeric_limits<double>::quiet_NaN();
+
+/// Plausibility caps on untrusted summary fields: merge sizes its cover
+/// bookkeeping from them, so a corrupt document must fail with a named
+/// error instead of a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxShards = 1'000'000;
+constexpr std::uint64_t kMaxScenarios = 100'000'000;
+
+std::string describe(const SuiteSummary& summary) {
+  return summary.label.empty() ? std::string("<unnamed summary>")
+                               : "'" + summary.label + "'";
+}
+
+/// A metric field: a number, or null for absent (failed scenario, infinite
+/// lifetime). Missing members are rejected — every emitter version that
+/// writes shard manifests also writes the full metric set.
+double number_or_null(const JsonValue& entry, std::string_view key) {
+  const JsonValue& value = entry.at(key);
+  return value.is_null() ? kAbsent : value.as_number();
+}
+
+SuiteRecord parse_record(const JsonValue& entry) {
+  SuiteRecord record;
+  record.index = entry.at("index").as_uint();
+  record.path = entry.at("file").as_string();
+  record.name = entry.at("scenario").as_string();
+  const std::string& status = entry.at("status").as_string();
+  if (status != "ok" && status != "error")
+    throw std::invalid_argument("scenario status '" + status +
+                                "' is neither 'ok' nor 'error'");
+  record.ok = status == "ok";
+  if (const JsonValue* error = entry.find("error"))
+    record.error = error->as_string();
+  if (record.ok) {
+    record.total_cells = entry.at("total_cells").as_uint();
+    record.unused_cells = entry.at("unused_cells").as_uint();
+  } else if (!entry.at("total_cells").is_null() ||
+             !entry.at("unused_cells").is_null()) {
+    throw std::invalid_argument("failed scenario '" + record.name +
+                                "' carries cell counts");
+  }
+  record.snm_mean = number_or_null(entry, "snm_mean_pct");
+  record.snm_max = number_or_null(entry, "snm_max_pct");
+  record.duty_mean = number_or_null(entry, "duty_mean");
+  record.fraction_optimal = number_or_null(entry, "fraction_optimal");
+  record.lifetime_years = number_or_null(entry, "device_lifetime_years");
+  record.improvement_over_worst =
+      number_or_null(entry, "improvement_over_worst_case");
+  record.fraction_of_ideal = number_or_null(entry, "fraction_of_ideal");
+  return record;
+}
+
+}  // namespace
+
+SuiteSummary parse_suite_summary(const std::string& json_text,
+                                 const std::string& label) {
+  SuiteSummary summary;
+  summary.label = label;
+  try {
+    const JsonValue root = JsonValue::parse(json_text);
+    if (const JsonValue* manifest = root.find("manifest")) {
+      summary.info.manifest_hash = manifest->at("hash").as_string();
+      const std::uint64_t total = manifest->at("scenarios").as_uint();
+      if (total > kMaxScenarios)
+        throw std::invalid_argument("manifest scenario count " +
+                                    std::to_string(total) +
+                                    " is implausibly large");
+      summary.info.total_scenarios = static_cast<std::size_t>(total);
+    }
+    if (const JsonValue* shard = root.find("shard")) {
+      // Validate before narrowing: a corrupt document must fail with a
+      // named error, not a silent 32-bit truncation, and the counts also
+      // size vectors in merge_suite_summaries, so they are bounded here.
+      const std::uint64_t index = shard->at("index").as_uint();
+      const std::uint64_t count = shard->at("count").as_uint();
+      if (count == 0 || count > kMaxShards || index == 0 || index > count)
+        throw std::invalid_argument("shard " + std::to_string(index) + "/" +
+                                    std::to_string(count) + " is not valid");
+      summary.info.shard.index = static_cast<unsigned>(index);
+      summary.info.shard.count = static_cast<unsigned>(count);
+    }
+    const std::vector<JsonValue>& entries = root.at("scenarios").items();
+    summary.records.reserve(entries.size());
+    bool with_timing = false, without_timing = false;
+    for (const JsonValue& entry : entries) {
+      SuiteRecord record = parse_record(entry);
+      if (const JsonValue* wall = entry.find("wall_seconds")) {
+        record.wall_seconds = wall->as_number();
+        with_timing = true;
+      } else {
+        without_timing = true;
+      }
+      summary.records.push_back(std::move(record));
+    }
+    if (with_timing && without_timing)
+      throw std::invalid_argument(
+          "summary mixes entries with and without wall_seconds");
+    summary.info.include_timing = with_timing || summary.records.empty();
+    if (summary.info.manifest_hash.empty())
+      summary.info.total_scenarios = summary.records.size();
+  } catch (const std::exception& error) {
+    throw std::invalid_argument("sweep summary " + describe(summary) + ": " +
+                                error.what());
+  }
+  return summary;
+}
+
+SuiteSummary merge_suite_summaries(std::vector<SuiteSummary> shards) {
+  if (shards.empty())
+    throw std::invalid_argument("no shard summaries to merge");
+  const SuiteSummary& first = shards.front();
+  for (const SuiteSummary& shard : shards) {
+    if (shard.info.manifest_hash.empty())
+      throw std::invalid_argument(
+          "sweep summary " + describe(shard) +
+          " carries no manifest; only summaries written by the sweep "
+          "runner with a loaded suite can be merged");
+    if (shard.info.manifest_hash != first.info.manifest_hash)
+      throw std::invalid_argument(
+          "sweep summaries " + describe(first) + " and " + describe(shard) +
+          " come from different sweeps (manifest hash " +
+          first.info.manifest_hash + " vs " + shard.info.manifest_hash + ")");
+    if (shard.info.total_scenarios != first.info.total_scenarios)
+      throw std::invalid_argument(
+          "sweep summaries " + describe(first) + " and " + describe(shard) +
+          " disagree on the sweep size (" +
+          std::to_string(first.info.total_scenarios) + " vs " +
+          std::to_string(shard.info.total_scenarios) + ")");
+    if (shard.info.shard.count != first.info.shard.count)
+      throw std::invalid_argument(
+          "sweep summaries " + describe(first) + " and " + describe(shard) +
+          " disagree on the shard count (" +
+          std::to_string(first.info.shard.count) + " vs " +
+          std::to_string(shard.info.shard.count) + ")");
+  }
+
+  const unsigned count = first.info.shard.count;
+  const std::size_t total = first.info.total_scenarios;
+  // Tolerate any CLI order: sort the shards, then validate the cover.
+  std::sort(shards.begin(), shards.end(),
+            [](const SuiteSummary& a, const SuiteSummary& b) {
+              return a.info.shard.index < b.info.shard.index;
+            });
+  std::vector<const SuiteSummary*> by_index(count, nullptr);
+  for (const SuiteSummary& shard : shards) {
+    const SuiteSummary*& slot = by_index[shard.info.shard.index - 1];
+    if (slot != nullptr)
+      throw std::invalid_argument(
+          "duplicate shard " + std::to_string(shard.info.shard.index) + "/" +
+          std::to_string(count) + " (" + describe(*slot) + " and " +
+          describe(shard) + ")");
+    slot = &shard;
+  }
+  for (unsigned k = 0; k < count; ++k)
+    if (by_index[k] == nullptr)
+      throw std::invalid_argument("missing shard " + std::to_string(k + 1) +
+                                  "/" + std::to_string(count));
+
+  SuiteSummary merged;
+  merged.info.manifest_hash = first.info.manifest_hash;
+  merged.info.total_scenarios = total;
+  merged.info.shard = SuiteShard{};  // the merged view is unsharded
+  bool timing_known = false;
+  std::vector<char> covered(total, 0);
+  merged.records.reserve(total);
+  for (const SuiteSummary& shard : shards) {
+    if (!shard.records.empty()) {
+      if (!timing_known) {
+        merged.info.include_timing = shard.info.include_timing;
+        timing_known = true;
+      } else if (merged.info.include_timing != shard.info.include_timing) {
+        throw std::invalid_argument(
+            "sweep summary " + describe(shard) +
+            " disagrees with the other shards on wall-clock reporting");
+      }
+    }
+    for (const SuiteRecord& record : shard.records) {
+      if (record.index >= total)
+        throw std::invalid_argument(
+            "sweep summary " + describe(shard) + ": scenario index " +
+            std::to_string(record.index) + " exceeds the sweep size " +
+            std::to_string(total));
+      if (record.index % count != shard.info.shard.index - 1)
+        throw std::invalid_argument(
+            "sweep summary " + describe(shard) + ": scenario index " +
+            std::to_string(record.index) + " does not belong to shard " +
+            std::to_string(shard.info.shard.index) + "/" +
+            std::to_string(count));
+      if (covered[record.index])
+        throw std::invalid_argument("scenario index " +
+                                    std::to_string(record.index) +
+                                    " appears in more than one shard");
+      covered[record.index] = 1;
+      merged.records.push_back(record);
+    }
+  }
+  if (merged.records.size() != total)
+    throw std::invalid_argument(
+        "merged shards cover " + std::to_string(merged.records.size()) +
+        " of " + std::to_string(total) +
+        " scenarios; the cover is incomplete");
+  std::sort(merged.records.begin(), merged.records.end(),
+            [](const SuiteRecord& a, const SuiteRecord& b) {
+              return a.index < b.index;
+            });
+  return merged;
+}
+
+}  // namespace dnnlife::core

@@ -1,0 +1,51 @@
+// Shard-summary merge: N machines' sweep summaries → the single-machine one.
+//
+// A distributed sweep runs `example_sweep_runner --shard=K/N` on N machines
+// with no coordinator; each writes a JSON summary carrying the suite's
+// manifest hash, its shard coordinates and the global index of every
+// outcome. This layer parses those summaries back into SuiteRecords,
+// validates that they really are complementary slices of one sweep — same
+// manifest hash and total, one shard each of the same count, disjoint and
+// complete index cover — and reassembles the full record list. Because the
+// merged records feed the exact same emitters a single-machine run uses
+// (core/scenario_suite.hpp), the merged CSV/JSON is byte-identical to the
+// unsharded run whenever the summaries were written with timing omitted
+// (wall clocks are the only nondeterministic field) and every shard loaded
+// the sweep the same way. The manifest hash deliberately ignores file
+// paths — that is what lets one machine run from --spec and another from
+// the materialised directory — so the "file" column of a mixed-style
+// merge is a mix of path spellings: valid, but byte-comparable only to
+// itself. For the byte-identity guarantee, run every shard (and the
+// reference single-shot) from the same --spec or the same directory path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario_suite.hpp"
+
+namespace dnnlife::core {
+
+/// One parsed sweep summary (a shard's, or a whole run's).
+struct SuiteSummary {
+  /// Caller-supplied label (usually the file name) used in merge error
+  /// messages; not part of the document.
+  std::string label;
+  SuiteSummaryInfo info;
+  std::vector<SuiteRecord> records;
+};
+
+/// Parse a summary document written by suite_summary_json. Strict about
+/// the members it relies on; throws std::invalid_argument with the
+/// offending member named. `label` seeds SuiteSummary::label.
+SuiteSummary parse_suite_summary(const std::string& json_text,
+                                 const std::string& label = "");
+
+/// Merge shard summaries (any CLI order) into the whole-sweep summary.
+/// Validates the shards cover one manifest exactly once and throws
+/// std::invalid_argument naming the offending file otherwise. The result
+/// carries shard {1, 1} (i.e. unsharded) and records sorted by global
+/// index, ready for write_suite_csv / suite_summary_json.
+SuiteSummary merge_suite_summaries(std::vector<SuiteSummary> shards);
+
+}  // namespace dnnlife::core

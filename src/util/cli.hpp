@@ -1,10 +1,30 @@
 // Tiny shared CLI flag parsing helpers for the example/bench executables.
 #pragma once
 
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace dnnlife::util {
+
+/// Match `--<name>=<value>` flags: true (filling `value`) on a match.
+inline bool flag_value(const std::string& arg, const std::string& name,
+                       std::string& value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  value = arg.substr(prefix.size());
+  return true;
+}
+
+/// Slurp a whole file; throws std::invalid_argument naming the path.
+inline std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::invalid_argument("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
 
 /// Parse a non-negative decimal flag value into `out`. Returns false (and
 /// leaves `out` untouched) on empty input, non-digit characters, or

@@ -213,6 +213,39 @@ JsonValue JsonValue::parse(std::string_view text) {
   return JsonParser(text).run();
 }
 
+JsonValue JsonValue::make_bool(bool value) {
+  JsonValue out;
+  out.type_ = Type::kBool;
+  out.bool_ = value;
+  return out;
+}
+
+JsonValue JsonValue::make_number(double value) {
+  JsonValue out;
+  out.type_ = Type::kNumber;
+  out.number_ = value;
+  return out;
+}
+
+JsonValue JsonValue::make_string(std::string value) {
+  JsonValue out;
+  out.type_ = Type::kString;
+  out.string_ = std::move(value);
+  return out;
+}
+
+JsonValue JsonValue::make_array() {
+  JsonValue out;
+  out.type_ = Type::kArray;
+  return out;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue out;
+  out.type_ = Type::kObject;
+  return out;
+}
+
 std::string_view JsonValue::type_name(Type type) noexcept {
   switch (type) {
     case Type::kNull: return "null";
@@ -294,6 +327,33 @@ const JsonValue& JsonValue::at(std::string_view key) const {
     throw std::invalid_argument("missing JSON member '" + std::string(key) +
                                 "'");
   return *value;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  if (type_ != Type::kObject) type_mismatch(Type::kObject, type_);
+  for (auto& [name, existing] : members_)
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+JsonValue* JsonValue::find_mutable(std::string_view key) {
+  if (type_ != Type::kObject) type_mismatch(Type::kObject, type_);
+  for (auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+void JsonValue::push_back(JsonValue element) {
+  if (type_ != Type::kArray) type_mismatch(Type::kArray, type_);
+  items_.push_back(std::move(element));
+}
+
+std::vector<JsonValue>& JsonValue::mutable_items() {
+  if (type_ != Type::kArray) type_mismatch(Type::kArray, type_);
+  return items_;
 }
 
 }  // namespace dnnlife::util

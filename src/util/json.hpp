@@ -1,12 +1,16 @@
-// Minimal JSON reader for the declarative scenario layer.
+// Minimal JSON value tree for the declarative scenario layer.
 //
 // Parses the JSON subset the framework's own specs use — objects, arrays,
-// strings (with the standard escapes), numbers, booleans and null — into an
-// immutable value tree. Strict: trailing garbage, unterminated literals and
+// strings (with the standard escapes), numbers, booleans and null — into a
+// value tree. Strict: trailing garbage, unterminated literals and
 // malformed numbers throw std::invalid_argument with the character offset.
-// Deliberately tiny (no external dependency, no serialisation, no
-// comments); object members keep their textual order and are accessed
-// linearly, which is plenty for hand-written scenario files.
+// Deliberately tiny (no external dependency, no comments); object members
+// keep their textual order and are accessed linearly, which is plenty for
+// hand-written scenario files.
+//
+// The scenario generator also *builds* documents: the make_* factories and
+// set/push_back mutators grow a tree that util/json_writer.hpp serialises
+// deterministically (write → parse round-trips the tree exactly).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +27,14 @@ class JsonValue {
 
   /// Parse one complete JSON document.
   static JsonValue parse(std::string_view text);
+
+  /// Builder factories for programmatically constructed documents.
+  static JsonValue make_null() noexcept { return JsonValue(); }
+  static JsonValue make_bool(bool value);
+  static JsonValue make_number(double value);
+  static JsonValue make_string(std::string value);
+  static JsonValue make_array();
+  static JsonValue make_object();
 
   Type type() const noexcept { return type_; }
   bool is_null() const noexcept { return type_ == Type::kNull; }
@@ -48,6 +60,18 @@ class JsonValue {
   /// Object member lookup: find returns nullptr when absent; at throws.
   const JsonValue* find(std::string_view key) const;
   const JsonValue& at(std::string_view key) const;
+
+  /// Mutators (builder side). All throw std::invalid_argument when called
+  /// on the wrong type, like the typed accessors.
+  /// Set an object member: replaces the value in place when the key exists
+  /// (member order is preserved), appends otherwise.
+  void set(std::string key, JsonValue value);
+  /// Mutable object member lookup; nullptr when absent.
+  JsonValue* find_mutable(std::string_view key);
+  /// Append an array element.
+  void push_back(JsonValue element);
+  /// Mutable array elements, for in-place rewrites of nested documents.
+  std::vector<JsonValue>& mutable_items();
 
   /// Human-readable type name ("object", "number", ...) for messages.
   static std::string_view type_name(Type type) noexcept;

@@ -1,0 +1,116 @@
+#include "util/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dnnlife::util {
+
+std::string json_number_repr(double value) {
+  if (!std::isfinite(value))
+    throw std::invalid_argument(
+        "JSON cannot represent a non-finite number (inf/nan)");
+  // std::to_chars with no precision argument emits the shortest string
+  // that round-trips to exactly `value` — deterministic, locale-free, and
+  // identical on every conforming implementation.
+  char buffer[32];
+  const auto result = std::to_chars(buffer, buffer + sizeof buffer, value);
+  if (result.ec != std::errc{})
+    throw std::invalid_argument("number formatting failed");
+  return std::string(buffer, result.ptr);
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_value(const JsonValue& value, int indent, int depth,
+                 std::string& out) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int levels) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(levels) *
+                   static_cast<std::size_t>(indent),
+               ' ');
+  };
+  switch (value.type()) {
+    case JsonValue::Type::kNull: out += "null"; break;
+    case JsonValue::Type::kBool: out += value.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::kNumber: out += json_number_repr(value.as_number()); break;
+    case JsonValue::Type::kString:
+      out += '"';
+      out += json_escape(value.as_string());
+      out += '"';
+      break;
+    case JsonValue::Type::kArray: {
+      const auto& items = value.items();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_pad(depth + 1);
+        write_value(items[i], indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      const auto& members = value.members();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_pad(depth + 1);
+        out += '"';
+        out += json_escape(members[i].first);
+        out += "\":";
+        if (pretty) out += ' ';
+        write_value(members[i].second, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_json(const JsonValue& value, const JsonWriteOptions& options) {
+  std::string out;
+  write_value(value, options.indent, 0, out);
+  if (options.indent >= 0) out += '\n';
+  return out;
+}
+
+}  // namespace dnnlife::util

@@ -1,0 +1,40 @@
+// Deterministic JSON writer — the serialisation half of util/json.hpp.
+//
+// The scenario generator materialises documents that must be byte-identical
+// across runs and machines (shard manifests hash them), so the writer is
+// fully deterministic: members keep their stored order, numbers use the
+// shortest round-trip representation (std::to_chars), strings escape
+// exactly the characters the reader understands. write_json → JsonValue::
+// parse reproduces the tree bit for bit (numbers included); non-finite
+// numbers have no JSON representation and throw instead of emitting a
+// token the strict reader would reject.
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace dnnlife::util {
+
+struct JsonWriteOptions {
+  /// Spaces per nesting level; negative writes the whole document on one
+  /// line (no whitespace at all — the canonical form used for hashing).
+  int indent = 2;
+};
+
+/// Serialise a value tree. Throws std::invalid_argument on non-finite
+/// numbers (JSON has no inf/nan).
+std::string write_json(const JsonValue& value,
+                       const JsonWriteOptions& options = {});
+
+/// Shortest decimal representation that parses back to exactly `value`.
+/// Integral values render without a decimal point ("85", not "85.0").
+/// Throws std::invalid_argument on non-finite input.
+std::string json_number_repr(double value);
+
+/// Escape a string for embedding between JSON quotes (standard escapes,
+/// \uXXXX for other control characters). Shared by every JSON emitter in
+/// the framework.
+std::string json_escape(const std::string& text);
+
+}  // namespace dnnlife::util
