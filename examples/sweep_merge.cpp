@@ -4,21 +4,32 @@
 //   example_sweep_merge shard1.json shard2.json ... [flags]
 //
 // Flags:
-//   --csv=PATH    write the merged per-scenario summary as CSV
-//   --json=PATH   write the merged summary + aggregate as JSON
+//   --csv=PATH       write the merged per-scenario summary as CSV
+//   --json=PATH      write the merged summary + aggregate as JSON
+//   --allow-partial  accept an incomplete shard set (missing shards, or
+//                    journals of killed runs): the merged summary carries a
+//                    "partial" header listing every missing global index,
+//                    the missing count is printed, and the tool exits 3 so
+//                    schedulers can tell "partial" from "complete"
 //
-// Shard files may be given in any order; the tool sorts them by shard
+// Inputs may be summary JSON files or sweep-runner journals
+// (--journal=PATH files of crashed shards); journals are detected by their
+// header line and lifted into the summary the shard would have written so
+// far. Shard files may be given in any order; the tool sorts them by shard
 // index. It refuses to merge summaries that do not form exactly one sweep:
-// different manifest hashes or totals, duplicate or missing shards, and
-// overlapping or incomplete scenario covers all fail with the offending
-// file named. When the shards were written with --omit-timing, the merged
-// CSV/JSON is byte-identical to the unsharded run's (wall clocks are the
-// only nondeterministic field; CI diffs the two).
+// different manifest hashes or totals, duplicate shards, and overlapping
+// scenario covers all fail with the offending file named — and, without
+// --allow-partial, so do missing shards and incomplete covers. When the
+// shards were written with --omit-timing, the merged CSV/JSON is
+// byte-identical to the unsharded run's (wall clocks are the only
+// nondeterministic field; CI diffs the two).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/sweep_journal.hpp"
 #include "core/sweep_merge.hpp"
 #include "util/cli.hpp"
 
@@ -34,6 +45,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   std::string csv_path;
   std::string json_path;
+  core::MergeOptions merge_options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     std::string value;
@@ -41,6 +53,8 @@ int main(int argc, char** argv) {
       csv_path = value;
     } else if (flag_value(arg, "json", value)) {
       json_path = value;
+    } else if (arg == "--allow-partial") {
+      merge_options.allow_partial = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << "\n";
       return 1;
@@ -49,8 +63,8 @@ int main(int argc, char** argv) {
     }
   }
   if (inputs.empty()) {
-    std::cerr << "usage: example_sweep_merge shard1.json shard2.json ... "
-                 "[--csv=PATH] [--json=PATH]\n";
+    std::cerr << "usage: example_sweep_merge <shard.json | shard.journal>... "
+                 "[--csv=PATH] [--json=PATH] [--allow-partial]\n";
     return 1;
   }
 
@@ -58,9 +72,21 @@ int main(int argc, char** argv) {
   try {
     std::vector<core::SuiteSummary> shards;
     shards.reserve(inputs.size());
-    for (const std::string& path : inputs)
-      shards.push_back(core::parse_suite_summary(read_file(path), path));
-    merged = core::merge_suite_summaries(std::move(shards));
+    for (const std::string& path : inputs) {
+      const std::string text = read_file(path);
+      if (core::looks_like_sweep_journal(text)) {
+        const core::SweepJournalContents journal =
+            core::parse_sweep_journal(text, path);
+        if (journal.truncated_tail)
+          std::cerr << "note: journal '" << path
+                    << "' ends in a truncated line (crash debris); "
+                       "dropping it\n";
+        shards.push_back(core::suite_summary_from_journal(journal, path));
+      } else {
+        shards.push_back(core::parse_suite_summary(text, path));
+      }
+    }
+    merged = core::merge_suite_summaries(std::move(shards), merge_options);
   } catch (const std::exception& error) {
     std::cerr << "merge error: " << error.what() << "\n";
     return 1;
@@ -75,6 +101,18 @@ int main(int argc, char** argv) {
             << (merged.records.size() == 1 ? "" : "s") << ", " << failures
             << " failure" << (failures == 1 ? "" : "s") << " (manifest "
             << merged.info.manifest_hash << ")\n";
+  const std::vector<std::size_t>& missing = merged.info.missing_indices;
+  if (!missing.empty()) {
+    std::cout << "partial merge: " << missing.size() << " of "
+              << merged.info.total_scenarios
+              << " scenarios missing (indices";
+    // Name enough indices to resubmit from; elide the middle of huge gaps.
+    const std::size_t shown = std::min<std::size_t>(missing.size(), 20);
+    for (std::size_t i = 0; i < shown; ++i) std::cout << " " << missing[i];
+    if (shown < missing.size())
+      std::cout << " ... +" << missing.size() - shown << " more";
+    std::cout << ")\n";
+  }
 
   if (!csv_path.empty()) {
     core::write_suite_csv(csv_path, merged.records, merged.info);
@@ -89,5 +127,5 @@ int main(int argc, char** argv) {
     json << core::suite_summary_json(merged.records, merged.info);
     std::cout << "merged summary written to " << json_path << "\n";
   }
-  return 0;
+  return missing.empty() ? 0 : 3;
 }

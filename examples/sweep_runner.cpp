@@ -17,25 +17,54 @@
 //   --jobs=N         concurrent scenarios (default 0 = hardware concurrency)
 //   --threads=N      per-scenario simulation/report thread budget
 //                    (default 0 = keep each document's own "threads")
+//   --journal=PATH   append every completed point to a crash-durable JSONL
+//                    journal (flushed + fsynced record by record), so a
+//                    killed run can resume from its valid prefix
+//   --resume         with --journal: skip the points the journal already
+//                    holds and replay them into the summary, which stays
+//                    byte-identical (under --omit-timing) to an
+//                    uninterrupted run. A missing journal starts fresh, so
+//                    schedulers can always pass --resume.
+//   --retries=N      extra attempts per failed/timed-out scenario
+//                    (default 0; each attempt starts from a fresh spec)
+//   --deadline=SEC   soft per-scenario deadline on the monotonic clock: an
+//                    attempt that exceeds it is recorded as status
+//                    "timeout" and abandoned instead of hanging the shard
 //   --csv=PATH       write the per-scenario summary as CSV
 //   --json=PATH      write the per-scenario summary + aggregate as JSON
 //   --omit-timing    drop wall-clock fields from CSV/JSON so summaries of
 //                    identical sweeps are byte-comparable across runs
 //   --quiet          suppress per-scenario progress lines
 //
+// Hidden (test/CI only):
+//   --inject-fault=INDEX:KIND[:SECONDS]
+//                    deterministic fault injection at the scenario with
+//                    global index INDEX. KIND: "throw" (every attempt of
+//                    the point fails), "delay" (the first attempt sleeps
+//                    SECONDS, default 0.3 — pair with --deadline to force
+//                    a timeout), "exit" (the process dies with _Exit(40)
+//                    the moment the point starts — a simulated crash).
+//
 // Cross-machine sweep: run `--spec=S.json --shard=K/N --json=shard-K.json`
 // on each of N machines, then `example_sweep_merge shard-*.json`.
 //
 // Exit status is non-zero when any scenario failed, so CI sweeps gate
 // naturally.
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/scenario_generator.hpp"
 #include "core/scenario_suite.hpp"
+#include "core/sweep_journal.hpp"
 #include "util/cli.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -58,6 +87,37 @@ bool parse_shard(const std::string& text, dnnlife::core::SuiteShard& shard) {
   return true;
 }
 
+struct FaultInjection {
+  std::size_t index = 0;
+  enum class Kind { kThrow, kDelay, kExit } kind = Kind::kThrow;
+  double seconds = 0.3;  // kDelay only
+};
+
+bool parse_inject_fault(const std::string& text, FaultInjection& out) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) return false;
+  unsigned index = 0;
+  if (!dnnlife::util::parse_unsigned_flag(text.substr(0, colon), index))
+    return false;
+  std::string kind = text.substr(colon + 1);
+  double seconds = 0.3;
+  if (const std::size_t second_colon = kind.find(':');
+      second_colon != std::string::npos) {
+    if (!dnnlife::util::parse_double_flag(kind.substr(second_colon + 1),
+                                          seconds) ||
+        seconds < 0.0)
+      return false;
+    kind.resize(second_colon);
+  }
+  out.index = index;
+  out.seconds = seconds;
+  if (kind == "throw") out.kind = FaultInjection::Kind::kThrow;
+  else if (kind == "delay") out.kind = FaultInjection::Kind::kDelay;
+  else if (kind == "exit") out.kind = FaultInjection::Kind::kExit;
+  else return false;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,6 +129,11 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string spec_path;
   std::string materialize_dir;
+  std::string journal_path;
+  bool resume = false;
+  unsigned retries = 0;
+  double deadline_seconds = 0.0;
+  std::optional<FaultInjection> inject;
   core::SuiteShard shard;
   bool omit_timing = false;
   bool quiet = false;
@@ -85,6 +150,30 @@ int main(int argc, char** argv) {
         std::cerr << "--threads expects a number, got '" << value << "'\n";
         return 1;
       }
+    } else if (flag_value(arg, "journal", value)) {
+      journal_path = value;
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (flag_value(arg, "retries", value)) {
+      if (!util::parse_unsigned_flag(value, retries)) {
+        std::cerr << "--retries expects a number, got '" << value << "'\n";
+        return 1;
+      }
+    } else if (flag_value(arg, "deadline", value)) {
+      if (!util::parse_double_flag(value, deadline_seconds) ||
+          deadline_seconds <= 0.0) {
+        std::cerr << "--deadline expects a positive number of seconds, got '"
+                  << value << "'\n";
+        return 1;
+      }
+    } else if (flag_value(arg, "inject-fault", value)) {
+      FaultInjection fault;
+      if (!parse_inject_fault(value, fault)) {
+        std::cerr << "--inject-fault expects INDEX:{throw,delay,exit}"
+                     "[:SECONDS], got '" << value << "'\n";
+        return 1;
+      }
+      inject = fault;
     } else if (flag_value(arg, "shard", value)) {
       if (!parse_shard(value, shard)) {
         std::cerr << "--shard expects K/N with 1 <= K <= N, got '" << value
@@ -113,7 +202,8 @@ int main(int argc, char** argv) {
   const bool from_spec = !spec_path.empty();
   if (from_spec == !inputs.empty()) {
     std::cerr << "usage: example_sweep_runner <dir | scenario.json...> "
-                 "[--shard=K/N] [--jobs=N] [--threads=N] [--csv=PATH] "
+                 "[--shard=K/N] [--jobs=N] [--threads=N] [--journal=PATH] "
+                 "[--resume] [--retries=N] [--deadline=SEC] [--csv=PATH] "
                  "[--json=PATH] [--omit-timing] [--quiet]\n"
                  "   or: example_sweep_runner --spec=SWEEP.json "
                  "[--materialize=DIR] [same flags]\n";
@@ -124,13 +214,30 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!materialize_dir.empty() &&
-      (shard.count > 1 || !csv_path.empty() || !json_path.empty())) {
+      (shard.count > 1 || !csv_path.empty() || !json_path.empty() ||
+       !journal_path.empty() || resume || inject.has_value())) {
     // Materialisation writes the whole grid and runs nothing, so a shard
-    // selection or summary path would be silently ignored — reject the
-    // contradiction instead.
+    // selection, summary path or journal would be silently ignored —
+    // reject the contradiction instead.
     std::cerr << "--materialize only writes the documents; it cannot be "
-                 "combined with --shard, --csv or --json\n";
+                 "combined with --shard, --csv, --json, --journal, "
+                 "--resume or --inject-fault\n";
     return 1;
+  }
+  if (resume && journal_path.empty()) {
+    std::cerr << "--resume replays a journal; pass --journal=PATH to name "
+                 "the journal to continue\n";
+    return 1;
+  }
+  if (!journal_path.empty() && !resume) {
+    std::error_code ec;
+    if (std::filesystem::exists(journal_path, ec) &&
+        std::filesystem::file_size(journal_path, ec) > 0 && !ec) {
+      std::cerr << "journal '" << journal_path
+                << "' already exists; pass --resume to continue it or "
+                   "choose a fresh path\n";
+      return 1;
+    }
   }
 
   core::ScenarioSuite suite;
@@ -168,6 +275,30 @@ int main(int argc, char** argv) {
     std::cerr << "sweep error: " << error.what() << "\n";
     return 1;
   }
+  // The durable journal: fresh for --journal, recovered for --resume.
+  std::optional<core::SweepJournal> journal;
+  if (!journal_path.empty()) {
+    core::SweepJournalHeader header;
+    header.manifest_hash = suite.manifest_hash();
+    header.total_scenarios = suite.size();
+    header.shard = shard;
+    header.include_timing = !omit_timing;
+    try {
+      journal = resume ? core::SweepJournal::resume(journal_path, header)
+                       : core::SweepJournal::create(journal_path, header);
+    } catch (const std::exception& error) {
+      std::cerr << "journal error: " << error.what() << "\n";
+      return 1;
+    }
+    if (resume) {
+      std::cout << "journal: " << journal->replayed().size() << " of "
+                << selection.size() << " shard points already complete";
+      if (journal->recovered_truncated_tail())
+        std::cout << " (dropped a truncated final line)";
+      std::cout << "\n";
+    }
+  }
+
   const unsigned resolved_jobs =
       std::min<unsigned>(util::resolve_thread_count(jobs),
                          static_cast<unsigned>(std::max<std::size_t>(
@@ -181,12 +312,40 @@ int main(int argc, char** argv) {
             << (resolved_jobs == 1 ? "" : "s");
   if (threads_per_scenario != 0)
     std::cout << ", " << threads_per_scenario << " threads each";
+  if (retries != 0)
+    std::cout << ", " << retries << " retr" << (retries == 1 ? "y" : "ies");
+  if (deadline_seconds > 0.0)
+    std::cout << ", " << util::Table::num(deadline_seconds, 3)
+              << " s deadline";
   std::cout << "\n";
 
   core::SuiteRunOptions options;
   options.jobs = jobs;
   options.threads_per_scenario = threads_per_scenario;
   options.shard = shard;
+  options.retries = retries;
+  options.soft_deadline_seconds = deadline_seconds;
+  if (journal) options.journal = &*journal;
+  if (inject.has_value()) {
+    const FaultInjection fault = *inject;
+    options.fault_hook = [fault](const core::SuiteFaultContext& context) {
+      if (context.index != fault.index) return;
+      switch (fault.kind) {
+        case FaultInjection::Kind::kThrow:
+          throw std::runtime_error("injected fault at index " +
+                                   std::to_string(fault.index));
+        case FaultInjection::Kind::kDelay:
+          if (context.attempt == 1)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(fault.seconds));
+          break;
+        case FaultInjection::Kind::kExit:
+          // A simulated crash: die without unwinding or flushing anything
+          // beyond what the journal already persisted.
+          std::_Exit(40);
+      }
+    };
+  }
   if (!quiet) {
     options.progress = [](const core::SuiteProgress& progress) {
       const core::SuiteOutcome& outcome = *progress.outcome;
@@ -206,28 +365,40 @@ int main(int argc, char** argv) {
                 << std::endl;
     };
   }
-  const std::vector<core::SuiteOutcome> outcomes = suite.run(options);
+  std::vector<core::SuiteOutcome> outcomes;
+  try {
+    outcomes = suite.run(options);
+  } catch (const std::exception& error) {
+    std::cerr << "sweep error: " << error.what() << "\n";
+    return 1;
+  }
 
+  // With a journal, the shard's full picture is replayed + fresh records;
+  // without one, the fresh outcomes are the whole story. Either way the
+  // table, the failure count and the summary files all see the same rows.
+  std::vector<core::SuiteRecord> records;
+  try {
+    records = journal ? core::resumed_suite_records(*journal, outcomes)
+                      : core::make_suite_records(outcomes);
+  } catch (const std::exception& error) {
+    std::cerr << "sweep error: " << error.what() << "\n";
+    return 1;
+  }
+
+  const auto metric = [](double value) {
+    return std::isnan(value) ? std::string("-") : util::Table::num(value, 2);
+  };
   util::Table table({"scenario", "status", "mean SNM [%]", "max SNM [%]",
                      "lifetime [y]", "x worst-case", "wall [s]"});
   std::size_t failures = 0;
-  for (const core::SuiteOutcome& outcome : outcomes) {
-    if (!outcome.ok) ++failures;
-    const bool lifetime =
-        outcome.ok && outcome.result->lifetime.has_value();
+  for (const core::SuiteRecord& record : records) {
+    if (!record.ok) ++failures;
     table.add_row(
-        {outcome.name, outcome.ok ? "ok" : "ERROR",
-         outcome.ok ? util::Table::num(outcome.result->report.snm_stats.mean(), 2)
-                    : "-",
-         outcome.ok ? util::Table::num(outcome.result->report.snm_stats.max(), 2)
-                    : "-",
-         lifetime ? util::Table::num(
-                        outcome.result->lifetime->device_lifetime_years, 2)
-                  : "-",
-         lifetime ? util::Table::num(
-                        outcome.result->lifetime->improvement_over_worst_case, 2)
-                  : "-",
-         util::Table::num(outcome.wall_seconds, 2)});
+        {record.name,
+         record.ok ? "ok" : (record.timed_out ? "TIMEOUT" : "ERROR"),
+         metric(record.snm_mean), metric(record.snm_max),
+         metric(record.lifetime_years), metric(record.improvement_over_worst),
+         util::Table::num(record.wall_seconds, 2)});
   }
   std::cout << "\n" << table.to_string();
   if (failures != 0)
@@ -239,8 +410,6 @@ int main(int argc, char** argv) {
   info.manifest_hash = suite.manifest_hash();
   info.shard = shard;
   info.include_timing = !omit_timing;
-  const std::vector<core::SuiteRecord> records =
-      core::make_suite_records(outcomes);
   if (!csv_path.empty()) {
     core::write_suite_csv(csv_path, records, info);
     std::cout << "sweep summary written to " << csv_path << "\n";

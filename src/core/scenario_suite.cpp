@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "core/sweep_journal.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/json_writer.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -106,13 +111,116 @@ std::string ScenarioSuite::manifest_hash() const {
   return std::string(hex, 16);
 }
 
+namespace {
+
+/// What one attempt produced; moved into the outcome of the last attempt.
+struct AttemptOutcome {
+  bool ok = false;
+  bool timed_out = false;
+  std::string error;
+  std::optional<ScenarioResult> result;
+};
+
+/// Run one attempt: fault hook, then the scenario, from a fresh spec copy.
+/// With a soft deadline the attempt executes on its own thread; on
+/// expiry the thread is detached (the shared state keeps everything it
+/// still touches alive, and it discards its result once it sees the
+/// abandoned flag) so the shard moves on instead of hanging.
+AttemptOutcome execute_attempt(ScenarioSpec spec, std::size_t global_index,
+                               unsigned attempt,
+                               const SuiteRunOptions& options) {
+  const auto body = [](ScenarioSpec& fresh_spec, std::size_t index,
+                       unsigned attempt_number, const SuiteFaultHook& hook,
+                       AttemptOutcome& out) {
+    try {
+      if (hook) hook(SuiteFaultContext{index, attempt_number});
+      out.result = run_scenario(fresh_spec);
+      out.ok = true;
+    } catch (const std::exception& error) {
+      out.error = error.what();
+    } catch (...) {
+      out.error = "unknown error";
+    }
+  };
+  if (options.soft_deadline_seconds <= 0.0) {
+    AttemptOutcome out;
+    body(spec, global_index, attempt, options.fault_hook, out);
+    return out;
+  }
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+    AttemptOutcome out;
+  };
+  const auto shared = std::make_shared<Shared>();
+  // The worker owns copies of everything it touches (spec, hook), so an
+  // abandoned worker never dangles into the caller's frame.
+  std::thread worker([shared, spec = std::move(spec),
+                      hook = options.fault_hook, global_index, attempt,
+                      body]() mutable {
+    AttemptOutcome local;
+    body(spec, global_index, attempt, hook, local);
+    const std::lock_guard<std::mutex> lock(shared->mutex);
+    if (!shared->abandoned) shared->out = std::move(local);
+    shared->done = true;
+    shared->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  const bool finished = shared->cv.wait_for(
+      lock, std::chrono::duration<double>(options.soft_deadline_seconds),
+      [&] { return shared->done; });
+  if (finished) {
+    lock.unlock();
+    worker.join();
+    return std::move(shared->out);
+  }
+  shared->abandoned = true;
+  lock.unlock();
+  worker.detach();
+  AttemptOutcome out;
+  out.timed_out = true;
+  out.error = "soft deadline of " +
+              util::Table::num(options.soft_deadline_seconds, 3) +
+              " s exceeded";
+  return out;
+}
+
+}  // namespace
+
 std::vector<SuiteOutcome> ScenarioSuite::run(
     const SuiteRunOptions& options) const {
-  const std::vector<std::size_t> selection =
+  std::vector<std::size_t> selection =
       shard_selection(entries_.size(), options.shard);
+  if (options.journal != nullptr) {
+    // The journal binds a (manifest, shard) pair; refusing a mismatch here
+    // is what stops a resumed shard from silently mixing two sweeps.
+    const SweepJournalHeader& header = options.journal->header();
+    if (header.manifest_hash != manifest_hash() ||
+        header.total_scenarios != entries_.size())
+      throw std::invalid_argument(
+          "journal belongs to manifest " + header.manifest_hash + " (" +
+          std::to_string(header.total_scenarios) +
+          " scenarios), not this suite's " + manifest_hash() + " (" +
+          std::to_string(entries_.size()) + ")");
+    if (header.shard.index != options.shard.index ||
+        header.shard.count != options.shard.count)
+      throw std::invalid_argument(
+          "journal was written by shard " + std::to_string(header.shard.index) +
+          "/" + std::to_string(header.shard.count) + ", not this run's " +
+          std::to_string(options.shard.index) + "/" +
+          std::to_string(options.shard.count));
+    // Completed work must never be redone: drop journaled indices.
+    std::erase_if(selection, [&](std::size_t index) {
+      return options.journal->completed(index);
+    });
+  }
   std::vector<SuiteOutcome> outcomes(selection.size());
   if (selection.empty()) return outcomes;
 
+  const unsigned max_attempts = 1 + options.retries;
   std::mutex progress_mutex;
   std::size_t completed = 0;
   const auto run_one = [&](std::size_t slot) {
@@ -122,18 +230,27 @@ std::vector<SuiteOutcome> ScenarioSuite::run(
     outcome.path = entry.path;
     outcome.name = entry.spec.name;
     const auto start = std::chrono::steady_clock::now();
-    try {
-      ScenarioSpec spec = entry.spec;
+    AttemptOutcome last;
+    unsigned attempt = 1;
+    for (;; ++attempt) {
+      ScenarioSpec spec = entry.spec;  // fresh-attempt isolation
       if (options.threads_per_scenario != 0)
         spec.threads = options.threads_per_scenario;
-      outcome.result = run_scenario(spec);
-      outcome.ok = true;
-    } catch (const std::exception& error) {
-      outcome.error = error.what();
+      last = execute_attempt(std::move(spec), outcome.index, attempt, options);
+      if (last.ok || attempt >= max_attempts) break;
     }
+    outcome.ok = last.ok;
+    outcome.timed_out = last.timed_out;
+    outcome.attempts = attempt;
+    outcome.error = std::move(last.error);
+    outcome.result = std::move(last.result);
     outcome.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    // Durability before reporting: once progress announces a point, a crash
+    // right after must still find it in the journal.
+    if (options.journal != nullptr)
+      options.journal->append(make_suite_record(outcome));
     if (options.progress) {
       const std::lock_guard<std::mutex> lock(progress_mutex);
       ++completed;
@@ -186,6 +303,8 @@ SuiteRecord make_suite_record(const SuiteOutcome& outcome) {
   record.path = outcome.path;
   record.name = outcome.name;
   record.ok = outcome.ok;
+  record.timed_out = outcome.timed_out;
+  record.attempts = outcome.attempts;
   record.error = outcome.error;
   record.wall_seconds = outcome.wall_seconds;
   record.snm_mean = record.snm_max = kAbsent;
@@ -219,6 +338,15 @@ std::vector<SuiteRecord> make_suite_records(
   return records;
 }
 
+namespace {
+
+/// The status token all emitters agree on ("ok" / "error" / "timeout").
+const char* record_status(const SuiteRecord& record) {
+  return record.timed_out ? "timeout" : record.ok ? "ok" : "error";
+}
+
+}  // namespace
+
 void write_suite_csv(const std::string& path,
                      std::span<const SuiteRecord> records,
                      const SuiteSummaryInfo& info) {
@@ -229,7 +357,7 @@ void write_suite_csv(const std::string& path,
              "improvement_over_worst_case", "fraction_of_ideal",
              "wall_seconds"});
   for (const SuiteRecord& record : records) {
-    csv.add_row({record.path, record.name, record.ok ? "ok" : "error",
+    csv.add_row({record.path, record.name, record_status(record),
                  record.error,
                  record.ok ? std::to_string(record.total_cells) : "",
                  record.ok ? std::to_string(record.unused_cells) : "",
@@ -253,6 +381,86 @@ void write_suite_csv(const std::string& path,
   write_suite_csv(path, records, info);
 }
 
+std::string suite_record_json(const SuiteRecord& record, bool include_timing) {
+  std::ostringstream out;
+  out << "{\"index\": " << record.index << ", \"file\": \""
+      << util::json_escape(record.path) << "\", \"scenario\": \""
+      << util::json_escape(record.name) << "\", \"status\": \""
+      << record_status(record) << "\"";
+  if (record.attempts > 1) out << ", \"attempts\": " << record.attempts;
+  if (!record.ok)
+    out << ", \"error\": \"" << util::json_escape(record.error) << "\"";
+  out << ", \"total_cells\": "
+      << (record.ok ? std::to_string(record.total_cells) : "null")
+      << ", \"unused_cells\": "
+      << (record.ok ? std::to_string(record.unused_cells) : "null")
+      << ", \"snm_mean_pct\": " << json_number(finite_num(record.snm_mean, 4))
+      << ", \"snm_max_pct\": " << json_number(finite_num(record.snm_max, 4))
+      << ", \"duty_mean\": " << json_number(finite_num(record.duty_mean, 5))
+      << ", \"fraction_optimal\": "
+      << json_number(finite_num(record.fraction_optimal, 5))
+      << ", \"device_lifetime_years\": "
+      << json_number(finite_num(record.lifetime_years, 4))
+      << ", \"improvement_over_worst_case\": "
+      << json_number(finite_num(record.improvement_over_worst, 4))
+      << ", \"fraction_of_ideal\": "
+      << json_number(finite_num(record.fraction_of_ideal, 5));
+  if (include_timing)
+    out << ", \"wall_seconds\": " << util::Table::num(record.wall_seconds, 3);
+  out << "}";
+  return out.str();
+}
+
+SuiteRecord parse_suite_record(const util::JsonValue& entry,
+                               bool* has_timing) {
+  using util::JsonValue;
+  SuiteRecord record;
+  record.index = entry.at("index").as_uint();
+  record.path = entry.at("file").as_string();
+  record.name = entry.at("scenario").as_string();
+  const std::string& status = entry.at("status").as_string();
+  if (status != "ok" && status != "error" && status != "timeout")
+    throw std::invalid_argument("scenario status '" + status +
+                                "' is not 'ok', 'error' or 'timeout'");
+  record.ok = status == "ok";
+  record.timed_out = status == "timeout";
+  if (const JsonValue* attempts = entry.find("attempts")) {
+    const std::uint64_t value = attempts->as_uint();
+    if (value < 2 || value > 1'000'000)
+      throw std::invalid_argument("scenario '" + record.name + "': attempts " +
+                                  std::to_string(value) + " is not plausible");
+    record.attempts = static_cast<unsigned>(value);
+  }
+  if (const JsonValue* error = entry.find("error"))
+    record.error = error->as_string();
+  if (record.ok) {
+    record.total_cells = entry.at("total_cells").as_uint();
+    record.unused_cells = entry.at("unused_cells").as_uint();
+  } else if (!entry.at("total_cells").is_null() ||
+             !entry.at("unused_cells").is_null()) {
+    throw std::invalid_argument("failed scenario '" + record.name +
+                                "' carries cell counts");
+  }
+  const auto number_or_null = [&entry](std::string_view key) {
+    const JsonValue& value = entry.at(key);
+    return value.is_null() ? kAbsent : value.as_number();
+  };
+  record.snm_mean = number_or_null("snm_mean_pct");
+  record.snm_max = number_or_null("snm_max_pct");
+  record.duty_mean = number_or_null("duty_mean");
+  record.fraction_optimal = number_or_null("fraction_optimal");
+  record.lifetime_years = number_or_null("device_lifetime_years");
+  record.improvement_over_worst = number_or_null("improvement_over_worst_case");
+  record.fraction_of_ideal = number_or_null("fraction_of_ideal");
+  if (const JsonValue* wall = entry.find("wall_seconds")) {
+    record.wall_seconds = wall->as_number();
+    if (has_timing) *has_timing = true;
+  } else if (has_timing) {
+    *has_timing = false;
+  }
+  return record;
+}
+
 std::string suite_summary_json(std::span<const SuiteRecord> records,
                                const SuiteSummaryInfo& info) {
   std::ostringstream out;
@@ -264,8 +472,18 @@ std::string suite_summary_json(std::span<const SuiteRecord> records,
   if (info.shard.count > 1)
     out << "  \"shard\": {\"index\": " << info.shard.index
         << ", \"count\": " << info.shard.count << "},\n";
+  if (!info.missing_indices.empty()) {
+    // A partial aggregate names what is absent up front, so operators can
+    // resubmit exactly the missing points.
+    out << "  \"partial\": {\"missing\": " << info.missing_indices.size()
+        << ", \"indices\": [";
+    for (std::size_t i = 0; i < info.missing_indices.size(); ++i)
+      out << (i == 0 ? "" : ", ") << info.missing_indices[i];
+    out << "]},\n";
+  }
   out << "  \"scenarios\": [\n";
   std::size_t failures = 0;
+  std::size_t timeouts = 0;
   double total_seconds = 0.0;
   double min_lifetime = std::numeric_limits<double>::infinity();
   double max_lifetime = -std::numeric_limits<double>::infinity();
@@ -273,38 +491,17 @@ std::string suite_summary_json(std::span<const SuiteRecord> records,
     const SuiteRecord& record = records[i];
     total_seconds += record.wall_seconds;
     if (!record.ok) ++failures;
+    if (record.timed_out) ++timeouts;
     if (std::isfinite(record.lifetime_years)) {
       min_lifetime = std::min(min_lifetime, record.lifetime_years);
       max_lifetime = std::max(max_lifetime, record.lifetime_years);
     }
-    out << "    {\"index\": " << record.index << ", \"file\": \""
-        << util::json_escape(record.path) << "\", \"scenario\": \""
-        << util::json_escape(record.name) << "\", \"status\": \""
-        << (record.ok ? "ok" : "error") << "\"";
-    if (!record.ok)
-      out << ", \"error\": \"" << util::json_escape(record.error) << "\"";
-    out << ", \"total_cells\": "
-        << (record.ok ? std::to_string(record.total_cells) : "null")
-        << ", \"unused_cells\": "
-        << (record.ok ? std::to_string(record.unused_cells) : "null")
-        << ", \"snm_mean_pct\": " << json_number(finite_num(record.snm_mean, 4))
-        << ", \"snm_max_pct\": " << json_number(finite_num(record.snm_max, 4))
-        << ", \"duty_mean\": " << json_number(finite_num(record.duty_mean, 5))
-        << ", \"fraction_optimal\": "
-        << json_number(finite_num(record.fraction_optimal, 5))
-        << ", \"device_lifetime_years\": "
-        << json_number(finite_num(record.lifetime_years, 4))
-        << ", \"improvement_over_worst_case\": "
-        << json_number(finite_num(record.improvement_over_worst, 4))
-        << ", \"fraction_of_ideal\": "
-        << json_number(finite_num(record.fraction_of_ideal, 5));
-    if (info.include_timing)
-      out << ", \"wall_seconds\": "
-          << util::Table::num(record.wall_seconds, 3);
-    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    out << "    " << suite_record_json(record, info.include_timing)
+        << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"summary\": {\"scenarios\": " << records.size()
       << ", \"failures\": " << failures;
+  if (timeouts != 0) out << ", \"timeouts\": " << timeouts;
   if (info.include_timing)
     out << ", \"total_wall_seconds\": " << util::Table::num(total_seconds, 3);
   if (std::isfinite(min_lifetime))

@@ -31,7 +31,13 @@
 
 #include "core/scenario.hpp"
 
+namespace dnnlife::util {
+class JsonValue;
+}
+
 namespace dnnlife::core {
+
+class SweepJournal;
 
 /// One loaded scenario of a suite.
 struct SuiteEntry {
@@ -57,9 +63,11 @@ struct SuiteOutcome {
   std::string path;
   std::string name;
   bool ok = false;
+  bool timed_out = false;                ///< !ok because the soft deadline passed
+  unsigned attempts = 1;                 ///< attempts consumed (>= 1)
   std::string error;                     ///< failure message when !ok
   std::optional<ScenarioResult> result;  ///< present when ok
-  double wall_seconds = 0.0;
+  double wall_seconds = 0.0;             ///< across all attempts
 };
 
 /// Progress of a running suite, reported once per finished scenario.
@@ -68,6 +76,21 @@ struct SuiteProgress {
   std::size_t total = 0;      ///< scenarios this run executes (the shard's share)
   const SuiteOutcome* outcome = nullptr;  ///< the scenario that just finished
 };
+
+/// Where in a run a fault-injection hook fires: at the start of attempt
+/// `attempt` (1-based) of the scenario at global suite index `index`.
+struct SuiteFaultContext {
+  std::size_t index = 0;
+  unsigned attempt = 1;
+};
+
+/// Deterministic fault-injection hook: runs on the attempt's own thread
+/// before the scenario executes. A hook that throws simulates a failing
+/// attempt (exercising the retry path), one that sleeps simulates a stall
+/// (exercising the soft-deadline watchdog), and one that calls _Exit
+/// simulates a process crash (exercising journal resume). Production runs
+/// leave it empty.
+using SuiteFaultHook = std::function<void(const SuiteFaultContext&)>;
 
 struct SuiteRunOptions {
   /// Concurrent scenario jobs (0 = hardware concurrency, clamped to the
@@ -79,6 +102,24 @@ struct SuiteRunOptions {
   unsigned threads_per_scenario = 0;
   /// Run only this shard's selection of the suite.
   SuiteShard shard;
+  /// Extra attempts after a failed or timed-out attempt (0 = fail fast).
+  /// Every attempt starts from a fresh copy of the parsed spec, so no
+  /// state leaks between attempts; the outcome records the attempts used.
+  unsigned retries = 0;
+  /// Soft per-scenario deadline in seconds, measured on the monotonic
+  /// clock (0 = no watchdog). An attempt that exceeds it is classified as
+  /// `timeout` and abandoned — its worker thread is detached and its
+  /// eventual result discarded — so one stuck point cannot hang the whole
+  /// shard. Soft: the abandoned computation itself is not cancelled.
+  double soft_deadline_seconds = 0.0;
+  /// Fault-injection hook for tests and `sweep_runner --inject-fault`.
+  SuiteFaultHook fault_hook;
+  /// Durable result journal (core/sweep_journal.hpp). When set, indices the
+  /// journal already holds are skipped and every freshly completed outcome
+  /// is appended (flushed record by record), so a killed process leaves a
+  /// resumable prefix. The journal header must match this suite and shard;
+  /// run() throws std::invalid_argument otherwise.
+  SweepJournal* journal = nullptr;
   /// Invoked after each scenario finishes. Serialized internally, so a CLI
   /// can print from it without locking; must not throw.
   std::function<void(const SuiteProgress&)> progress;
@@ -135,6 +176,8 @@ struct SuiteRecord {
   std::string path;
   std::string name;
   bool ok = false;
+  bool timed_out = false;  ///< renders as status "timeout" (implies !ok)
+  unsigned attempts = 1;   ///< emitted only when > 1, parsed back as given
   std::string error;
   std::uint64_t total_cells = 0;   ///< valid when ok
   std::uint64_t unused_cells = 0;  ///< valid when ok
@@ -153,11 +196,29 @@ struct SuiteSummaryInfo {
   /// Wall-clock fields are nondeterministic; omit them (--omit-timing)
   /// when summaries must be byte-comparable across runs.
   bool include_timing = true;
+  /// Global indices absent from a partial merge (sweep_merge
+  /// --allow-partial). Non-empty → the JSON summary gains a "partial"
+  /// header object listing them, so operators see exactly what to
+  /// resubmit. Always empty for complete sweeps.
+  std::vector<std::size_t> missing_indices;
 };
 
 SuiteRecord make_suite_record(const SuiteOutcome& outcome);
 std::vector<SuiteRecord> make_suite_records(
     std::span<const SuiteOutcome> outcomes);
+
+/// One record as the exact JSON object text the summary's "scenarios"
+/// array carries. Shared by the summary emitter and the sweep journal
+/// (core/sweep_journal.hpp), which is what makes a summary rebuilt from
+/// journaled records byte-identical to one written live.
+std::string suite_record_json(const SuiteRecord& record, bool include_timing);
+
+/// Parse one record object back (the inverse of suite_record_json; also
+/// the per-entry parser of core/sweep_merge.hpp). Throws
+/// std::invalid_argument on malformed entries. When `has_timing` is given
+/// it is set to whether the entry carried a wall_seconds field.
+SuiteRecord parse_suite_record(const util::JsonValue& entry,
+                               bool* has_timing = nullptr);
 
 /// Write the one-line-per-scenario sweep summary as CSV (whole-memory
 /// aging and lifetime numbers; failed scenarios keep their error message

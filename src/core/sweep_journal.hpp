@@ -1,0 +1,121 @@
+// Append-only sweep result journal: crash-durable partial progress.
+//
+// A multi-hour sweep shard that dies (OOM kill, node preemption, power
+// loss) must not lose its completed points. The journal is a JSONL file:
+// one header line binding it to a (manifest hash, suite size, shard,
+// timing mode), then one line per completed SuiteOutcome — successes,
+// failures and timeouts alike — written with the exact record emitter the
+// summary uses (suite_record_json) and flushed + fsynced record by record.
+// A killed process therefore leaves a valid prefix: the reader tolerates a
+// truncated final line (the one write that was in flight) and rejects
+// everything else that is malformed, so corruption is loud and crash
+// debris is silent.
+//
+// Resume: SweepJournal::resume re-reads that prefix, rejects a journal
+// whose header does not match the suite about to run (a stale journal
+// path must never splice two different sweeps), compacts the valid prefix
+// back to disk and reopens for append. ScenarioSuite::run skips the
+// replayed indices and appends the rest; resumed_suite_records then merges
+// replayed + fresh records into the list an uninterrupted run would have
+// produced — byte-identical summaries when timing is omitted.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario_suite.hpp"
+
+namespace dnnlife::core {
+
+/// The journal's first line: what sweep (and which slice of it) the
+/// records belong to. All four fields must match the resuming run.
+struct SweepJournalHeader {
+  std::string manifest_hash;        ///< ScenarioSuite::manifest_hash()
+  std::size_t total_scenarios = 0;  ///< full suite size across all shards
+  SuiteShard shard;                 ///< the slice this journal covers
+  /// Whether records carry wall_seconds. Resume rejects a mismatch: mixing
+  /// timed and untimed records would break the byte-identity guarantee.
+  bool include_timing = true;
+};
+
+/// Everything a journal file holds, as read back.
+struct SweepJournalContents {
+  SweepJournalHeader header;
+  std::vector<SuiteRecord> records;  ///< journal (completion) order
+  bool truncated_tail = false;  ///< a final partial line was dropped
+};
+
+/// True when `text` opens with a sweep-journal header line — how
+/// sweep_merge tells a journal from a summary document.
+bool looks_like_sweep_journal(std::string_view text);
+
+/// Parse journal text. Tolerates a truncated final line (crash debris);
+/// throws std::invalid_argument, naming `label`, on a malformed header, a
+/// malformed non-final line, duplicate indices, or records outside the
+/// header's shard selection.
+SweepJournalContents parse_sweep_journal(std::string_view text,
+                                         const std::string& label);
+
+/// parse_sweep_journal over a file's bytes; throws when unreadable.
+SweepJournalContents read_sweep_journal(const std::string& path);
+
+/// The open, writable journal of one running shard. Thread-safe appends
+/// (ScenarioSuite::run appends from every job); movable, closed on
+/// destruction.
+class SweepJournal {
+ public:
+  /// Start a fresh journal at `path` (truncating an existing file) with
+  /// this header. The header line is flushed immediately.
+  static SweepJournal create(const std::string& path,
+                             SweepJournalHeader header);
+
+  /// Continue a journal: read the valid prefix of `path` (a missing or
+  /// empty file — or one holding only a torn header line — starts fresh),
+  /// validate its header equals `expected` field by field (throwing
+  /// std::invalid_argument with the mismatch named otherwise), rewrite the
+  /// valid prefix so crash debris never precedes fresh appends, and open
+  /// for append.
+  static SweepJournal resume(const std::string& path,
+                             const SweepJournalHeader& expected);
+
+  // Out of line: State is incomplete here (pimpl).
+  SweepJournal(SweepJournal&& other) noexcept;
+  SweepJournal& operator=(SweepJournal&& other) noexcept;
+  ~SweepJournal();
+
+  const std::string& path() const noexcept;
+  const SweepJournalHeader& header() const noexcept;
+  /// Records recovered by resume (empty for create), journal order.
+  const std::vector<SuiteRecord>& replayed() const noexcept;
+  /// Whether resume dropped a truncated final line.
+  bool recovered_truncated_tail() const noexcept;
+
+  /// Whether `index` is already journaled (replayed or appended).
+  bool completed(std::size_t index) const;
+  /// All journaled indices, sorted ascending.
+  std::vector<std::size_t> completed_indices() const;
+
+  /// Append one completed record: a single write, flushed and fsynced, so
+  /// the record survives the process dying on the very next instruction.
+  /// Throws std::invalid_argument on an index outside the header's shard
+  /// selection or one already journaled.
+  void append(const SuiteRecord& record);
+
+ private:
+  SweepJournal() = default;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// Replayed journal records plus freshly executed outcomes, sorted by
+/// global index: the record list an uninterrupted run of the shard would
+/// have produced, ready for write_suite_csv / suite_summary_json. Throws
+/// std::logic_error if the two sets overlap.
+std::vector<SuiteRecord> resumed_suite_records(
+    const SweepJournal& journal, std::span<const SuiteOutcome> fresh);
+
+}  // namespace dnnlife::core

@@ -13,8 +13,6 @@ namespace {
 
 using util::JsonValue;
 
-constexpr double kAbsent = std::numeric_limits<double>::quiet_NaN();
-
 /// Plausibility caps on untrusted summary fields: merge sizes its cover
 /// bookkeeping from them, so a corrupt document must fail with a named
 /// error instead of a multi-gigabyte allocation.
@@ -24,45 +22,6 @@ constexpr std::uint64_t kMaxScenarios = 100'000'000;
 std::string describe(const SuiteSummary& summary) {
   return summary.label.empty() ? std::string("<unnamed summary>")
                                : "'" + summary.label + "'";
-}
-
-/// A metric field: a number, or null for absent (failed scenario, infinite
-/// lifetime). Missing members are rejected — every emitter version that
-/// writes shard manifests also writes the full metric set.
-double number_or_null(const JsonValue& entry, std::string_view key) {
-  const JsonValue& value = entry.at(key);
-  return value.is_null() ? kAbsent : value.as_number();
-}
-
-SuiteRecord parse_record(const JsonValue& entry) {
-  SuiteRecord record;
-  record.index = entry.at("index").as_uint();
-  record.path = entry.at("file").as_string();
-  record.name = entry.at("scenario").as_string();
-  const std::string& status = entry.at("status").as_string();
-  if (status != "ok" && status != "error")
-    throw std::invalid_argument("scenario status '" + status +
-                                "' is neither 'ok' nor 'error'");
-  record.ok = status == "ok";
-  if (const JsonValue* error = entry.find("error"))
-    record.error = error->as_string();
-  if (record.ok) {
-    record.total_cells = entry.at("total_cells").as_uint();
-    record.unused_cells = entry.at("unused_cells").as_uint();
-  } else if (!entry.at("total_cells").is_null() ||
-             !entry.at("unused_cells").is_null()) {
-    throw std::invalid_argument("failed scenario '" + record.name +
-                                "' carries cell counts");
-  }
-  record.snm_mean = number_or_null(entry, "snm_mean_pct");
-  record.snm_max = number_or_null(entry, "snm_max_pct");
-  record.duty_mean = number_or_null(entry, "duty_mean");
-  record.fraction_optimal = number_or_null(entry, "fraction_optimal");
-  record.lifetime_years = number_or_null(entry, "device_lifetime_years");
-  record.improvement_over_worst =
-      number_or_null(entry, "improvement_over_worst_case");
-  record.fraction_of_ideal = number_or_null(entry, "fraction_of_ideal");
-  return record;
 }
 
 }  // namespace
@@ -98,13 +57,9 @@ SuiteSummary parse_suite_summary(const std::string& json_text,
     summary.records.reserve(entries.size());
     bool with_timing = false, without_timing = false;
     for (const JsonValue& entry : entries) {
-      SuiteRecord record = parse_record(entry);
-      if (const JsonValue* wall = entry.find("wall_seconds")) {
-        record.wall_seconds = wall->as_number();
-        with_timing = true;
-      } else {
-        without_timing = true;
-      }
+      bool has_timing = false;
+      SuiteRecord record = parse_suite_record(entry, &has_timing);
+      (has_timing ? with_timing : without_timing) = true;
       summary.records.push_back(std::move(record));
     }
     if (with_timing && without_timing)
@@ -120,7 +75,20 @@ SuiteSummary parse_suite_summary(const std::string& json_text,
   return summary;
 }
 
-SuiteSummary merge_suite_summaries(std::vector<SuiteSummary> shards) {
+SuiteSummary suite_summary_from_journal(const SweepJournalContents& journal,
+                                        const std::string& label) {
+  SuiteSummary summary;
+  summary.label = label;
+  summary.info.manifest_hash = journal.header.manifest_hash;
+  summary.info.total_scenarios = journal.header.total_scenarios;
+  summary.info.shard = journal.header.shard;
+  summary.info.include_timing = journal.header.include_timing;
+  summary.records = journal.records;
+  return summary;
+}
+
+SuiteSummary merge_suite_summaries(std::vector<SuiteSummary> shards,
+                                   const MergeOptions& options) {
   if (shards.empty())
     throw std::invalid_argument("no shard summaries to merge");
   const SuiteSummary& first = shards.front();
@@ -166,10 +134,12 @@ SuiteSummary merge_suite_summaries(std::vector<SuiteSummary> shards) {
           describe(shard) + ")");
     slot = &shard;
   }
-  for (unsigned k = 0; k < count; ++k)
-    if (by_index[k] == nullptr)
-      throw std::invalid_argument("missing shard " + std::to_string(k + 1) +
-                                  "/" + std::to_string(count));
+  if (!options.allow_partial) {
+    for (unsigned k = 0; k < count; ++k)
+      if (by_index[k] == nullptr)
+        throw std::invalid_argument("missing shard " + std::to_string(k + 1) +
+                                    "/" + std::to_string(count));
+  }
 
   SuiteSummary merged;
   merged.info.manifest_hash = first.info.manifest_hash;
@@ -209,11 +179,17 @@ SuiteSummary merge_suite_summaries(std::vector<SuiteSummary> shards) {
       merged.records.push_back(record);
     }
   }
-  if (merged.records.size() != total)
-    throw std::invalid_argument(
-        "merged shards cover " + std::to_string(merged.records.size()) +
-        " of " + std::to_string(total) +
-        " scenarios; the cover is incomplete");
+  if (merged.records.size() != total) {
+    if (!options.allow_partial)
+      throw std::invalid_argument(
+          "merged shards cover " + std::to_string(merged.records.size()) +
+          " of " + std::to_string(total) +
+          " scenarios; the cover is incomplete");
+    // Partial aggregate: name every absent index so the operator can
+    // resubmit exactly the missing work.
+    for (std::size_t i = 0; i < total; ++i)
+      if (!covered[i]) merged.info.missing_indices.push_back(i);
+  }
   std::sort(merged.records.begin(), merged.records.end(),
             [](const SuiteRecord& a, const SuiteRecord& b) {
               return a.index < b.index;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/scenario_suite.hpp"
+#include "core/sweep_journal.hpp"
 
 namespace dnnlife::core {
 
@@ -41,11 +42,29 @@ struct SuiteSummary {
 SuiteSummary parse_suite_summary(const std::string& json_text,
                                  const std::string& label = "");
 
+/// A crashed shard never wrote a summary, but its journal holds every
+/// completed point: lift the journal into the summary the shard would
+/// have written so far, mergeable like any other (usually with
+/// allow_partial, since a dead shard's cover is incomplete).
+SuiteSummary suite_summary_from_journal(const SweepJournalContents& journal,
+                                        const std::string& label = "");
+
+struct MergeOptions {
+  /// Accept an incomplete shard set: missing shards and partially covered
+  /// shards (e.g. journals of killed runs) merge into a partial aggregate
+  /// whose info.missing_indices lists every absent global index. Duplicate
+  /// coverage and manifest mismatches are still errors. Off: any gap
+  /// throws, as before.
+  bool allow_partial = false;
+};
+
 /// Merge shard summaries (any CLI order) into the whole-sweep summary.
 /// Validates the shards cover one manifest exactly once and throws
-/// std::invalid_argument naming the offending file otherwise. The result
-/// carries shard {1, 1} (i.e. unsharded) and records sorted by global
-/// index, ready for write_suite_csv / suite_summary_json.
-SuiteSummary merge_suite_summaries(std::vector<SuiteSummary> shards);
+/// std::invalid_argument naming the offending file otherwise (see
+/// MergeOptions::allow_partial for the lenient mode). The result carries
+/// shard {1, 1} (i.e. unsharded) and records sorted by global index,
+/// ready for write_suite_csv / suite_summary_json.
+SuiteSummary merge_suite_summaries(std::vector<SuiteSummary> shards,
+                                   const MergeOptions& options = {});
 
 }  // namespace dnnlife::core

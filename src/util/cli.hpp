@@ -1,6 +1,7 @@
 // Tiny shared CLI flag parsing helpers for the example/bench executables.
 #pragma once
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -39,6 +40,22 @@ inline bool parse_unsigned_flag(const std::string& text, unsigned& out) {
     out = static_cast<unsigned>(value);
   } catch (const std::exception&) {
     return false;  // out_of_range on absurdly long digit strings
+  }
+  return true;
+}
+
+/// Parse a finite decimal flag value (e.g. --deadline=2.5) into `out`.
+/// Returns false (leaving `out` untouched) on empty input, trailing
+/// garbage, or a non-finite result.
+inline bool parse_double_flag(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size() || !std::isfinite(value)) return false;
+    out = value;
+  } catch (const std::exception&) {
+    return false;
   }
   return true;
 }

@@ -1,0 +1,183 @@
+// Partial-merge semantics (sweep_merge --allow-partial): an incomplete
+// shard set merges into an aggregate that names every missing global
+// index, journals of crashed shards are accepted as merge inputs, and the
+// strict mode keeps refusing any gap. Duplicate coverage and manifest
+// mismatches stay errors in both modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/scenario_generator.hpp"
+#include "core/scenario_suite.hpp"
+#include "core/sweep_journal.hpp"
+#include "core/sweep_merge.hpp"
+
+namespace dnnlife::core {
+namespace {
+
+/// A small fast grid (12 points, one inference each on a tiny NPU).
+std::string small_spec() {
+  return R"({
+  "name": "partial",
+  "base": {
+    "hardware": "tpu-like-npu",
+    "npu": {"array_dim": 16, "fifo_tiles": 2},
+    "phases": [{"network": "custom_mnist", "inferences": 1}]
+  },
+  "axes": [
+    {"parameter": "temperature_c", "values": [25, 55, 85]},
+    {"parameter": "vdd", "values": [0.95, 1.0]},
+    {"parameter": "policy", "values": ["no-mitigation", "inversion"]}
+  ]
+})";
+}
+
+ScenarioSuite small_suite() {
+  ScenarioSuite suite;
+  for (GeneratedScenario& point :
+       ScenarioGenerator::parse(small_spec()).generate())
+    suite.add(SuiteEntry{point.name + ".json", std::move(point.spec),
+                         std::move(point.document)});
+  return suite;
+}
+
+/// Run one shard and package its records as the summary the runner's
+/// --json output parses back to.
+SuiteSummary shard_summary(const ScenarioSuite& suite, unsigned index,
+                           unsigned count) {
+  SuiteRunOptions options;
+  options.jobs = 2;
+  options.threads_per_scenario = 1;
+  options.shard = SuiteShard{index, count};
+  SuiteSummary summary;
+  summary.label = "shard-" + std::to_string(index) + ".json";
+  summary.info.total_scenarios = suite.size();
+  summary.info.manifest_hash = suite.manifest_hash();
+  summary.info.shard = options.shard;
+  summary.info.include_timing = false;
+  summary.records = make_suite_records(suite.run(options));
+  return summary;
+}
+
+TEST(SweepPartialMerge, MissingShardIsAnErrorOnlyInStrictMode) {
+  const ScenarioSuite suite = small_suite();
+  std::vector<SuiteSummary> shards;
+  shards.push_back(shard_summary(suite, 1, 3));
+  shards.push_back(shard_summary(suite, 3, 3));
+
+  EXPECT_THROW(merge_suite_summaries(shards), std::invalid_argument);
+
+  MergeOptions options;
+  options.allow_partial = true;
+  const SuiteSummary merged = merge_suite_summaries(shards, options);
+  // Exactly shard 2/3's selection (indices 1, 4, 7, ...) is missing.
+  EXPECT_EQ(merged.info.missing_indices,
+            ScenarioSuite::shard_selection(suite.size(), SuiteShard{2, 3}));
+  EXPECT_EQ(merged.records.size(),
+            suite.size() - merged.info.missing_indices.size());
+
+  // The JSON summary names the gap so operators can resubmit it.
+  const std::string json =
+      suite_summary_json(merged.records, merged.info);
+  EXPECT_NE(json.find("\"partial\": {\"missing\": "), std::string::npos);
+  EXPECT_NE(json.find("\"indices\": [1, 4, "), std::string::npos);
+}
+
+TEST(SweepPartialMerge, PartialCoverWithinAShardIsTolerated) {
+  const ScenarioSuite suite = small_suite();
+  std::vector<SuiteSummary> shards;
+  shards.push_back(shard_summary(suite, 1, 2));
+  SuiteSummary half = shard_summary(suite, 2, 2);
+  // A crashed shard 2 journaled only its first two points.
+  half.records.resize(2);
+  shards.push_back(half);
+
+  EXPECT_THROW(merge_suite_summaries(shards), std::invalid_argument);
+
+  MergeOptions options;
+  options.allow_partial = true;
+  const SuiteSummary merged = merge_suite_summaries(shards, options);
+  std::vector<std::size_t> expected_missing =
+      ScenarioSuite::shard_selection(suite.size(), SuiteShard{2, 2});
+  expected_missing.erase(expected_missing.begin(),
+                         expected_missing.begin() + 2);
+  EXPECT_EQ(merged.info.missing_indices, expected_missing);
+}
+
+TEST(SweepPartialMerge, JournalsOfCrashedShardsMergeLikeSummaries) {
+  const ScenarioSuite suite = small_suite();
+  const SuiteSummary full = shard_summary(suite, 2, 2);
+
+  // What a killed shard 2 leaves behind: header + a prefix of records.
+  SweepJournalHeader header;
+  header.manifest_hash = suite.manifest_hash();
+  header.total_scenarios = suite.size();
+  header.shard = SuiteShard{2, 2};
+  header.include_timing = false;
+  SweepJournalContents contents;
+  contents.header = header;
+  contents.records.assign(full.records.begin(), full.records.begin() + 3);
+
+  std::vector<SuiteSummary> shards;
+  shards.push_back(shard_summary(suite, 1, 2));
+  shards.push_back(suite_summary_from_journal(contents, "shard-2.journal"));
+  EXPECT_EQ(shards.back().info.shard.index, 2u);
+  EXPECT_EQ(shards.back().records.size(), 3u);
+
+  MergeOptions options;
+  options.allow_partial = true;
+  const SuiteSummary merged = merge_suite_summaries(shards, options);
+  EXPECT_EQ(merged.info.missing_indices.size(),
+            full.records.size() - 3);
+  // The journaled records landed in the merged cover.
+  for (const SuiteRecord& record : contents.records)
+    EXPECT_TRUE(std::any_of(merged.records.begin(), merged.records.end(),
+                            [&](const SuiteRecord& r) {
+                              return r.index == record.index;
+                            }));
+}
+
+TEST(SweepPartialMerge, DuplicatesAndMismatchesStayErrors) {
+  const ScenarioSuite suite = small_suite();
+  MergeOptions options;
+  options.allow_partial = true;
+
+  // The same shard twice: still a duplicate, even when partial.
+  std::vector<SuiteSummary> duplicated;
+  duplicated.push_back(shard_summary(suite, 1, 2));
+  duplicated.push_back(shard_summary(suite, 1, 2));
+  EXPECT_THROW(merge_suite_summaries(duplicated, options),
+               std::invalid_argument);
+
+  // A foreign manifest: still a mismatch.
+  std::vector<SuiteSummary> mismatched;
+  mismatched.push_back(shard_summary(suite, 1, 2));
+  mismatched.push_back(shard_summary(suite, 2, 2));
+  mismatched.back().info.manifest_hash = "0000000000000000";
+  EXPECT_THROW(merge_suite_summaries(mismatched, options),
+               std::invalid_argument);
+}
+
+TEST(SweepPartialMerge, CompleteSetsAreUnaffectedByAllowPartial) {
+  const ScenarioSuite suite = small_suite();
+  std::vector<SuiteSummary> shards;
+  for (unsigned index = 1; index <= 3; ++index)
+    shards.push_back(shard_summary(suite, index, 3));
+
+  const SuiteSummary strict = merge_suite_summaries(shards);
+  MergeOptions options;
+  options.allow_partial = true;
+  const SuiteSummary lenient = merge_suite_summaries(shards, options);
+  EXPECT_TRUE(lenient.info.missing_indices.empty());
+  EXPECT_EQ(suite_summary_json(lenient.records, lenient.info),
+            suite_summary_json(strict.records, strict.info));
+  // No "partial" header on a complete merge.
+  EXPECT_EQ(suite_summary_json(lenient.records, lenient.info)
+                .find("\"partial\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dnnlife::core
