@@ -1,0 +1,158 @@
+// Batched vs per-cell lifetime inversion across the registered models.
+//
+// One synthetic tracker with the counter-ratio duty repetition real
+// memories produce (128Ki cells, ~1000 distinct ratios), evaluated three
+// ways per model: the pre-batching per-cell solver loop (the reference
+// cost make_lifetime_report used to pay), the blocked batched lifetime
+// report, and the blocked batched aging report.
+//
+//   bench_lifetime_batch [--threads=N] [--json=PATH]
+//
+// --threads sets the report shard count (default 1 — the per-cell/batched
+// comparison is cleanest single-threaded; results are bit-identical for
+// any value). --json writes the timings plus the duty-kernel variant — CI
+// gates the batched seconds against bench/bench_throughput_reference.json
+// (pre-batching baselines), failing on a >2x regression.
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aging/lifetime.hpp"
+#include "aging/model_registry.hpp"
+#include "aging/snm_histogram.hpp"
+#include "bench_util.hpp"
+#include "util/bitops.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dnnlife;
+  unsigned threads = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* name) -> const char* {
+      const std::string prefix = std::string("--") + name + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + prefix.size() : nullptr;
+    };
+    if (const char* value = value_of("threads")) {
+      if (!util::parse_unsigned_flag(value, threads)) {
+        std::cerr << "--threads expects a number, got '" << value << "'\n";
+        return 1;
+      }
+    } else if (const char* value = value_of("json")) {
+      json_path = value;
+    } else {
+      std::cerr << "usage: bench_lifetime_batch [--threads=N] [--json=PATH]\n";
+      return 1;
+    }
+  }
+
+  constexpr std::size_t kCells = 128 * 1024;
+  constexpr std::uint32_t kDistinct = 997;
+  aging::DutyCycleTracker tracker(kCells);
+  for (std::size_t cell = 0; cell < kCells; ++cell) {
+    tracker.ones_time()[cell] =
+        static_cast<std::uint32_t>(cell % kDistinct);
+    tracker.total_time()[cell] = 1000;
+  }
+
+  benchutil::print_heading("Batched vs per-cell lifetime inversion");
+  std::cout << "cells: " << kCells << " (" << kDistinct
+            << " distinct duty ratios), duty kernel: "
+            << util::duty_kernel_variant() << ", threads: " << threads << "\n";
+
+  struct ModelTiming {
+    std::string model;
+    double per_cell_seconds = 0.0;
+    double lifetime_seconds = 0.0;
+    double aging_seconds = 0.0;
+  };
+  std::vector<ModelTiming> timings;
+  util::Table out({"model", "per-cell [s]", "batched lifetime [s]",
+                   "batched aging [s]", "speedup"});
+  for (const char* name :
+       {"calibrated-nbti", "arrhenius-nbti", "pbti-hci", "dual-bti"}) {
+    const std::shared_ptr<const aging::DeviceAgingModel> model =
+        aging::make_aging_model(name);
+    const aging::LifetimeModel lifetime_model(model);
+    const double threshold = lifetime_model.params().snm_failure_threshold;
+    ModelTiming timing;
+    timing.model = name;
+
+    // The pre-batching reference: one scalar inversion per used cell —
+    // exactly the inner loop make_lifetime_report ran before run_blocks.
+    const auto per_cell_start = std::chrono::steady_clock::now();
+    double min_years = std::numeric_limits<double>::infinity();
+    for (std::size_t cell = 0; cell < kCells; ++cell) {
+      if (tracker.is_unused(cell)) continue;
+      const double years = model->years_to_reach(
+          tracker.duty(cell), threshold, aging::EnvironmentSpec{});
+      if (years < min_years) min_years = years;
+    }
+    timing.per_cell_seconds = seconds_since(per_cell_start);
+
+    const auto lifetime_start = std::chrono::steady_clock::now();
+    const auto lifetime = make_lifetime_report(tracker, lifetime_model, threads);
+    timing.lifetime_seconds = seconds_since(lifetime_start);
+    if (lifetime.device_lifetime_years != min_years) {
+      std::cerr << "batched/per-cell mismatch for " << name << "\n";
+      return 1;
+    }
+
+    aging::AgingReportOptions options;
+    options.threads = threads;
+    const auto aging_start = std::chrono::steady_clock::now();
+    const auto report = make_aging_report(tracker, *model, options);
+    timing.aging_seconds = seconds_since(aging_start);
+    if (report.unused_cells != tracker.unused_cell_count()) return 1;
+
+    out.add_row({timing.model, util::Table::num(timing.per_cell_seconds, 4),
+                 util::Table::num(timing.lifetime_seconds, 4),
+                 util::Table::num(timing.aging_seconds, 4),
+                 util::Table::num(
+                     timing.per_cell_seconds / timing.lifetime_seconds, 1)});
+    timings.push_back(timing);
+  }
+  std::cout << out.to_string();
+  std::cout << "speedup = per-cell seconds / batched lifetime seconds (duty\n"
+               "memoisation + hoisted model constants per block).\n";
+
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::cerr << "cannot open '" << json_path << "' for writing\n";
+      return 1;
+    }
+    json << "{\n  \"threads\": " << threads << ",\n"
+         << "  \"duty_kernel\": \"" << util::duty_kernel_variant() << "\",\n"
+         << "  \"cells\": " << kCells << ",\n  \"models\": [\n";
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+      const ModelTiming& timing = timings[i];
+      json << "    {\"model\": \"" << timing.model << "\", "
+           << "\"per_cell_seconds\": "
+           << util::Table::num(timing.per_cell_seconds, 4) << ", "
+           << "\"lifetime_seconds\": "
+           << util::Table::num(timing.lifetime_seconds, 4) << ", "
+           << "\"aging_seconds\": "
+           << util::Table::num(timing.aging_seconds, 4) << "}"
+           << (i + 1 < timings.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::cout << "timings written to " << json_path << "\n";
+  }
+  return 0;
+}

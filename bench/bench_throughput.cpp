@@ -1,7 +1,14 @@
 // Microbenchmarks (google-benchmark): throughput of the building blocks
-// the large simulations lean on.
+// the large simulations lean on. Custom main: the selected duty-kernel
+// variant (avx2/neon/scalar) is stamped into the benchmark context so CI
+// bench JSON records which code path produced the numbers.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "aging/device_model.hpp"
+#include "aging/lifetime.hpp"
+#include "aging/snm_histogram.hpp"
 #include "core/fast_simulator.hpp"
 #include "core/reference_simulator.hpp"
 #include "core/region_policy.hpp"
@@ -184,4 +191,59 @@ void BM_BitDistributionAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_BitDistributionAnalysis)->Unit(benchmark::kMillisecond);
 
+// A realistic report workload: 64Ki cells with ~1000 distinct duty ratios
+// (the repetition profile duty memoisation exploits). Arg selects the
+// model: 0 = calibrated-nbti (closed-form inversion), 1 = pbti-hci
+// (batched Newton).
+aging::DutyCycleTracker make_report_tracker() {
+  constexpr std::size_t kCells = 64 * 1024;
+  aging::DutyCycleTracker tracker(kCells);
+  for (std::size_t cell = 0; cell < kCells; ++cell) {
+    tracker.ones_time()[cell] = static_cast<std::uint32_t>(cell % 997);
+    tracker.total_time()[cell] = 1000;
+  }
+  return tracker;
+}
+
+std::shared_ptr<const aging::DeviceAgingModel> report_model(std::int64_t kind) {
+  if (kind == 0)
+    return std::make_shared<aging::CalibratedNbtiDeviceModel>();
+  return std::make_shared<aging::PbtiHciDeviceModel>();
+}
+
+void BM_LifetimeReportFold(benchmark::State& state) {
+  const auto tracker = make_report_tracker();
+  const aging::LifetimeModel model(report_model(state.range(0)));
+  for (auto _ : state) {
+    const auto report = aging::make_lifetime_report(tracker, model, 1);
+    benchmark::DoNotOptimize(report.device_lifetime_years);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tracker.cell_count()));
+}
+BENCHMARK(BM_LifetimeReportFold)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_AgingReportFold(benchmark::State& state) {
+  const auto tracker = make_report_tracker();
+  const auto model = report_model(state.range(0));
+  const aging::AgingReportOptions options;
+  for (auto _ : state) {
+    const auto report = aging::make_aging_report(tracker, *model, options);
+    benchmark::DoNotOptimize(report.fraction_optimal);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tracker.cell_count()));
+}
+BENCHMARK(BM_AgingReportFold)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("dnnlife_duty_kernel",
+                              dnnlife::util::duty_kernel_variant());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

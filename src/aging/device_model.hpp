@@ -81,6 +81,28 @@ class DeviceAgingModel : public AgingModel {
   virtual double years_to_reach(double duty, double target,
                                 const EnvironmentSpec& env) const;
 
+  /// Batched Newton lifetime inversion: out[i] = years_to_reach(duties[i],
+  /// target, env) for a shard of cells sharing one model and environment.
+  /// The default loops the scalar solver over each *distinct* duty and
+  /// serves repeats from a memo (aging/duty_memo.hpp); the power-law
+  /// family and the pbti-hci two-exponent model override it with real
+  /// batched implementations that amortise curve/slope evaluation across
+  /// the shard. Always bit-identical to the per-cell solver — this is what
+  /// the cache-blocked report fold drives (aging/report_evaluator.hpp).
+  /// `out.size()` must equal `duties.size()`.
+  virtual void years_to_reach_batch(std::span<const double> duties,
+                                    double target, const EnvironmentSpec& env,
+                                    std::span<double> out,
+                                    BatchSolveStats* stats = nullptr) const;
+
+  /// Batched forward evaluation: out[i] = degradation(duties[i], years,
+  /// env). Same memoisation/override structure and bit-identity contract
+  /// as years_to_reach_batch; drives the batched aging-report fold.
+  virtual void degradation_batch(std::span<const double> duties, double years,
+                                 const EnvironmentSpec& env,
+                                 std::span<double> out,
+                                 BatchSolveStats* stats = nullptr) const;
+
   /// Degradation after `years` of the piecewise-constant stress history
   /// `timeline` (segment weights are normalised to lifetime shares;
   /// zero-weight segments are skipped; composition is equivalent-time, in
@@ -99,6 +121,13 @@ class DeviceAgingModel : public AgingModel {
   /// Legacy evaluation hook (AgingModel): the nominal environment.
   double snm_degradation(double duty, double years) const final {
     return degradation(duty, years, EnvironmentSpec{});
+  }
+
+  /// Legacy batched hook (AgingModel): the nominal environment.
+  void snm_degradation_batch(std::span<const double> duties, double years,
+                             std::span<double> out,
+                             BatchSolveStats* stats = nullptr) const final {
+    degradation_batch(duties, years, EnvironmentSpec{}, out, stats);
   }
 };
 
@@ -129,6 +158,15 @@ class PowerLawDeviceModel : public DeviceAgingModel {
                            const EnvironmentSpec& env) const final;
   double years_to_reach(double duty, double target,
                         const EnvironmentSpec& env) const final;
+  /// Batched closed-form inversion: the per-duty solve is one pow() once
+  /// 1/beta is hoisted out of the loop — no Newton iteration at all.
+  void years_to_reach_batch(std::span<const double> duties, double target,
+                            const EnvironmentSpec& env, std::span<double> out,
+                            BatchSolveStats* stats = nullptr) const final;
+  /// Batched forward curve with the (t / t_ref)^beta factor hoisted.
+  void degradation_batch(std::span<const double> duties, double years,
+                         const EnvironmentSpec& env, std::span<double> out,
+                         BatchSolveStats* stats = nullptr) const final;
   double degradation_on_timeline(std::span<const StressSegment> timeline,
                                  double years) const final;
   double years_to_failure(std::span<const StressSegment> timeline,
@@ -230,6 +268,18 @@ class PbtiHciDeviceModel final : public DeviceAgingModel {
   /// smooth and convex in its inverse, so Newton converges quadratically.
   double degradation_slope(double duty, double years,
                            const EnvironmentSpec& env) const override;
+  /// Batched Newton: one amplitude_terms() evaluation per *distinct* duty,
+  /// with the curve/slope closures built on the hoisted terms — the Newton
+  /// iterate sequence is identical to the scalar years_to_reach, so the
+  /// results are bit-identical while the per-cell trigonometric/pow work
+  /// collapses to the distinct-duty count.
+  void years_to_reach_batch(std::span<const double> duties, double target,
+                            const EnvironmentSpec& env, std::span<double> out,
+                            BatchSolveStats* stats = nullptr) const override;
+  /// Batched forward curve with both (t / t_ref)^b time powers hoisted.
+  void degradation_batch(std::span<const double> duties, double years,
+                         const EnvironmentSpec& env, std::span<double> out,
+                         BatchSolveStats* stats = nullptr) const override;
 
   const Params& params() const noexcept { return params_; }
 
@@ -276,6 +326,12 @@ class EnvironmentBoundModel final : public AgingModel {
 
   double snm_degradation(double duty, double years) const override {
     return model_->degradation(duty, years, env_);
+  }
+
+  void snm_degradation_batch(std::span<const double> duties, double years,
+                             std::span<double> out,
+                             BatchSolveStats* stats = nullptr) const override {
+    model_->degradation_batch(duties, years, env_, out, stats);
   }
 
   const DeviceAgingModel& model() const noexcept { return *model_; }

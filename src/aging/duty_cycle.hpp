@@ -55,41 +55,27 @@ class DutyCycleTracker {
   /// of the row's bit 0 (cells cell_base .. cell_base+row_bits-1 must be
   /// in range). The per-bit blend lo + bit*(hi - lo) is branch-free and
   /// popcount-free (exact in mod-2^32 arithmetic even when hi < lo), and
-  /// all-zero / all-one payload words take whole-word fast paths — this is
-  /// the hot loop of both simulators.
+  /// all-zero / all-one payload words take whole-word uniform-add fast
+  /// paths — this is the hot loop of both simulators. The adds run on the
+  /// vectorised kernels of util/bitops.hpp (AVX2 / NEON when the build
+  /// enables them) and are bit-identical to accumulate_row_scalar.
   void accumulate_row(std::span<const std::uint64_t> words,
                       std::uint32_t row_bits, std::size_t cell_base,
                       std::uint32_t hi, std::uint32_t lo,
                       std::uint32_t slot_total) {
-    DNNLIFE_EXPECTS(words.size() >= util::ceil_div(row_bits, 64),
-                    "row word count");
-    DNNLIFE_EXPECTS(cell_base + row_bits <= ones_time_.size(),
-                    "row cells out of range");
-    std::uint32_t* const ones = ones_time_.data() + cell_base;
-    std::uint32_t* const total = total_time_.data() + cell_base;
-    const std::uint32_t delta = hi - lo;  // wraps when hi < lo; blend is exact
-    std::size_t bit0 = 0;
-    for (std::size_t w = 0; bit0 < row_bits; ++w, bit0 += 64) {
-      const std::uint32_t bits_here =
-          row_bits - bit0 < 64 ? static_cast<std::uint32_t>(row_bits - bit0)
-                               : 64u;
-      const std::uint64_t word = words[w];
-      const std::uint64_t mask = util::low_mask(bits_here);
-      if ((word & mask) == 0) {
-        if (lo != 0) {
-          for (std::uint32_t b = 0; b < bits_here; ++b) ones[bit0 + b] += lo;
-        }
-      } else if ((word & mask) == mask) {
-        for (std::uint32_t b = 0; b < bits_here; ++b) ones[bit0 + b] += hi;
-      } else {
-        for (std::uint32_t b = 0; b < bits_here; ++b) {
-          ones[bit0 + b] +=
-              lo + static_cast<std::uint32_t>((word >> b) & 1u) * delta;
-        }
-      }
-      for (std::uint32_t b = 0; b < bits_here; ++b)
-        total[bit0 + b] += slot_total;
-    }
+    accumulate_row_impl<false>(words, row_bits, cell_base, hi, lo, slot_total);
+  }
+
+  /// The forced-scalar reference path: same word/tail-mask structure, but
+  /// every add goes through the scalar kernels regardless of the build's
+  /// dispatch selection. This is what accumulate_row compiles to under
+  /// DNNLIFE_FORCE_SCALAR, and what the SIMD-vs-scalar bit-identity tests
+  /// compare the dispatch path against.
+  void accumulate_row_scalar(std::span<const std::uint64_t> words,
+                             std::uint32_t row_bits, std::size_t cell_base,
+                             std::uint32_t hi, std::uint32_t lo,
+                             std::uint32_t slot_total) {
+    accumulate_row_impl<true>(words, row_bits, cell_base, hi, lo, slot_total);
   }
 
   /// Raw accumulators (the fast simulator writes these in bulk).
@@ -123,6 +109,57 @@ class DutyCycleTracker {
   void merge(const DutyCycleTracker& other);
 
  private:
+  /// Shared body of the dispatch and forced-scalar rows. All three payload
+  /// classes (all-zero word, all-ones word, mixed) are expressed through
+  /// the two bitops kernels — the uniform fast paths are just the blend
+  /// with a constant bit (see add_blend_u32_scalar for the single
+  /// definition of the blend semantics) — so the scalar reference and the
+  /// vector kernel cannot drift apart.
+  template <bool kForceScalar>
+  void accumulate_row_impl(std::span<const std::uint64_t> words,
+                           std::uint32_t row_bits, std::size_t cell_base,
+                           std::uint32_t hi, std::uint32_t lo,
+                           std::uint32_t slot_total) {
+    DNNLIFE_EXPECTS(words.size() >= util::ceil_div(row_bits, 64),
+                    "row word count");
+    DNNLIFE_EXPECTS(cell_base + row_bits <= ones_time_.size(),
+                    "row cells out of range");
+    const auto add_uniform = [](std::uint32_t* dst, std::uint32_t count,
+                                std::uint32_t amount) {
+      if constexpr (kForceScalar)
+        util::add_uniform_u32_scalar(dst, count, amount);
+      else
+        util::add_uniform_u32(dst, count, amount);
+    };
+    const auto add_blend = [](std::uint32_t* dst, std::uint64_t word,
+                              std::uint32_t count, std::uint32_t blend_lo,
+                              std::uint32_t blend_delta) {
+      if constexpr (kForceScalar)
+        util::add_blend_u32_scalar(dst, word, count, blend_lo, blend_delta);
+      else
+        util::add_blend_u32(dst, word, count, blend_lo, blend_delta);
+    };
+    std::uint32_t* const ones = ones_time_.data() + cell_base;
+    std::uint32_t* const total = total_time_.data() + cell_base;
+    const std::uint32_t delta = hi - lo;  // wraps when hi < lo; blend is exact
+    std::size_t bit0 = 0;
+    for (std::size_t w = 0; bit0 < row_bits; ++w, bit0 += 64) {
+      const std::uint32_t bits_here =
+          row_bits - bit0 < 64 ? static_cast<std::uint32_t>(row_bits - bit0)
+                               : 64u;
+      const std::uint64_t word = words[w];
+      const std::uint64_t mask = util::low_mask(bits_here);
+      if ((word & mask) == 0) {
+        if (lo != 0) add_uniform(ones + bit0, bits_here, lo);
+      } else if ((word & mask) == mask) {
+        add_uniform(ones + bit0, bits_here, hi);
+      } else {
+        add_blend(ones + bit0, word, bits_here, lo, delta);
+      }
+      add_uniform(total + bit0, bits_here, slot_total);
+    }
+  }
+
   std::vector<std::uint32_t> ones_time_;
   std::vector<std::uint32_t> total_time_;
   std::vector<CellRegion> regions_;

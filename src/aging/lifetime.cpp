@@ -112,19 +112,47 @@ struct CellLifetime {
   bool used = false;
 };
 
-}  // namespace
+/// Blocked per-shard evaluation state of the single-operating-point
+/// lifetime solve: gather the used cells' duties of one contiguous block,
+/// run the batched inversion (one duty memo + hoisted model constants per
+/// block), scatter back. years_to_reach_batch is bit-identical to the
+/// per-cell solver, so this changes no report value.
+struct BatchedLifetimeEval {
+  const DutyCycleTracker& tracker;
+  const DeviceAgingModel& device;
+  double threshold;
+  EnvironmentSpec environment;
+  std::vector<double> duties;
+  std::vector<double> years;
 
-LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
-                                    const LifetimeModel& model,
-                                    unsigned threads) {
+  void operator()(std::size_t begin, std::size_t end, CellLifetime* out) {
+    duties.clear();
+    for (std::size_t cell = begin; cell < end; ++cell)
+      if (!tracker.is_unused(cell)) duties.push_back(tracker.duty(cell));
+    years.resize(duties.size());
+    device.years_to_reach_batch(duties, threshold, environment, years);
+    std::size_t next = 0;
+    for (std::size_t cell = begin; cell < end; ++cell) {
+      out[cell - begin] =
+          tracker.is_unused(cell) ? CellLifetime{} : CellLifetime{years[next++], true};
+    }
+  }
+};
+
+/// The shared blocked driver of both overloads' single-environment paths.
+LifetimeReport lifetime_report_batched(const DutyCycleTracker& tracker,
+                                       const EnvironmentSpec& environment,
+                                       const LifetimeModel& model,
+                                       unsigned threads) {
   LifetimeBuilder builder(tracker.regions(), model);
-  ReportEvaluator(threads).run<CellLifetime>(
+  ReportEvaluator(threads).run_blocks<CellLifetime>(
       tracker.cell_count(),
       [&] {
-        return [&](std::size_t cell) -> CellLifetime {
-          if (tracker.is_unused(cell)) return {};
-          return {model.years_to_failure(tracker.duty(cell)), true};
-        };
+        return BatchedLifetimeEval{tracker, model.model(),
+                                   model.params().snm_failure_threshold,
+                                   environment,
+                                   {},
+                                   {}};
       },
       [&](std::size_t cell, const CellLifetime& value) {
         if (value.used) builder.add_cell(cell, value.years);
@@ -132,11 +160,26 @@ LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
   return builder.finish();
 }
 
+}  // namespace
+
+LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
+                                    const LifetimeModel& model,
+                                    unsigned threads) {
+  return lifetime_report_batched(tracker, EnvironmentSpec{}, model, threads);
+}
+
 LifetimeReport make_lifetime_report(std::span<const EnvironmentSegment> segments,
                                     const LifetimeModel& model,
                                     unsigned threads) {
   check_segments(segments);
   const DutyCycleTracker& first = segments.front().tracker;
+  // A one-segment timeline is the single-operating-point solve (the same
+  // shortcut DeviceAgingModel::years_to_failure takes per cell, since each
+  // used cell's gathered history is exactly one positive-weight segment at
+  // the tracker duty) — take the batched path.
+  if (segments.size() == 1)
+    return lifetime_report_batched(first, segments.front().environment, model,
+                                   threads);
   LifetimeBuilder builder(first.regions(), model);
   // Per-shard evaluation state: the gathered stress history is scratch
   // reused across the shard's cells.

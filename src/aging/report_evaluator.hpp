@@ -21,6 +21,7 @@
 // the rest of the framework already holds (see util/parallel.hpp).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -70,6 +71,62 @@ class ReportEvaluator {
             buffer.reserve(static_cast<std::size_t>(end - begin));
             for (std::uint64_t cell = begin; cell < end; ++cell)
               buffer.push_back(eval(static_cast<std::size_t>(cell)));
+          });
+    }
+    std::size_t cell = 0;
+    for (std::vector<Value>& buffer : buffers)
+      for (Value& value : buffer) fold(cell++, std::move(value));
+  }
+
+  /// Cells per block of run_blocks: large enough to amortise a virtual
+  /// batch call and give the per-block duty memo real repetition to
+  /// exploit (real trackers repeat each distinct counter ratio across many
+  /// cells), small enough that the block's duty/value scratch (~100 KiB)
+  /// stays within L2.
+  static constexpr std::size_t kBlockCells = 4096;
+
+  /// Blocked variant of run(): `make_eval()` returns a functor invoked as
+  /// `eval(begin, end, out)` that fills `out[0 .. end-begin)` with the
+  /// values of cells [begin, end) — the hook the batched model calls
+  /// (years_to_reach_batch / degradation_batch) drive, amortising curve
+  /// and amplitude evaluation across up to kBlockCells contiguous cells.
+  /// Blocks never straddle a shard boundary, block evaluation must equal
+  /// per-cell evaluation for every split, and the fold still replays in
+  /// ascending cell order — so the bit-identical-for-any-thread-count
+  /// invariant of run() carries over unchanged.
+  template <class Value, class MakeEval, class Fold>
+  void run_blocks(std::size_t cell_count, MakeEval&& make_eval,
+                  Fold&& fold) const {
+    if (cell_count == 0) return;
+    unsigned shards = threads_;
+    if (static_cast<std::size_t>(shards) > cell_count)
+      shards = static_cast<unsigned>(cell_count);
+    if (shards <= 1) {
+      auto eval = make_eval();
+      std::vector<Value> block(std::min(cell_count, kBlockCells));
+      for (std::size_t begin = 0; begin < cell_count; begin += kBlockCells) {
+        const std::size_t end = std::min(cell_count, begin + kBlockCells);
+        eval(begin, end, block.data());
+        for (std::size_t i = 0; i < end - begin; ++i)
+          fold(begin + i, std::move(block[i]));
+      }
+      return;
+    }
+    std::vector<std::vector<Value>> buffers(shards);
+    {
+      util::ThreadPool pool(shards);
+      util::parallel_for_shards(
+          pool, cell_count, shards,
+          [&](unsigned shard, std::uint64_t begin64, std::uint64_t end64) {
+            auto eval = make_eval();
+            const auto begin = static_cast<std::size_t>(begin64);
+            const auto end = static_cast<std::size_t>(end64);
+            std::vector<Value>& buffer = buffers[shard];
+            buffer.resize(end - begin);
+            for (std::size_t b = begin; b < end; b += kBlockCells) {
+              const std::size_t e = std::min(end, b + kBlockCells);
+              eval(b, e, buffer.data() + (b - begin));
+            }
           });
     }
     std::size_t cell = 0;

@@ -129,23 +129,49 @@ void fold_cell(ReportBuilder& builder, std::size_t cell,
     builder.add_unused(cell);
 }
 
-}  // namespace
+/// Blocked per-shard evaluation state of the single-operating-point aging
+/// report: gather the used cells' duties of one contiguous block, run the
+/// batched forward curve (one duty memo + hoisted time powers per block),
+/// scatter back. snm_degradation_batch is bit-identical to the per-cell
+/// calls, so this changes no report value.
+struct BatchedAgingEval {
+  const DutyCycleTracker& tracker;
+  const AgingModel& model;
+  double years;
+  double optimal;
+  std::vector<double> duties;
+  std::vector<double> snm;
 
-AgingReport make_aging_report(const DutyCycleTracker& tracker,
-                              const AgingModel& model,
-                              const AgingReportOptions& options) {
+  void operator()(std::size_t begin, std::size_t end, CellAging* out) {
+    duties.clear();
+    for (std::size_t cell = begin; cell < end; ++cell)
+      if (!tracker.is_unused(cell)) duties.push_back(tracker.duty(cell));
+    snm.resize(duties.size());
+    model.snm_degradation_batch(duties, years, snm);
+    std::size_t next = 0;
+    for (std::size_t cell = begin; cell < end; ++cell) {
+      if (tracker.is_unused(cell)) {
+        out[cell - begin] = {};
+      } else {
+        out[cell - begin] = {duties[next], snm[next], optimal, true};
+        ++next;
+      }
+    }
+  }
+};
+
+/// The shared blocked driver of both overloads' single-environment paths.
+AgingReport aging_report_batched(const DutyCycleTracker& tracker,
+                                 const AgingModel& model,
+                                 const AgingReportOptions& options) {
   ReportBuilder builder(tracker.cell_count(), tracker.regions(), options);
   const double optimal = model.snm_degradation(0.5, options.years);
   ReportEvaluator(options.threads)
-      .run<CellAging>(
+      .run_blocks<CellAging>(
           tracker.cell_count(),
           [&] {
-            return [&](std::size_t cell) -> CellAging {
-              if (tracker.is_unused(cell)) return {};
-              const double duty = tracker.duty(cell);
-              return {duty, model.snm_degradation(duty, options.years),
-                      optimal, true};
-            };
+            return BatchedAgingEval{tracker, model, options.years, optimal,
+                                    {},      {}};
           },
           [&](std::size_t cell, const CellAging& value) {
             fold_cell(builder, cell, value);
@@ -153,29 +179,38 @@ AgingReport make_aging_report(const DutyCycleTracker& tracker,
   return builder.finish();
 }
 
+}  // namespace
+
+AgingReport make_aging_report(const DutyCycleTracker& tracker,
+                              const AgingModel& model,
+                              const AgingReportOptions& options) {
+  return aging_report_batched(tracker, model, options);
+}
+
 AgingReport make_aging_report(std::span<const EnvironmentSegment> segments,
                               const DeviceAgingModel& model,
                               const AgingReportOptions& options) {
   check_segments(segments);
   const DutyCycleTracker& first = segments.front().tracker;
+  // One segment is the single-operating-point evaluation under that
+  // segment's environment (a used cell's gathered history is exactly one
+  // segment at the tracker duty, and degradation_on_timeline
+  // short-circuits it to degradation(), bit-identically) — take the
+  // batched path through an environment-bound view.
+  if (segments.size() == 1) {
+    const EnvironmentBoundModel bound(model, segments.front().environment);
+    return aging_report_batched(first, bound, options);
+  }
   ReportBuilder builder(first.cell_count(), first.regions(), options);
-  // With one segment the balanced reference is cell-independent (the
-  // legacy hoisted computation); with several it depends on each cell's
-  // residency weights and must be composed per cell.
-  const bool single_segment = segments.size() == 1;
-  const double single_optimal =
-      single_segment
-          ? model.degradation(0.5, options.years, segments.front().environment)
-          : 0.0;
-  // Per-shard evaluation state: the gathered stress history and its
-  // balanced-duty twin are scratch buffers reused across the shard's
-  // cells, so each shard owns its own pair.
+  // With several segments the balanced reference depends on each cell's
+  // residency weights and must be composed per cell. Per-shard evaluation
+  // state: the gathered stress history and its balanced-duty twin are
+  // scratch buffers reused across the shard's cells, so each shard owns
+  // its own pair.
   struct CellEval {
     std::span<const EnvironmentSegment> segments;
     const DeviceAgingModel& model;
     const AgingReportOptions& options;
-    bool single_segment;
-    double single_optimal;
     std::vector<StressSegment> history;
     std::vector<StressSegment> balanced;
 
@@ -188,22 +223,17 @@ AgingReport make_aging_report(std::span<const EnvironmentSegment> segments,
       const double snm = model.degradation_on_timeline(history, options.years);
       // The minimum achievable degradation for *this* cell: balanced duty
       // under the same environment exposure.
-      double optimal = single_optimal;
-      if (!single_segment) {
-        balanced = history;
-        for (StressSegment& segment : balanced) segment.duty = 0.5;
-        optimal = model.degradation_on_timeline(balanced, options.years);
-      }
+      balanced = history;
+      for (StressSegment& segment : balanced) segment.duty = 0.5;
+      const double optimal =
+          model.degradation_on_timeline(balanced, options.years);
       return {duty, snm, optimal, true};
     }
   };
   ReportEvaluator(options.threads)
       .run<CellAging>(
           first.cell_count(),
-          [&] {
-            return CellEval{segments, model,          options,
-                            single_segment, single_optimal, {},     {}};
-          },
+          [&] { return CellEval{segments, model, options, {}, {}}; },
           [&](std::size_t cell, const CellAging& value) {
             fold_cell(builder, cell, value);
           });

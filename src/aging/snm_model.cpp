@@ -6,6 +6,14 @@
 
 namespace dnnlife::aging {
 
+void AgingModel::snm_degradation_batch(std::span<const double> duties,
+                                       double years, std::span<double> out,
+                                       BatchSolveStats* stats) const {
+  detail::solve_batch_memoised(duties, out, stats, [&](double duty) {
+    return snm_degradation(duty, years);
+  });
+}
+
 CalibratedSnmModel::CalibratedSnmModel(SnmParams params) : params_(params) {
   DNNLIFE_EXPECTS(params_.snm_at_balanced > 0.0, "balanced anchor");
   DNNLIFE_EXPECTS(params_.snm_at_full_stress > params_.snm_at_balanced,

@@ -16,7 +16,9 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
+#include "aging/duty_memo.hpp"
 #include "aging/nbti_model.hpp"
 
 namespace dnnlife::aging {
@@ -29,6 +31,16 @@ class AgingModel {
   /// SNM degradation (percent of nominal SNM) of a cell with lifetime
   /// duty-cycle `duty` after `years` years.
   virtual double snm_degradation(double duty, double years) const = 0;
+
+  /// Batched evaluation hook: out[i] = snm_degradation(duties[i], years)
+  /// for a shard of cells sharing one model. The default solves each
+  /// distinct duty once and serves repeats from a memo (see
+  /// aging/duty_memo.hpp); DeviceAgingModel forwards to its batched
+  /// environment-aware hook. Bit-identical to per-cell calls for any
+  /// batch composition. `out.size()` must equal `duties.size()`.
+  virtual void snm_degradation_batch(std::span<const double> duties,
+                                     double years, std::span<double> out,
+                                     BatchSolveStats* stats = nullptr) const;
 };
 
 struct SnmParams {

@@ -1,10 +1,33 @@
-// Small bit-manipulation helpers shared across modules.
+// Small bit-manipulation helpers shared across modules, plus the SIMD
+// portability shim for the duty-accumulation kernels.
+//
+// The kernel shim is selected once at compile time: AVX2 on x86-64 builds
+// whose ISA flags enable it (see the DNNLIFE_NATIVE_ARCH CMake option),
+// NEON on AArch64, and a plain scalar loop everywhere else. Defining
+// DNNLIFE_FORCE_SCALAR (CMake option of the same name) overrides the
+// detection and forces the scalar path — the CI matrix builds both so the
+// dispatch and reference kernels stay green together. All kernels work in
+// exact mod-2^32 integer arithmetic, so the vector paths are bit-identical
+// to the scalar reference by construction (tests/test_bitops_kernels.cpp
+// verifies this word-for-word).
 #pragma once
 
 #include <bit>
 #include <cstdint>
 
 #include "util/check.hpp"
+
+#if defined(DNNLIFE_FORCE_SCALAR)
+#define DNNLIFE_DUTY_KERNEL_SCALAR 1
+#elif defined(__AVX2__)
+#define DNNLIFE_DUTY_KERNEL_AVX2 1
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#define DNNLIFE_DUTY_KERNEL_NEON 1
+#include <arm_neon.h>
+#else
+#define DNNLIFE_DUTY_KERNEL_SCALAR 1
+#endif
 
 namespace dnnlife::util {
 
@@ -95,5 +118,122 @@ constexpr unsigned ceil_log2(std::uint64_t v) noexcept {
   }
   return bits;
 }
+
+// ---- duty-accumulation kernels (AVX2 / NEON / scalar) ------------------------
+
+/// The kernel variant this build dispatches to ("avx2", "neon" or
+/// "scalar") — surfaced in bench JSON artifacts so CI records which path
+/// its timings measured.
+constexpr const char* duty_kernel_variant() noexcept {
+#if defined(DNNLIFE_DUTY_KERNEL_AVX2)
+  return "avx2";
+#elif defined(DNNLIFE_DUTY_KERNEL_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// Scalar reference: dst[i] += amount for i in [0, count).
+inline void add_uniform_u32_scalar(std::uint32_t* dst, std::uint32_t count,
+                                   std::uint32_t amount) {
+  for (std::uint32_t i = 0; i < count; ++i) dst[i] += amount;
+}
+
+/// Scalar reference of the masked blend — THE definition of the blend
+/// semantics every other kernel (and every whole-word fast path) must
+/// reproduce: dst[b] += lo + bit_b(word) * delta for b in [0, count),
+/// count <= 64, in wrapping uint32 arithmetic (delta = hi - lo wraps when
+/// hi < lo; the blend is still exact mod 2^32). An all-zero word degrades
+/// to a uniform add of lo, an all-ones word to a uniform add of lo + delta.
+inline void add_blend_u32_scalar(std::uint32_t* dst, std::uint64_t word,
+                                 std::uint32_t count, std::uint32_t lo,
+                                 std::uint32_t delta) {
+  for (std::uint32_t b = 0; b < count; ++b)
+    dst[b] += lo + static_cast<std::uint32_t>((word >> b) & 1u) * delta;
+}
+
+#if defined(DNNLIFE_DUTY_KERNEL_AVX2)
+
+inline void add_uniform_u32(std::uint32_t* dst, std::uint32_t count,
+                            std::uint32_t amount) {
+  const __m256i amount8 = _mm256_set1_epi32(static_cast<int>(amount));
+  std::uint32_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m256i* const p = reinterpret_cast<__m256i*>(dst + i);
+    _mm256_storeu_si256(p, _mm256_add_epi32(_mm256_loadu_si256(p), amount8));
+  }
+  add_uniform_u32_scalar(dst + i, count - i, amount);
+}
+
+/// Mask-expanded vector blend: each group of 8 payload bits is broadcast,
+/// ANDed against the per-lane bit position and compared back, yielding an
+/// all-ones lane mask exactly where the bit is set; the masked delta is
+/// then added on top of the broadcast lo. Integer adds are exact, so the
+/// result matches add_blend_u32_scalar bit-for-bit.
+inline void add_blend_u32(std::uint32_t* dst, std::uint64_t word,
+                          std::uint32_t count, std::uint32_t lo,
+                          std::uint32_t delta) {
+  const __m256i lo8 = _mm256_set1_epi32(static_cast<int>(lo));
+  const __m256i delta8 = _mm256_set1_epi32(static_cast<int>(delta));
+  const __m256i lane_bit = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  std::uint32_t b = 0;
+  for (; b + 8 <= count; b += 8) {
+    const __m256i byte =
+        _mm256_set1_epi32(static_cast<int>((word >> b) & 0xffu));
+    const __m256i mask =
+        _mm256_cmpeq_epi32(_mm256_and_si256(byte, lane_bit), lane_bit);
+    const __m256i add =
+        _mm256_add_epi32(lo8, _mm256_and_si256(mask, delta8));
+    __m256i* const p = reinterpret_cast<__m256i*>(dst + b);
+    _mm256_storeu_si256(p, _mm256_add_epi32(_mm256_loadu_si256(p), add));
+  }
+  if (b < count) add_blend_u32_scalar(dst + b, word >> b, count - b, lo, delta);
+}
+
+#elif defined(DNNLIFE_DUTY_KERNEL_NEON)
+
+inline void add_uniform_u32(std::uint32_t* dst, std::uint32_t count,
+                            std::uint32_t amount) {
+  const uint32x4_t amount4 = vdupq_n_u32(amount);
+  std::uint32_t i = 0;
+  for (; i + 4 <= count; i += 4)
+    vst1q_u32(dst + i, vaddq_u32(vld1q_u32(dst + i), amount4));
+  add_uniform_u32_scalar(dst + i, count - i, amount);
+}
+
+/// The AVX2 blend's 4-lane twin: broadcast a nibble of the payload,
+/// compare against the per-lane bit position, mask the delta.
+inline void add_blend_u32(std::uint32_t* dst, std::uint64_t word,
+                          std::uint32_t count, std::uint32_t lo,
+                          std::uint32_t delta) {
+  const uint32x4_t lo4 = vdupq_n_u32(lo);
+  const uint32x4_t delta4 = vdupq_n_u32(delta);
+  const uint32x4_t lane_bit = {1u, 2u, 4u, 8u};
+  std::uint32_t b = 0;
+  for (; b + 4 <= count; b += 4) {
+    const uint32x4_t nibble =
+        vdupq_n_u32(static_cast<std::uint32_t>((word >> b) & 0xfu));
+    const uint32x4_t mask = vceqq_u32(vandq_u32(nibble, lane_bit), lane_bit);
+    const uint32x4_t add = vaddq_u32(lo4, vandq_u32(mask, delta4));
+    vst1q_u32(dst + b, vaddq_u32(vld1q_u32(dst + b), add));
+  }
+  if (b < count) add_blend_u32_scalar(dst + b, word >> b, count - b, lo, delta);
+}
+
+#else  // scalar dispatch
+
+inline void add_uniform_u32(std::uint32_t* dst, std::uint32_t count,
+                            std::uint32_t amount) {
+  add_uniform_u32_scalar(dst, count, amount);
+}
+
+inline void add_blend_u32(std::uint32_t* dst, std::uint64_t word,
+                          std::uint32_t count, std::uint32_t lo,
+                          std::uint32_t delta) {
+  add_blend_u32_scalar(dst, word, count, lo, delta);
+}
+
+#endif  // duty kernel dispatch
 
 }  // namespace dnnlife::util

@@ -1,0 +1,163 @@
+// SIMD-vs-scalar bit-identity of the duty-accumulation kernels.
+//
+// The dispatch kernels (util/bitops.hpp: AVX2 / NEON / scalar, selected at
+// compile time) must reproduce the scalar reference word-for-word — the
+// whole bit-identical-goldens story of the framework rests on it. These
+// tests compare the dispatch path against the *_scalar reference across
+// lane-remainder counts, degenerate payloads, wrapping hi-lo deltas and
+// fuzzed rows. Under DNNLIFE_FORCE_SCALAR (or on an ISA without a vector
+// kernel) both paths are the same code and the comparison is trivially
+// green — the CI matrix builds both variants so the comparison is real on
+// at least one leg.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "aging/duty_cycle.hpp"
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace dnnlife {
+namespace {
+
+std::vector<std::uint32_t> random_u32(util::Xoshiro256ss& rng,
+                                      std::size_t count) {
+  std::vector<std::uint32_t> values(count);
+  for (auto& v : values) v = static_cast<std::uint32_t>(rng.next());
+  return values;
+}
+
+TEST(BitopsKernels, VariantNameMatchesBuildSelection) {
+#if defined(DNNLIFE_DUTY_KERNEL_AVX2)
+  EXPECT_STREQ(util::duty_kernel_variant(), "avx2");
+#elif defined(DNNLIFE_DUTY_KERNEL_NEON)
+  EXPECT_STREQ(util::duty_kernel_variant(), "neon");
+#else
+  EXPECT_STREQ(util::duty_kernel_variant(), "scalar");
+#endif
+}
+
+// Every count in [0, 64] exercises each possible vector/tail split (AVX2
+// lanes of 8, NEON lanes of 4, and both remainders).
+TEST(BitopsKernels, AddUniformMatchesScalarForEveryCount) {
+  util::Xoshiro256ss rng(11);
+  for (std::uint32_t count = 0; count <= 64; ++count) {
+    const auto initial = random_u32(rng, 64);
+    const std::uint32_t amount = static_cast<std::uint32_t>(rng.next());
+    std::vector<std::uint32_t> dispatch = initial;
+    std::vector<std::uint32_t> scalar = initial;
+    util::add_uniform_u32(dispatch.data(), count, amount);
+    util::add_uniform_u32_scalar(scalar.data(), count, amount);
+    ASSERT_EQ(dispatch, scalar) << "count=" << count;
+  }
+}
+
+TEST(BitopsKernels, AddBlendMatchesScalarForEveryCountAndPayloadClass) {
+  util::Xoshiro256ss rng(12);
+  const std::uint64_t payloads[] = {
+      0x0ULL, ~0x0ULL, 0xaaaaaaaaaaaaaaaaULL, 0x5555555555555555ULL,
+      0x1ULL, 0x8000000000000000ULL, 0xdeadbeefcafef00dULL};
+  for (std::uint32_t count = 0; count <= 64; ++count) {
+    for (const std::uint64_t word : payloads) {
+      const auto initial = random_u32(rng, 64);
+      const std::uint32_t lo = static_cast<std::uint32_t>(rng.next());
+      const std::uint32_t delta = static_cast<std::uint32_t>(rng.next());
+      std::vector<std::uint32_t> dispatch = initial;
+      std::vector<std::uint32_t> scalar = initial;
+      util::add_blend_u32(dispatch.data(), word, count, lo, delta);
+      util::add_blend_u32_scalar(scalar.data(), word, count, lo, delta);
+      ASSERT_EQ(dispatch, scalar) << "count=" << count << " word=" << word;
+    }
+  }
+}
+
+// The blend semantics pin (add_blend_u32_scalar's contract): dst[b] +=
+// lo + bit_b(word) * delta in wrapping uint32 arithmetic, so the all-zero
+// and all-ones payloads degrade to uniform adds of lo and lo + delta.
+TEST(BitopsKernels, BlendDegeneratesToUniformAddsOnConstantPayloads) {
+  for (const std::uint32_t lo : {0u, 7u, 0xffffffffu}) {
+    for (const std::uint32_t delta : {0u, 9u, 0xfffffff0u}) {
+      std::vector<std::uint32_t> zeros(64, 100), ones(64, 100),
+          uniform_lo(64, 100), uniform_hi(64, 100);
+      util::add_blend_u32(zeros.data(), 0, 64, lo, delta);
+      util::add_blend_u32(ones.data(), ~0ULL, 64, lo, delta);
+      util::add_uniform_u32(uniform_lo.data(), 64, lo);
+      util::add_uniform_u32(uniform_hi.data(), 64, lo + delta);
+      EXPECT_EQ(zeros, uniform_lo);
+      EXPECT_EQ(ones, uniform_hi);
+    }
+  }
+}
+
+// hi < lo wraps delta = hi - lo around 2^32; the blend must still land on
+// exactly lo + bit * (hi - lo) mod 2^32, i.e. hi where the bit is set.
+TEST(BitopsKernels, WrappingDeltaIsExact) {
+  const std::uint32_t hi = 3, lo = 10;
+  const std::uint64_t word = 0x00ff00ff00ff00ffULL;
+  std::vector<std::uint32_t> dst(64, 1000);
+  util::add_blend_u32(dst.data(), word, 64, lo, hi - lo);
+  for (std::uint32_t b = 0; b < 64; ++b)
+    ASSERT_EQ(dst[b], 1000 + (util::bit_at(word, b) ? hi : lo)) << "b=" << b;
+}
+
+// The row-level contract: accumulate_row (dispatch) against
+// accumulate_row_scalar (forced-scalar reference) across widths straddling
+// word boundaries, all payload classes, and wrapping hi < lo.
+TEST(BitopsKernels, AccumulateRowMatchesScalarAcrossWidths) {
+  util::Xoshiro256ss rng(13);
+  const std::uint32_t widths[] = {1,  7,   8,   9,   31,  32,  33, 63,
+                                  64, 65,  96,  127, 128, 129, 191, 257,
+                                  511, 512, 513, 576};
+  for (const std::uint32_t row_bits : widths) {
+    for (int payload_kind = 0; payload_kind < 4; ++payload_kind) {
+      const std::size_t words = util::ceil_div(row_bits, 64);
+      std::vector<std::uint64_t> payload(words);
+      for (auto& w : payload) {
+        w = payload_kind == 0   ? 0
+            : payload_kind == 1 ? ~0ULL
+            : payload_kind == 2 ? 0xaaaaaaaaaaaaaaaaULL
+                                : rng.next();
+      }
+      // Both wrapping (hi < lo) and regular slot weights.
+      const std::uint32_t hi = payload_kind % 2 == 0 ? 9u : 2u;
+      const std::uint32_t lo = payload_kind % 2 == 0 ? 4u : 11u;
+      const std::size_t cell_base = (rng.next() % 3) * 64 + (rng.next() % 7);
+      aging::DutyCycleTracker dispatch(cell_base + row_bits + 32);
+      aging::DutyCycleTracker scalar(cell_base + row_bits + 32);
+      for (int repeat = 0; repeat < 3; ++repeat) {
+        dispatch.accumulate_row(payload, row_bits, cell_base, hi, lo, 13);
+        scalar.accumulate_row_scalar(payload, row_bits, cell_base, hi, lo, 13);
+      }
+      ASSERT_EQ(dispatch.ones_time(), scalar.ones_time())
+          << "row_bits=" << row_bits << " kind=" << payload_kind;
+      ASSERT_EQ(dispatch.total_time(), scalar.total_time())
+          << "row_bits=" << row_bits << " kind=" << payload_kind;
+    }
+  }
+}
+
+// Fuzz: random widths, payloads, weights and bases — dispatch and scalar
+// trackers must stay identical through a long accumulation history.
+TEST(BitopsKernels, FuzzedRowsStayBitIdentical) {
+  util::Xoshiro256ss rng(14);
+  constexpr std::size_t kCells = 2048;
+  aging::DutyCycleTracker dispatch(kCells);
+  aging::DutyCycleTracker scalar(kCells);
+  for (int round = 0; round < 500; ++round) {
+    const std::uint32_t row_bits = 1 + static_cast<std::uint32_t>(rng.next() % 700);
+    const std::size_t cell_base = rng.next() % (kCells - row_bits);
+    std::vector<std::uint64_t> payload(util::ceil_div(row_bits, 64));
+    for (auto& w : payload) w = rng.next();
+    const std::uint32_t hi = static_cast<std::uint32_t>(rng.next() % 32);
+    const std::uint32_t lo = static_cast<std::uint32_t>(rng.next() % 32);
+    const std::uint32_t total = hi > lo ? hi : lo;
+    dispatch.accumulate_row(payload, row_bits, cell_base, hi, lo, total);
+    scalar.accumulate_row_scalar(payload, row_bits, cell_base, hi, lo, total);
+  }
+  EXPECT_EQ(dispatch.ones_time(), scalar.ones_time());
+  EXPECT_EQ(dispatch.total_time(), scalar.total_time());
+}
+
+}  // namespace
+}  // namespace dnnlife

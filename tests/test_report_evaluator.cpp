@@ -231,6 +231,30 @@ TEST_F(ReportEvaluatorGolden, RegionBreakdownIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ReportEvaluator, BlockedRunFoldsEveryCellInOrderForAnyShardCount) {
+  // run_blocks spans several kBlockCells blocks per shard plus ragged
+  // tails; the fold must still see every cell exactly once, in order, with
+  // the block evaluation's values.
+  const std::size_t cells = 2 * ReportEvaluator::kBlockCells + 613;
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    std::vector<std::size_t> order;
+    ReportEvaluator(threads).run_blocks<std::size_t>(
+        cells,
+        [&] {
+          return [](std::size_t begin, std::size_t end, std::size_t* out) {
+            for (std::size_t cell = begin; cell < end; ++cell)
+              out[cell - begin] = cell * 3 + 1;
+          };
+        },
+        [&](std::size_t cell, std::size_t value) {
+          EXPECT_EQ(value, cell * 3 + 1);
+          order.push_back(cell);
+        });
+    ASSERT_EQ(order.size(), cells) << threads << " threads";
+    for (std::size_t i = 0; i < cells; ++i) EXPECT_EQ(order[i], i);
+  }
+}
+
 TEST(ReportEvaluator, FoldsEveryCellInOrderForAnyShardCount) {
   for (const unsigned threads : {1u, 2u, 3u, 8u, 64u}) {
     const std::size_t cells = 37;  // not divisible by any shard count above
@@ -318,6 +342,123 @@ TEST(NewtonInversion, UnreachableTargetStillReportsInfinity) {
   const PbtiHciDeviceModel model;
   EXPECT_EQ(model.years_to_reach(0.9, 20.0, gated),
             std::numeric_limits<double>::infinity());
+}
+
+// ---- batched model evaluation ------------------------------------------------
+
+/// A duty list with heavy repetition (the counter-ratio profile real
+/// trackers produce): kDistinct distinct values, each repeated many times.
+std::vector<double> repeated_duties(std::size_t count, std::size_t distinct) {
+  std::vector<double> duties(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    duties[i] = static_cast<double>(i % distinct) /
+                static_cast<double>(distinct);
+  }
+  return duties;
+}
+
+TEST(BatchedEvaluation, MatchesPerCellBitIdenticallyForAllModels) {
+  const std::vector<double> duties = repeated_duties(512, 31);
+  std::vector<double> batched(duties.size());
+  for (const ModelPins& pins : kPins) {
+    const std::shared_ptr<const DeviceAgingModel> model =
+        make_aging_model(pins.model);
+    for (const EnvironmentSpec& env : {kNominal, hot(85.0)}) {
+      model->years_to_reach_batch(duties, 20.0, env, batched);
+      for (std::size_t i = 0; i < duties.size(); ++i)
+        ASSERT_EQ(batched[i], model->years_to_reach(duties[i], 20.0, env))
+            << pins.model << " inversion, duty " << duties[i];
+      model->degradation_batch(duties, 7.0, env, batched);
+      for (std::size_t i = 0; i < duties.size(); ++i)
+        ASSERT_EQ(batched[i], model->degradation(duties[i], 7.0, env))
+            << pins.model << " forward, duty " << duties[i];
+    }
+    model->snm_degradation_batch(duties, 7.0, batched);
+    for (std::size_t i = 0; i < duties.size(); ++i)
+      ASSERT_EQ(batched[i], model->snm_degradation(duties[i], 7.0))
+          << pins.model << " legacy hook, duty " << duties[i];
+  }
+}
+
+TEST(BatchedEvaluation, GenericDefaultAlsoMatchesPerCell) {
+  // A model that overrides nothing exercises the memoised default loops.
+  struct OpaqueWrapper final : DeviceAgingModel {
+    PbtiHciDeviceModel inner;
+    std::string_view name() const noexcept override { return "opaque"; }
+    double reference_years() const noexcept override {
+      return inner.reference_years();
+    }
+    double degradation(double duty, double years,
+                       const EnvironmentSpec& env) const override {
+      return inner.degradation(duty, years, env);
+    }
+  };
+  const OpaqueWrapper wrapper;
+  const std::vector<double> duties = repeated_duties(128, 17);
+  std::vector<double> batched(duties.size());
+  wrapper.years_to_reach_batch(duties, 20.0, kNominal, batched);
+  for (std::size_t i = 0; i < duties.size(); ++i)
+    ASSERT_EQ(batched[i], wrapper.years_to_reach(duties[i], 20.0, kNominal));
+  wrapper.degradation_batch(duties, 7.0, kNominal, batched);
+  for (std::size_t i = 0; i < duties.size(); ++i)
+    ASSERT_EQ(batched[i], wrapper.degradation(duties[i], 7.0, kNominal));
+}
+
+TEST(BatchedEvaluation, MemoCountsDistinctSolvesAndHits) {
+  constexpr std::size_t kCells = 1000;
+  constexpr std::size_t kDistinct = 40;
+  const std::vector<double> duties = repeated_duties(kCells, kDistinct);
+  std::vector<double> out(kCells);
+  for (const ModelPins& pins : kPins) {
+    const std::shared_ptr<const DeviceAgingModel> model =
+        make_aging_model(pins.model);
+    BatchSolveStats stats;
+    model->years_to_reach_batch(duties, 20.0, kNominal, out, &stats);
+    EXPECT_EQ(stats.solves, kDistinct) << pins.model;
+    EXPECT_EQ(stats.memo_hits, kCells - kDistinct) << pins.model;
+  }
+}
+
+TEST(BatchedEvaluation, NewtonCurveBudgetIsPerDistinctDutyNotPerCell) {
+  // The batched pbti-hci inversion must spend its Newton curve/slope
+  // evaluations once per *distinct* duty: for a 1000-cell batch with 40
+  // distinct ratios the total budget is 40 solves x the pinned per-solve
+  // budget — ~0.5 curve evaluations per cell, where the per-cell loop
+  // spends ~10. This is the pinned proof the batch does less work per
+  // cell, not just the same work rearranged.
+  constexpr std::size_t kCells = 1000;
+  constexpr std::size_t kDistinct = 40;
+  constexpr int kNewtonEvaluationBudget = 12;
+  constexpr int kNewtonSlopeBudget = 6;
+  const PbtiHciDeviceModel model;
+  const std::vector<double> duties = repeated_duties(kCells, kDistinct);
+  std::vector<double> out(kCells);
+  BatchSolveStats stats;
+  model.years_to_reach_batch(duties, 20.0, kNominal, out, &stats);
+  EXPECT_EQ(stats.solves, kDistinct);
+  EXPECT_LE(stats.curve_evaluations, kDistinct * kNewtonEvaluationBudget);
+  EXPECT_LE(stats.slope_evaluations, kDistinct * kNewtonSlopeBudget);
+  EXPECT_GT(stats.curve_evaluations, 0u);
+  // Per-cell amortised cost strictly below one Newton solve per cell.
+  EXPECT_LT(static_cast<double>(stats.curve_evaluations) /
+                static_cast<double>(kCells),
+            1.0);
+}
+
+TEST(BatchedEvaluation, EdgeTargetsMatchScalarSemantics) {
+  // target == 0 and unreachable targets must mirror the scalar solver
+  // (0.0 and +inf respectively) through the batched paths.
+  const CalibratedNbtiDeviceModel power_law;
+  const PbtiHciDeviceModel newton;
+  const std::vector<double> duties = {0.2, 0.5, 0.9};
+  std::vector<double> out(duties.size());
+  power_law.years_to_reach_batch(duties, 0.0, kNominal, out);
+  for (const double years : out) EXPECT_EQ(years, 0.0);
+  EnvironmentSpec gated;
+  gated.activity_scale = 0.0;
+  newton.years_to_reach_batch(duties, 20.0, gated, out);
+  for (const double years : out)
+    EXPECT_EQ(years, std::numeric_limits<double>::infinity());
 }
 
 TEST(DegradationSlope, FiniteDifferenceDefaultMatchesAnalyticOverrides) {
