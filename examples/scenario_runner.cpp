@@ -6,8 +6,14 @@
 // Flags (override the document without editing it):
 //   --aging-model=NAME    device model from the AgingModelRegistry
 //   --phase-temp=IDX:C    temperature [°C] of phase IDX (repeatable)
-//   --jobs=N              simulation/report worker threads (0 = hardware
-//                         concurrency; overrides the document's "threads")
+//   --jobs=N              simulation/report concurrency budget (0 =
+//                         hardware concurrency; overrides the document's
+//                         "threads"). A budget on the shared session
+//                         executor, not a thread count
+//   --executor-threads=N  size the process-wide executor (default: the
+//                         DNNLIFE_EXECUTOR_THREADS environment variable,
+//                         else hardware concurrency); results are
+//                         bit-identical for any value
 //   --csv=PATH            export the per-region lifetime breakdown as CSV
 //
 // Without a file it runs a built-in thermal scenario: a TPU-like NPU
@@ -27,7 +33,7 @@
 #include "core/scenario.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
-#include "util/parallel.hpp"
+#include "util/executor.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   std::string aging_model_override;
   std::string csv_path;
   std::optional<unsigned> jobs;
+  std::optional<unsigned> executor_threads;
   std::vector<std::pair<std::size_t, double>> phase_temps;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,7 +87,22 @@ int main(int argc, char** argv) {
         std::cerr << "--jobs expects a number, got '" << value << "'\n";
         return 1;
       }
+      if (parsed > 1024) {
+        std::cerr << "--jobs=" << parsed
+                  << " exceeds the per-scenario budget bound of 1024; it is "
+                     "a concurrency budget on the shared executor — use "
+                     "--executor-threads to size the actual workers\n";
+        return 1;
+      }
       jobs = parsed;
+    } else if (flag_value(arg, "executor-threads", value)) {
+      unsigned parsed = 0;
+      if (!util::parse_unsigned_flag(value, parsed) || parsed > 4096) {
+        std::cerr << "--executor-threads expects a worker count in 0..4096 "
+                     "(0 = hardware concurrency), got '" << value << "'\n";
+        return 1;
+      }
+      executor_threads = parsed;
     } else if (flag_value(arg, "phase-temp", value)) {
       const std::size_t colon = value.find(':');
       const std::string index = value.substr(0, colon);
@@ -146,14 +168,16 @@ int main(int argc, char** argv) {
   }
 
   if (jobs.has_value()) spec.threads = *jobs;
+  if (executor_threads.has_value())
+    util::Executor::configure_session(*executor_threads);
   std::cout << "scenario: " << spec.name << " ("
             << core::to_string(spec.hardware) << ", "
             << quant::to_string(spec.format) << ", model " << spec.aging_model
             << ")\n";
   std::cout << "running " << spec.phases.size() << " phase"
-            << (spec.phases.size() == 1 ? "" : "s") << " on "
+            << (spec.phases.size() == 1 ? "" : "s") << " with a budget of "
             << util::resolve_thread_count(spec.threads)
-            << " worker thread(s) ..." << std::endl;
+            << " on the session executor ..." << std::endl;
   // Runtime validation (e.g. an unreachable lifetime threshold for the
   // selected model) must reach the user as cleanly as parse errors.
   std::optional<core::ScenarioResult> run;

@@ -14,9 +14,20 @@
 //   --shard=K/N      run only shard K of N (every N-th scenario of the
 //                    stable suite order, 1-based); the summary records the
 //                    manifest so example_sweep_merge can reassemble shards
-//   --jobs=N         concurrent scenarios (default 0 = hardware concurrency)
-//   --threads=N      per-scenario simulation/report thread budget
-//                    (default 0 = keep each document's own "threads")
+//   --jobs=N         concurrent-scenario budget (default 0 = hardware
+//                    concurrency). A budget, not a pool size: all jobs
+//                    share the one session executor
+//   --threads=N      per-scenario simulation/report concurrency budget
+//                    (default 0 = keep each document's own "threads").
+//                    Also a budget on the shared executor — jobs x threads
+//                    no longer oversubscribes the machine
+//   --executor-threads=N
+//                    size the process-wide work-stealing executor that all
+//                    jobs and per-scenario budgets share (default: the
+//                    DNNLIFE_EXECUTOR_THREADS environment variable, else
+//                    hardware concurrency). The ONLY knob that changes the
+//                    worker-thread count; results are bit-identical for
+//                    any value
 //   --journal=PATH   append every completed point to a crash-durable JSONL
 //                    journal (flushed + fsynced record by record), so a
 //                    killed run can resume from its valid prefix
@@ -66,7 +77,7 @@
 #include "core/scenario_suite.hpp"
 #include "core/sweep_journal.hpp"
 #include "util/cli.hpp"
-#include "util/parallel.hpp"
+#include "util/executor.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -125,6 +136,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> inputs;
   unsigned jobs = 0;  // hardware concurrency
   unsigned threads_per_scenario = 0;
+  unsigned executor_threads = 0;  // DNNLIFE_EXECUTOR_THREADS, else hardware
+  bool executor_threads_set = false;
   std::string csv_path;
   std::string json_path;
   std::string spec_path;
@@ -150,6 +163,23 @@ int main(int argc, char** argv) {
         std::cerr << "--threads expects a number, got '" << value << "'\n";
         return 1;
       }
+      if (threads_per_scenario > 1024) {
+        std::cerr << "--threads=" << threads_per_scenario
+                  << " exceeds the per-scenario budget bound of 1024 (the "
+                     "scenario documents' own limit); remember it is a "
+                     "concurrency budget on the shared executor, not a "
+                     "thread count — use --executor-threads to size the "
+                     "actual workers\n";
+        return 1;
+      }
+    } else if (flag_value(arg, "executor-threads", value)) {
+      if (!util::parse_unsigned_flag(value, executor_threads) ||
+          executor_threads > 4096) {
+        std::cerr << "--executor-threads expects a worker count in 0..4096 "
+                     "(0 = hardware concurrency), got '" << value << "'\n";
+        return 1;
+      }
+      executor_threads_set = true;
     } else if (flag_value(arg, "journal", value)) {
       journal_path = value;
     } else if (arg == "--resume") {
@@ -202,11 +232,15 @@ int main(int argc, char** argv) {
   const bool from_spec = !spec_path.empty();
   if (from_spec == !inputs.empty()) {
     std::cerr << "usage: example_sweep_runner <dir | scenario.json...> "
-                 "[--shard=K/N] [--jobs=N] [--threads=N] [--journal=PATH] "
-                 "[--resume] [--retries=N] [--deadline=SEC] [--csv=PATH] "
-                 "[--json=PATH] [--omit-timing] [--quiet]\n"
+                 "[--shard=K/N] [--jobs=N] [--threads=N] "
+                 "[--executor-threads=N] [--journal=PATH] [--resume] "
+                 "[--retries=N] [--deadline=SEC] [--csv=PATH] [--json=PATH] "
+                 "[--omit-timing] [--quiet]\n"
                  "   or: example_sweep_runner --spec=SWEEP.json "
-                 "[--materialize=DIR] [same flags]\n";
+                 "[--materialize=DIR] [same flags]\n"
+                 "--jobs and --threads are concurrency budgets on one "
+                 "shared executor;\n--executor-threads sizes its workers "
+                 "(default $DNNLIFE_EXECUTOR_THREADS, else hardware)\n";
     return 1;
   }
   if (!materialize_dir.empty() && !from_spec) {
@@ -215,13 +249,14 @@ int main(int argc, char** argv) {
   }
   if (!materialize_dir.empty() &&
       (shard.count > 1 || !csv_path.empty() || !json_path.empty() ||
-       !journal_path.empty() || resume || inject.has_value())) {
+       !journal_path.empty() || resume || inject.has_value() ||
+       executor_threads_set)) {
     // Materialisation writes the whole grid and runs nothing, so a shard
     // selection, summary path or journal would be silently ignored —
     // reject the contradiction instead.
     std::cerr << "--materialize only writes the documents; it cannot be "
                  "combined with --shard, --csv, --json, --journal, "
-                 "--resume or --inject-fault\n";
+                 "--resume, --inject-fault or --executor-threads\n";
     return 1;
   }
   if (resume && journal_path.empty()) {
@@ -299,6 +334,12 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Size the shared executor exactly once, before anything submits to it.
+  // Without the flag, first use sizes it from DNNLIFE_EXECUTOR_THREADS or
+  // the hardware count.
+  if (executor_threads_set)
+    util::Executor::configure_session(executor_threads);
+
   const unsigned resolved_jobs =
       std::min<unsigned>(util::resolve_thread_count(jobs),
                          static_cast<unsigned>(std::max<std::size_t>(
@@ -312,6 +353,9 @@ int main(int argc, char** argv) {
             << (resolved_jobs == 1 ? "" : "s");
   if (threads_per_scenario != 0)
     std::cout << ", " << threads_per_scenario << " threads each";
+  if (executor_threads_set)
+    std::cout << ", " << util::Executor::session().workers()
+              << " executor workers";
   if (retries != 0)
     std::cout << ", " << retries << " retr" << (retries == 1 ? "y" : "ies");
   if (deadline_seconds > 0.0)

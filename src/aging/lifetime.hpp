@@ -96,9 +96,10 @@ struct LifetimeReport {
 };
 
 /// Evaluate every used cell of `tracker` under `model` (nominal
-/// environment). `threads` shards the per-cell lifetime solves across a
-/// util::ThreadPool (0 = hardware concurrency); results are bit-identical
-/// for any value (see aging/report_evaluator.hpp).
+/// environment). `threads` shards the per-cell lifetime solves on the
+/// session executor under that concurrency budget (0 = hardware
+/// concurrency); results are bit-identical for any value (see
+/// aging/report_evaluator.hpp).
 LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
                                     const LifetimeModel& model,
                                     unsigned threads = 1);

@@ -9,16 +9,17 @@
 // not commute bitwise). ReportEvaluator splits the two:
 //
 //  * cells are partitioned into contiguous shards (util::shard_range) and
-//    each shard's per-cell values are evaluated on a util::ThreadPool into
-//    its own buffer — a pure function of the cell index, so scheduling
-//    cannot influence any value;
+//    each shard's per-cell values are evaluated on the session-wide
+//    work-stealing executor into its own buffer — a pure function of the
+//    cell index, so scheduling cannot influence any value;
 //  * the per-shard buffers are then merged in deterministic shard order by
 //    replaying them, cell by cell, through the single accumulation fold.
 //
 // The fold therefore sees exactly the sequence of (cell, value) pairs the
 // single-threaded loop produced, which makes the parallel reports
-// bit-identical to the serial ones — for ANY shard count, the invariant
-// the rest of the framework already holds (see util/parallel.hpp).
+// bit-identical to the serial ones — for ANY shard count and ANY executor
+// size, the invariant the rest of the framework already holds (see
+// util/executor.hpp).
 #pragma once
 
 #include <algorithm>
@@ -26,13 +27,16 @@
 #include <utility>
 #include <vector>
 
-#include "util/parallel.hpp"
+#include "util/executor.hpp"
 
 namespace dnnlife::aging {
 
-/// Runs per-cell evaluations in contiguous shards across a thread pool and
-/// folds the results in cell order. One evaluator is one thread budget;
-/// reports pass AgingReportOptions::threads (0 = hardware concurrency).
+/// Runs per-cell evaluations in contiguous shards on the session executor
+/// and folds the results in cell order. One evaluator is one concurrency
+/// budget; reports pass AgingReportOptions::threads (0 = hardware
+/// concurrency). A whole report fan-out is ONE bulk submission (one heap
+/// allocation, O(min(shards, workers)) deque pushes), so nothing stops a
+/// suite from evaluating many reports concurrently under their budgets.
 class ReportEvaluator {
  public:
   explicit ReportEvaluator(unsigned threads)
@@ -62,9 +66,9 @@ class ReportEvaluator {
     }
     std::vector<std::vector<Value>> buffers(shards);
     {
-      util::ThreadPool pool(shards);
-      util::parallel_for_shards(
-          pool, cell_count, shards,
+      util::TaskGroup group;
+      group.submit_bulk(
+          cell_count, shards,
           [&](unsigned shard, std::uint64_t begin, std::uint64_t end) {
             auto eval = make_eval();
             std::vector<Value>& buffer = buffers[shard];
@@ -72,6 +76,7 @@ class ReportEvaluator {
             for (std::uint64_t cell = begin; cell < end; ++cell)
               buffer.push_back(eval(static_cast<std::size_t>(cell)));
           });
+      group.wait();
     }
     std::size_t cell = 0;
     for (std::vector<Value>& buffer : buffers)
@@ -114,9 +119,9 @@ class ReportEvaluator {
     }
     std::vector<std::vector<Value>> buffers(shards);
     {
-      util::ThreadPool pool(shards);
-      util::parallel_for_shards(
-          pool, cell_count, shards,
+      util::TaskGroup group;
+      group.submit_bulk(
+          cell_count, shards,
           [&](unsigned shard, std::uint64_t begin64, std::uint64_t end64) {
             auto eval = make_eval();
             const auto begin = static_cast<std::size_t>(begin64);
@@ -128,6 +133,7 @@ class ReportEvaluator {
               eval(b, e, buffer.data() + (b - begin));
             }
           });
+      group.wait();
     }
     std::size_t cell = 0;
     for (std::vector<Value>& buffer : buffers)

@@ -54,8 +54,8 @@ struct AgingReportOptions {
   /// percentage points (~ the width of the paper's lowest histogram bin;
   /// cells here read as "around 10.8%" in Fig. 9/11 terms).
   double optimal_tolerance = 2.0;
-  /// Report-evaluation shards on util::ThreadPool (0 = hardware
-  /// concurrency). Results are bit-identical for any value: per-cell model
+  /// Report-evaluation shard budget on the session executor (0 =
+  /// hardware concurrency). Results are bit-identical for any value: per-cell model
   /// evaluation parallelizes, accumulation replays in cell order (see
   /// aging/report_evaluator.hpp).
   unsigned threads = 1;

@@ -6,7 +6,7 @@
 #include "core/fast_simulator.hpp"
 #include "core/reference_simulator.hpp"
 #include "dnn/model_zoo.hpp"
-#include "util/parallel.hpp"
+#include "util/executor.hpp"
 
 namespace dnnlife::core {
 
@@ -119,15 +119,15 @@ std::vector<aging::AgingReport> Workbench::evaluate_all(
     for (std::size_t i = 0; i < policies.size(); ++i)
       slots[i].emplace(evaluate(policies[i]));
   } else {
-    // One task per policy; the pool drains them FIFO. Slots are disjoint,
-    // so no synchronisation beyond wait() is needed.
-    util::ThreadPool pool(threads);
-    for (std::size_t i = 0; i < policies.size(); ++i) {
-      pool.submit([this, &policies, &slots, i] {
-        slots[i].emplace(evaluate(policies[i]));
-      });
-    }
-    pool.wait();
+    // One bulk submission over the policy indices with `threads` as the
+    // concurrency budget on the session executor. Slots are disjoint, so
+    // no synchronisation beyond wait() is needed.
+    util::TaskGroup group;
+    group.submit_items(policies.size(), threads, [this, &policies, &slots](
+                                                     std::size_t i) {
+      slots[i].emplace(evaluate(policies[i]));
+    });
+    group.wait();
   }
   reports.reserve(policies.size());
   for (auto& slot : slots) reports.push_back(std::move(*slot));

@@ -117,7 +117,10 @@ aging::DutyCycleTracker simulate_fast(const sim::WriteStream& stream,
   // ---- Phase 2 (parallel over rows): per-row residencies and word-level
   // duty commits. Rows own disjoint cell ranges of the tracker and every
   // per-write quantity is a pure function of the materialised records, so
-  // the result is bit-identical for any thread count.
+  // the result is bit-identical for any thread count. options.threads is a
+  // concurrency budget on the session executor (one bulk submission, not a
+  // transient pool), so many scenarios can run their commit phases
+  // concurrently without oversubscribing the machine.
   const auto process_rows = [&](unsigned /*shard*/, std::uint64_t row_begin,
                                 std::uint64_t row_end) {
     std::vector<std::uint64_t> rotated(words_per_row);  // per-shard scratch

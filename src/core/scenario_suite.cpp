@@ -1,24 +1,19 @@
 #include "core/scenario_suite.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <limits>
-#include <memory>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
 #include "core/sweep_journal.hpp"
+#include "core/sweep_scheduler.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/json_writer.hpp"
-#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -111,85 +106,6 @@ std::string ScenarioSuite::manifest_hash() const {
   return std::string(hex, 16);
 }
 
-namespace {
-
-/// What one attempt produced; moved into the outcome of the last attempt.
-struct AttemptOutcome {
-  bool ok = false;
-  bool timed_out = false;
-  std::string error;
-  std::optional<ScenarioResult> result;
-};
-
-/// Run one attempt: fault hook, then the scenario, from a fresh spec copy.
-/// With a soft deadline the attempt executes on its own thread; on
-/// expiry the thread is detached (the shared state keeps everything it
-/// still touches alive, and it discards its result once it sees the
-/// abandoned flag) so the shard moves on instead of hanging.
-AttemptOutcome execute_attempt(ScenarioSpec spec, std::size_t global_index,
-                               unsigned attempt,
-                               const SuiteRunOptions& options) {
-  const auto body = [](ScenarioSpec& fresh_spec, std::size_t index,
-                       unsigned attempt_number, const SuiteFaultHook& hook,
-                       AttemptOutcome& out) {
-    try {
-      if (hook) hook(SuiteFaultContext{index, attempt_number});
-      out.result = run_scenario(fresh_spec);
-      out.ok = true;
-    } catch (const std::exception& error) {
-      out.error = error.what();
-    } catch (...) {
-      out.error = "unknown error";
-    }
-  };
-  if (options.soft_deadline_seconds <= 0.0) {
-    AttemptOutcome out;
-    body(spec, global_index, attempt, options.fault_hook, out);
-    return out;
-  }
-
-  struct Shared {
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-    bool abandoned = false;
-    AttemptOutcome out;
-  };
-  const auto shared = std::make_shared<Shared>();
-  // The worker owns copies of everything it touches (spec, hook), so an
-  // abandoned worker never dangles into the caller's frame.
-  std::thread worker([shared, spec = std::move(spec),
-                      hook = options.fault_hook, global_index, attempt,
-                      body]() mutable {
-    AttemptOutcome local;
-    body(spec, global_index, attempt, hook, local);
-    const std::lock_guard<std::mutex> lock(shared->mutex);
-    if (!shared->abandoned) shared->out = std::move(local);
-    shared->done = true;
-    shared->cv.notify_all();
-  });
-  std::unique_lock<std::mutex> lock(shared->mutex);
-  const bool finished = shared->cv.wait_for(
-      lock, std::chrono::duration<double>(options.soft_deadline_seconds),
-      [&] { return shared->done; });
-  if (finished) {
-    lock.unlock();
-    worker.join();
-    return std::move(shared->out);
-  }
-  shared->abandoned = true;
-  lock.unlock();
-  worker.detach();
-  AttemptOutcome out;
-  out.timed_out = true;
-  out.error = "soft deadline of " +
-              util::Table::num(options.soft_deadline_seconds, 3) +
-              " s exceeded";
-  return out;
-}
-
-}  // namespace
-
 std::vector<SuiteOutcome> ScenarioSuite::run(
     const SuiteRunOptions& options) const {
   std::vector<std::size_t> selection =
@@ -217,64 +133,33 @@ std::vector<SuiteOutcome> ScenarioSuite::run(
       return options.journal->completed(index);
     });
   }
-  std::vector<SuiteOutcome> outcomes(selection.size());
+  std::vector<SuiteOutcome> outcomes;
+  outcomes.reserve(selection.size());
   if (selection.empty()) return outcomes;
 
-  const unsigned max_attempts = 1 + options.retries;
-  std::mutex progress_mutex;
-  std::size_t completed = 0;
-  const auto run_one = [&](std::size_t slot) {
-    const SuiteEntry& entry = entries_[selection[slot]];
-    SuiteOutcome& outcome = outcomes[slot];
-    outcome.index = selection[slot];
-    outcome.path = entry.path;
-    outcome.name = entry.spec.name;
-    const auto start = std::chrono::steady_clock::now();
-    AttemptOutcome last;
-    unsigned attempt = 1;
-    for (;; ++attempt) {
-      ScenarioSpec spec = entry.spec;  // fresh-attempt isolation
-      if (options.threads_per_scenario != 0)
-        spec.threads = options.threads_per_scenario;
-      last = execute_attempt(std::move(spec), outcome.index, attempt, options);
-      if (last.ok || attempt >= max_attempts) break;
-    }
-    outcome.ok = last.ok;
-    outcome.timed_out = last.timed_out;
-    outcome.attempts = attempt;
-    outcome.error = std::move(last.error);
-    outcome.result = std::move(last.result);
-    outcome.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-            .count();
-    // Durability before reporting: once progress announces a point, a crash
-    // right after must still find it in the journal.
-    if (options.journal != nullptr)
-      options.journal->append(make_suite_record(outcome));
-    if (options.progress) {
-      const std::lock_guard<std::mutex> lock(progress_mutex);
-      ++completed;
-      SuiteProgress progress;
-      progress.completed = completed;
-      progress.total = selection.size();
-      progress.outcome = &outcome;
-      options.progress(progress);
-    }
-  };
-
-  unsigned jobs = util::resolve_thread_count(options.jobs);
-  if (static_cast<std::size_t>(jobs) > selection.size())
-    jobs = static_cast<unsigned>(selection.size());
-  if (jobs <= 1) {
-    for (std::size_t i = 0; i < selection.size(); ++i) run_one(i);
-    return outcomes;
-  }
-  // One task per scenario; outcomes land in disjoint slots, so suite order
-  // is preserved no matter which job finishes first.
-  util::ThreadPool pool(jobs);
-  for (std::size_t i = 0; i < selection.size(); ++i)
-    pool.submit([&run_one, i] { run_one(i); });
-  pool.wait();
+  // The batch runner is a thin loop over the incremental scheduler: submit
+  // the shard's selection, wait, collect in suite order (each handle owns
+  // its slot, so completion order cannot reorder the outcomes). `jobs` is
+  // an admission budget on the shared session executor, not a pool size —
+  // scenario jobs, their fast-sim commits and their report evaluations all
+  // share the same workers.
+  SweepScheduler::Options scheduler_options;
+  scheduler_options.jobs = options.jobs;
+  scheduler_options.threads_per_scenario = options.threads_per_scenario;
+  scheduler_options.retries = options.retries;
+  scheduler_options.soft_deadline_seconds = options.soft_deadline_seconds;
+  scheduler_options.fault_hook = options.fault_hook;
+  scheduler_options.journal = options.journal;
+  scheduler_options.progress = options.progress;
+  scheduler_options.expected_total = selection.size();
+  SweepScheduler scheduler(std::move(scheduler_options));
+  std::vector<SweepScheduler::Handle> handles;
+  handles.reserve(selection.size());
+  for (const std::size_t index : selection)
+    handles.push_back(scheduler.submit(entries_[index], index));
+  scheduler.wait_all();
+  for (SweepScheduler::Handle& handle : handles)
+    outcomes.push_back(handle.take_outcome());
   return outcomes;
 }
 

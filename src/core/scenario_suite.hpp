@@ -4,9 +4,10 @@
 // parameter sweep is hundreds of such documents. ScenarioSuite is the
 // batch entry point: glob a directory (or take an explicit file list),
 // parse every document strictly up front — a typo fails the load, not the
-// 400th scenario of an overnight sweep — then run the specs across a
-// util::ThreadPool with per-scenario thread budgets and aggregate the
-// outcomes into one CSV / JSON summary. Run-time failures (e.g. a
+// 400th scenario of an overnight sweep — then run the specs through
+// core::SweepScheduler on the session-wide work-stealing executor (jobs
+// and per-scenario threads are concurrency budgets, not pools) and
+// aggregate the outcomes into one CSV / JSON summary. Run-time failures (e.g. a
 // lifetime threshold a model cannot reach) are captured per outcome so
 // one bad point does not kill the sweep.
 //

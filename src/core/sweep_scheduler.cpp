@@ -1,0 +1,348 @@
+#include "core/sweep_scheduler.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/sweep_journal.hpp"
+#include "util/executor.hpp"
+#include "util/table.hpp"
+
+namespace dnnlife::core {
+
+namespace {
+
+/// What one attempt produced; moved into the outcome of the last attempt.
+struct AttemptOutcome {
+  bool ok = false;
+  bool timed_out = false;
+  std::string error;
+  std::optional<ScenarioResult> result;
+};
+
+/// Run one attempt: fault hook, then the scenario, from a fresh spec copy.
+/// With a soft deadline the attempt executes on its own thread — never on
+/// a pool worker, which could not be abandoned — and on expiry the thread
+/// is detached (the shared state keeps everything it still touches alive,
+/// and it discards its result once it sees the abandoned flag) so the
+/// sweep moves on instead of hanging.
+AttemptOutcome execute_attempt(ScenarioSpec spec, std::size_t global_index,
+                               unsigned attempt, double soft_deadline_seconds,
+                               const SuiteFaultHook& fault_hook) {
+  const auto body = [](ScenarioSpec& fresh_spec, std::size_t index,
+                       unsigned attempt_number, const SuiteFaultHook& hook,
+                       AttemptOutcome& out) {
+    try {
+      if (hook) hook(SuiteFaultContext{index, attempt_number});
+      out.result = run_scenario(fresh_spec);
+      out.ok = true;
+    } catch (const std::exception& error) {
+      out.error = error.what();
+    } catch (...) {
+      out.error = "unknown error";
+    }
+  };
+  if (soft_deadline_seconds <= 0.0) {
+    AttemptOutcome out;
+    body(spec, global_index, attempt, fault_hook, out);
+    return out;
+  }
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+    AttemptOutcome out;
+  };
+  const auto shared = std::make_shared<Shared>();
+  // The worker owns copies of everything it touches (spec, hook), so an
+  // abandoned worker never dangles into the caller's frame.
+  std::thread worker([shared, spec = std::move(spec), hook = fault_hook,
+                      global_index, attempt, body]() mutable {
+    AttemptOutcome local;
+    body(spec, global_index, attempt, hook, local);
+    const std::lock_guard<std::mutex> lock(shared->mutex);
+    if (!shared->abandoned) shared->out = std::move(local);
+    shared->done = true;
+    shared->cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  const bool finished = shared->cv.wait_for(
+      lock, std::chrono::duration<double>(soft_deadline_seconds),
+      [&] { return shared->done; });
+  if (finished) {
+    lock.unlock();
+    worker.join();
+    return std::move(shared->out);
+  }
+  shared->abandoned = true;
+  lock.unlock();
+  worker.detach();
+  AttemptOutcome out;
+  out.timed_out = true;
+  out.error = "soft deadline of " + util::Table::num(soft_deadline_seconds, 3) +
+              " s exceeded";
+  return out;
+}
+
+}  // namespace
+
+/// Shared state behind a Handle. `done` flips exactly once, under `mutex`,
+/// after outcome/record are in place; readers that saw done under the
+/// mutex (or via a blocking wait) may then read both without it.
+struct SweepScheduler::PointState {
+  std::size_t index = 0;
+  SuiteEntry entry;
+  bool replayed = false;
+  util::Executor* executor = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  std::optional<SuiteOutcome> outcome;
+  std::optional<SuiteRecord> record;
+
+  void wait_done() {
+    // Help the executor while blocked: a pool worker polling a handle
+    // keeps draining tasks (possibly the very point it waits for), so
+    // handle waits cannot deadlock the pool; the short timed wait covers
+    // the window where no work is available but the point is mid-flight.
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (done) return;
+      }
+      if (executor != nullptr && executor->try_help()) continue;
+      std::unique_lock<std::mutex> lock(mutex);
+      if (cv.wait_for(lock, std::chrono::milliseconds(1),
+                      [this] { return done; }))
+        return;
+    }
+  }
+};
+
+std::size_t SweepScheduler::Handle::index() const {
+  DNNLIFE_EXPECTS(state_ != nullptr, "empty sweep handle");
+  return state_->index;
+}
+
+bool SweepScheduler::Handle::replayed() const {
+  DNNLIFE_EXPECTS(state_ != nullptr, "empty sweep handle");
+  return state_->replayed;
+}
+
+bool SweepScheduler::Handle::done() const {
+  DNNLIFE_EXPECTS(state_ != nullptr, "empty sweep handle");
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->done;
+}
+
+const SuiteOutcome& SweepScheduler::Handle::outcome() const {
+  DNNLIFE_EXPECTS(state_ != nullptr, "empty sweep handle");
+  if (state_->replayed)
+    throw std::logic_error(
+        "sweep point " + std::to_string(state_->index) +
+        " was replayed from the journal; it has a record() but no outcome");
+  state_->wait_done();
+  DNNLIFE_EXPECTS(state_->outcome.has_value(), "finished point lost its outcome");
+  return *state_->outcome;
+}
+
+SuiteOutcome SweepScheduler::Handle::take_outcome() {
+  outcome();  // blocks + validates; afterwards nothing else writes the state
+  SuiteOutcome taken = std::move(*state_->outcome);
+  state_->outcome.reset();
+  return taken;
+}
+
+const SuiteRecord& SweepScheduler::Handle::record() const {
+  DNNLIFE_EXPECTS(state_ != nullptr, "empty sweep handle");
+  state_->wait_done();
+  DNNLIFE_EXPECTS(state_->record.has_value(), "finished point lost its record");
+  return *state_->record;
+}
+
+struct SweepScheduler::Impl {
+  explicit Impl(Options options)
+      : options(std::move(options)),
+        executor(&util::Executor::session()),
+        jobs(util::resolve_thread_count(this->options.jobs)),
+        group(*executor) {
+    if (this->options.journal != nullptr) {
+      // Records recovered at journal-open time; submissions of these
+      // indices replay instead of executing. Records appended by THIS
+      // scheduler are deliberately absent — resubmitting an index it
+      // already ran is a caller bug and is rejected in submit().
+      for (const SuiteRecord& record : this->options.journal->replayed())
+        replay.emplace(record.index, record);
+    }
+  }
+
+  void launch_locked(std::shared_ptr<PointState> state) {
+    group.submit(util::Task(
+        [this, state = std::move(state)] { run_point(*state); }));
+  }
+
+  void run_point(PointState& state);
+
+  Options options;
+  util::Executor* executor;
+  unsigned jobs;
+  util::TaskGroup group;
+
+  // Recursive: the progress callback runs under it (serialized, like the
+  // old suite runner) and is explicitly allowed to submit() the next
+  // adaptive points reentrantly. It must not block on handles or
+  // wait_all() — that would stall every other finishing point.
+  mutable std::recursive_mutex mutex;
+  std::deque<std::shared_ptr<PointState>> queue;
+  std::unordered_map<std::size_t, SuiteRecord> replay;
+  unsigned in_flight = 0;
+  std::size_t fresh_submitted = 0;
+  std::size_t fresh_completed = 0;
+  std::size_t next_index = 0;
+};
+
+void SweepScheduler::Impl::run_point(PointState& state) {
+  const SuiteEntry& entry = state.entry;
+  SuiteOutcome outcome;
+  outcome.index = state.index;
+  outcome.path = entry.path;
+  outcome.name = entry.spec.name;
+  const auto start = std::chrono::steady_clock::now();
+  const unsigned max_attempts = 1 + options.retries;
+  AttemptOutcome last;
+  unsigned attempt = 1;
+  for (;; ++attempt) {
+    ScenarioSpec spec = entry.spec;  // fresh-attempt isolation
+    if (options.threads_per_scenario != 0)
+      spec.threads = options.threads_per_scenario;
+    last = execute_attempt(std::move(spec), outcome.index, attempt,
+                           options.soft_deadline_seconds, options.fault_hook);
+    if (last.ok || attempt >= max_attempts) break;
+  }
+  outcome.ok = last.ok;
+  outcome.timed_out = last.timed_out;
+  outcome.attempts = attempt;
+  outcome.error = std::move(last.error);
+  outcome.result = std::move(last.result);
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  SuiteRecord record = make_suite_record(outcome);
+  // Durability before reporting: once the handle or the progress callback
+  // announces a point, a crash right after must still find it journaled.
+  // A journal write failure still completes the handle (the outcome is
+  // valid) before the error propagates to wait_all().
+  std::exception_ptr journal_error;
+  if (options.journal != nullptr) {
+    try {
+      options.journal->append(record);
+    } catch (...) {
+      journal_error = std::current_exception();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(state.mutex);
+    state.outcome = std::move(outcome);
+    state.record = std::move(record);
+    state.done = true;
+  }
+  state.cv.notify_all();
+  {
+    const std::lock_guard<std::recursive_mutex> lock(mutex);
+    ++fresh_completed;
+    if (options.progress) {
+      // Serialized by `mutex`, like the suite runner's progress path.
+      SuiteProgress progress;
+      progress.completed = fresh_completed;
+      progress.total = options.expected_total != 0 ? options.expected_total
+                                                   : fresh_submitted;
+      progress.outcome = &*state.outcome;
+      options.progress(progress);
+    }
+    // Admission chain: the next queued point is launched from inside this
+    // still-counted task, so the group's pending count never drops to
+    // zero while queued work remains — wait_all()'s group.wait() covers
+    // the entire queue with no extra machinery.
+    if (!queue.empty()) {
+      std::shared_ptr<PointState> next = std::move(queue.front());
+      queue.pop_front();
+      launch_locked(std::move(next));
+    } else {
+      --in_flight;
+    }
+  }
+  if (journal_error) std::rethrow_exception(journal_error);
+}
+
+SweepScheduler::SweepScheduler(Options options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+SweepScheduler::~SweepScheduler() {
+  // ~Impl runs ~TaskGroup, which waits for stragglers (errors discarded).
+}
+
+SweepScheduler::Handle SweepScheduler::submit_locked(SuiteEntry entry,
+                                                     std::size_t global_index) {
+  auto state = std::make_shared<PointState>();
+  state->index = global_index;
+  state->entry = std::move(entry);
+  state->executor = impl_->executor;
+  if (impl_->next_index <= global_index) impl_->next_index = global_index + 1;
+  if (impl_->options.journal != nullptr &&
+      impl_->options.journal->completed(global_index)) {
+    const auto found = impl_->replay.find(global_index);
+    if (found == impl_->replay.end())
+      throw std::invalid_argument(
+          "sweep point " + std::to_string(global_index) +
+          " was already run by this scheduler; each index may be submitted "
+          "once");
+    state->replayed = true;
+    state->done = true;
+    state->record = found->second;
+    return Handle(std::move(state));
+  }
+  ++impl_->fresh_submitted;
+  if (impl_->in_flight < impl_->jobs) {
+    ++impl_->in_flight;
+    impl_->launch_locked(state);
+  } else {
+    impl_->queue.push_back(state);
+  }
+  return Handle(std::move(state));
+}
+
+SweepScheduler::Handle SweepScheduler::submit(SuiteEntry entry,
+                                              std::size_t global_index) {
+  const std::lock_guard<std::recursive_mutex> lock(impl_->mutex);
+  return submit_locked(std::move(entry), global_index);
+}
+
+SweepScheduler::Handle SweepScheduler::submit(ScenarioSpec spec) {
+  SuiteEntry entry;
+  entry.path = "<" + spec.name + ">";
+  entry.spec = std::move(spec);
+  const std::lock_guard<std::recursive_mutex> lock(impl_->mutex);
+  return submit_locked(std::move(entry), impl_->next_index);
+}
+
+void SweepScheduler::wait_all() { impl_->group.wait(); }
+
+std::size_t SweepScheduler::submitted() const {
+  const std::lock_guard<std::recursive_mutex> lock(impl_->mutex);
+  return impl_->fresh_submitted;
+}
+
+std::size_t SweepScheduler::completed() const {
+  const std::lock_guard<std::recursive_mutex> lock(impl_->mutex);
+  return impl_->fresh_completed;
+}
+
+}  // namespace dnnlife::core

@@ -1,0 +1,420 @@
+#include "util/executor.hpp"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+namespace dnnlife::util {
+
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Exponential backoff step: short pause bursts first, then scheduler
+/// yields, before the caller finally parks on the condition variable.
+inline void backoff_pause(unsigned round) noexcept {
+  if (round < 5) {
+    for (unsigned i = 0; i < (1u << round); ++i) cpu_relax();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+constexpr unsigned kBackoffRounds = 10;
+
+/// Chase-Lev-style work-stealing deque of WorkItem pointers (Le et al.,
+/// PPoPP'13). The owner pushes/pops at the bottom; any other thread steals
+/// at the top. Two deliberate deviations from the textbook version:
+///
+///  * seq_cst operations on top/bottom replace the standalone memory
+///    fences — ThreadSanitizer models atomic operations but not
+///    std::atomic_thread_fence, and the TSan CI job is the merge bar for
+///    this pool. The store-load orderings the algorithm needs (owner's
+///    bottom decrement before its top read; thief's top read before its
+///    bottom read) hold under the seq_cst total order.
+///
+///  * grown buffers are retired, not freed: a thief can hold a stale
+///    buffer pointer across a grow, and since grow copies (never moves)
+///    the live range, the stale slot still yields the right item if the
+///    thief's top CAS wins. Retired buffers are freed when the deque dies;
+///    doubling means they sum to less than one peak-sized buffer.
+class StealDeque {
+ public:
+  StealDeque() : buffer_(new Buffer(kInitialCapacity)) {}
+
+  ~StealDeque() { delete buffer_.load(std::memory_order_relaxed); }
+
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  /// Owner only.
+  void push(detail::WorkItem* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) buf = grow(buf, t, b);
+    buf->slot(b).store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only; nullptr when empty (or the last item was lost to a thief).
+  detail::WorkItem* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    detail::WorkItem* item = nullptr;
+    if (t <= b) {
+      item = buf->slot(b).load(std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it via the top CAS.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+          item = nullptr;
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread; nullptr when empty or when the race for the top element
+  /// was lost (callers just move on to the next victim).
+  detail::WorkItem* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
+    detail::WorkItem* item = buf->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;
+    return item;
+  }
+
+ private:
+  static constexpr std::int64_t kInitialCapacity = 64;
+
+  struct Buffer {
+    explicit Buffer(std::int64_t capacity)
+        : capacity(capacity),
+          mask(capacity - 1),
+          slots(new std::atomic<detail::WorkItem*>[capacity]) {}
+    std::atomic<detail::WorkItem*>& slot(std::int64_t i) const {
+      return slots[i & mask];
+    }
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::unique_ptr<std::atomic<detail::WorkItem*>[]> slots;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i)
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(old);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner + destructor only
+};
+
+}  // namespace
+
+struct Executor::Impl {
+  struct Worker {
+    StealDeque deque;
+    std::thread thread;
+  };
+
+  std::vector<std::unique_ptr<Worker>> workers;
+
+  // External (non-worker) submissions: FIFO injection queue.
+  std::mutex inject_mutex;
+  std::deque<detail::WorkItem*> inject;
+
+  // Parking. `queued` counts pushed-but-not-acquired items; together with
+  // `sleepers` it forms the Dekker-style seq_cst handshake that makes the
+  // sleep/wake path lose no wakeups: a submitter either observes a sleeper
+  // (and notifies under the mutex) or the would-be sleeper observes the
+  // queued item in its predicate and never parks.
+  std::mutex sleep_mutex;
+  std::condition_variable sleep_cv;
+  std::atomic<std::int64_t> queued{0};
+  std::atomic<int> sleepers{0};
+  std::atomic<bool> stop{false};
+
+  detail::WorkItem* acquire(int self);
+  void worker_loop(unsigned index);
+  void wake_sleepers();
+
+  // Worker identity of the calling thread, per executor: lets enqueue()
+  // target the worker's own deque and acquire() skip it as a steal victim.
+  static thread_local Impl* tl_impl;
+  static thread_local unsigned tl_index;
+};
+
+thread_local Executor::Impl* Executor::Impl::tl_impl = nullptr;
+thread_local unsigned Executor::Impl::tl_index = 0;
+
+detail::WorkItem* Executor::Impl::acquire(int self) {
+  if (self >= 0) {
+    if (detail::WorkItem* item = workers[static_cast<std::size_t>(self)]->deque.pop()) {
+      queued.fetch_sub(1, std::memory_order_seq_cst);
+      return item;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(inject_mutex);
+    if (!inject.empty()) {
+      detail::WorkItem* item = inject.front();
+      inject.pop_front();
+      queued.fetch_sub(1, std::memory_order_seq_cst);
+      return item;
+    }
+  }
+  const std::size_t n = workers.size();
+  const std::size_t start = self >= 0 ? static_cast<std::size_t>(self) + 1 : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t victim = (start + i) % n;
+    if (static_cast<std::int64_t>(victim) == self) continue;
+    if (detail::WorkItem* item = workers[victim]->deque.steal()) {
+      queued.fetch_sub(1, std::memory_order_seq_cst);
+      return item;
+    }
+  }
+  return nullptr;
+}
+
+void Executor::Impl::wake_sleepers() {
+  if (sleepers.load(std::memory_order_seq_cst) > 0) {
+    // Empty critical section: serializes with a sleeper between its
+    // predicate check and the actual wait, closing the lost-wakeup window.
+    { const std::lock_guard<std::mutex> lock(sleep_mutex); }
+    sleep_cv.notify_all();
+  }
+}
+
+void Executor::Impl::worker_loop(unsigned index) {
+  tl_impl = this;
+  tl_index = index;
+  unsigned round = 0;
+  for (;;) {
+    if (detail::WorkItem* item = acquire(static_cast<int>(index))) {
+      item->execute();
+      round = 0;
+      continue;
+    }
+    if (round < kBackoffRounds) {
+      backoff_pause(round++);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_mutex);
+    sleepers.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv.wait(lock, [this] {
+      return stop.load(std::memory_order_relaxed) ||
+             queued.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers.fetch_sub(1, std::memory_order_relaxed);
+    if (stop.load(std::memory_order_relaxed) &&
+        queued.load(std::memory_order_seq_cst) == 0)
+      return;
+    round = 0;
+  }
+}
+
+Executor::Executor(unsigned threads) : impl_(std::make_unique<Impl>()) {
+  const unsigned count = resolve_thread_count(threads);
+  impl_->workers.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    impl_->workers.push_back(std::make_unique<Impl::Worker>());
+  // All deques exist before any worker can steal from a sibling.
+  for (unsigned i = 0; i < count; ++i)
+    impl_->workers[i]->thread =
+        std::thread([impl = impl_.get(), i] { impl->worker_loop(i); });
+}
+
+Executor::~Executor() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->sleep_mutex);
+    impl_->stop.store(true, std::memory_order_relaxed);
+  }
+  impl_->sleep_cv.notify_all();
+  for (auto& worker : impl_->workers) worker->thread.join();
+}
+
+unsigned Executor::workers() const noexcept {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+bool Executor::try_help() {
+  Impl& impl = *impl_;
+  const int self =
+      Impl::tl_impl == &impl ? static_cast<int>(Impl::tl_index) : -1;
+  if (detail::WorkItem* item = impl.acquire(self)) {
+    item->execute();
+    return true;
+  }
+  return false;
+}
+
+void Executor::enqueue(detail::WorkItem* item, std::size_t copies) {
+  Impl& impl = *impl_;
+  if (Impl::tl_impl == &impl) {
+    StealDeque& deque = impl.workers[Impl::tl_index]->deque;
+    for (std::size_t i = 0; i < copies; ++i) deque.push(item);
+  } else {
+    const std::lock_guard<std::mutex> lock(impl.inject_mutex);
+    for (std::size_t i = 0; i < copies; ++i) impl.inject.push_back(item);
+  }
+  impl.queued.fetch_add(static_cast<std::int64_t>(copies),
+                        std::memory_order_seq_cst);
+  impl.wake_sleepers();
+}
+
+void Executor::wait_for(TaskGroup& group) {
+  Impl& impl = *impl_;
+  const int self =
+      Impl::tl_impl == &impl ? static_cast<int>(Impl::tl_index) : -1;
+  unsigned round = 0;
+  while (group.pending_.load(std::memory_order_acquire) != 0) {
+    if (detail::WorkItem* item = impl.acquire(self)) {
+      // Help instead of sleeping: this is what makes nested fan-outs on
+      // the shared pool safe — the thread blocked in wait() executes the
+      // very subtasks (or anyone else's) it would otherwise deadlock on.
+      item->execute();
+      round = 0;
+      continue;
+    }
+    if (round < kBackoffRounds) {
+      backoff_pause(round++);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(impl.sleep_mutex);
+    impl.sleepers.fetch_add(1, std::memory_order_seq_cst);
+    impl.sleep_cv.wait(lock, [&] {
+      return group.pending_.load(std::memory_order_seq_cst) == 0 ||
+             impl.queued.load(std::memory_order_seq_cst) > 0;
+    });
+    impl.sleepers.fetch_sub(1, std::memory_order_relaxed);
+    round = 0;
+  }
+}
+
+void Executor::notify_completion() { impl_->wake_sleepers(); }
+
+// ---- session singleton -------------------------------------------------------
+
+namespace {
+
+// Declaration order matters: both are constant-initialized and destroyed
+// in reverse order at exit, so the executor (joining its workers) dies
+// before the mutex guarding it.
+std::mutex session_mutex;
+std::unique_ptr<Executor> session_executor;
+
+unsigned session_env_threads() {
+  const char* env = std::getenv("DNNLIFE_EXECUTOR_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(env, &end, 10);
+  // Nonsense values fall back to the hardware count rather than aborting a
+  // run over an environment typo; the CLI flag validates loudly instead.
+  if (end == nullptr || *end != '\0' || value > 4096) return 0;
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+Executor& Executor::session() {
+  const std::lock_guard<std::mutex> lock(session_mutex);
+  if (!session_executor)
+    session_executor = std::make_unique<Executor>(session_env_threads());
+  return *session_executor;
+}
+
+void Executor::configure_session(unsigned threads) {
+  const std::lock_guard<std::mutex> lock(session_mutex);
+  const unsigned resolved = resolve_thread_count(threads);
+  if (session_executor && session_executor->workers() == resolved) return;
+  session_executor.reset();  // joins the old workers before resizing
+  session_executor = std::make_unique<Executor>(resolved);
+}
+
+// ---- TaskGroup ---------------------------------------------------------------
+
+struct TaskGroup::SingleItem final : detail::WorkItem {
+  SingleItem(TaskGroup* group, Task task)
+      : WorkItem(group), task(std::move(task)) {}
+
+  void execute() override {
+    try {
+      task();
+    } catch (...) {
+      group->record_error(std::current_exception());
+    }
+    TaskGroup* const owner = group;
+    delete this;
+    owner->finish_one();
+  }
+
+  Task task;
+};
+
+void TaskGroup::submit(Task task) {
+  DNNLIFE_EXPECTS(static_cast<bool>(task), "empty task");
+  auto* item = new SingleItem(this, std::move(task));
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  executor_->enqueue(item, 1);
+}
+
+void TaskGroup::wait() {
+  executor_->wait_for(*this);
+  std::exception_ptr error;
+  {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    error = std::exchange(error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+unsigned TaskGroup::token_count(unsigned shards, unsigned budget) const noexcept {
+  // Enough tokens that every worker plus the waiting submitter can
+  // participate, capped by the concurrency budget and the shard count.
+  unsigned tokens = executor_->workers() + 1;
+  if (tokens > shards) tokens = shards;
+  if (tokens > budget) tokens = budget;
+  return tokens == 0 ? 1 : tokens;
+}
+
+void TaskGroup::record_error(std::exception_ptr error) {
+  const std::lock_guard<std::mutex> lock(error_mutex_);
+  if (!error_) error_ = std::move(error);
+}
+
+void TaskGroup::finish_one() {
+  // The decrement that reaches zero releases the waiter, which may destroy
+  // this group immediately — so the executor pointer must be read BEFORE
+  // the decrement, and nothing of the group may be touched after it. The
+  // executor itself is safe to poke: its destructor joins this worker.
+  Executor* const executor = executor_;
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    executor->notify_completion();
+}
+
+}  // namespace dnnlife::util

@@ -1,135 +1,77 @@
-// A small blocking thread pool and deterministic sharded parallel-for.
+// Deprecated compatibility layer over util/executor.hpp.
 //
-// The experiment layer parallelizes two coarse-grained dimensions: policies
-// within a Workbench, and the row dimension of the fast simulator's commit
-// phase. Both decompose into independent tasks whose results land in
-// disjoint slots, so determinism needs no synchronisation beyond the final
-// join: every task computes a pure function of its inputs (per-shard RNG
-// streams are derived with util::derive_seed, never shared), and the shard
-// partition below depends only on (n, shards) — results are bit-identical
-// for any thread count.
+// ThreadPool used to be a private fixed-size worker pool; every layer of
+// the stack constructed its own, so nested fan-outs oversubscribed the
+// machine by jobs x threads. It is now a thin shim: the `thread_count`
+// becomes a concurrency *budget* on the process-wide work-stealing
+// executor (Executor::session()), and no threads are spawned here at all.
+// New code should use util::TaskGroup directly.
+//
+// Determinism is unchanged: tasks land results in disjoint slots, the
+// shard partition below depends only on (n, shards), and per-shard RNG
+// streams are derived with util::derive_seed — results are bit-identical
+// for any thread count and any executor size.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <utility>
-#include <vector>
 
 #include "util/check.hpp"
+#include "util/executor.hpp"
 
 namespace dnnlife::util {
 
-/// The shared `threads` parameter convention: 0 means "use the hardware",
-/// anything else is taken literally.
-inline unsigned resolve_thread_count(unsigned threads) noexcept {
-  if (threads != 0) return threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
+class ThreadPool;
 
-/// Fixed-size worker pool. Tasks run in submission order (FIFO) across the
-/// workers; wait() blocks until the queue drains and rethrows the first
-/// task exception, if any.
+template <class Fn>
+void parallel_for_shards(ThreadPool& pool, std::uint64_t n, unsigned shards,
+                         Fn&& fn);
+
+/// Deprecated shim: submits to the session executor under a concurrency
+/// budget of `thread_count` instead of owning threads. Semantics match the
+/// old pool where consumers relied on them — submit() then wait(), first
+/// task exception rethrown by wait(), reusable afterwards. FIFO execution
+/// order across workers is NOT preserved (tasks may run in any order);
+/// in-tree callers never depended on it.
 class ThreadPool {
  public:
-  /// `thread_count` 0 means std::thread::hardware_concurrency().
-  explicit ThreadPool(unsigned thread_count = 0) {
-    thread_count = resolve_thread_count(thread_count);
-    workers_.reserve(thread_count);
-    for (unsigned t = 0; t < thread_count; ++t)
-      workers_.emplace_back([this] { worker_loop(); });
-  }
+  /// `thread_count` 0 means std::thread::hardware_concurrency(). This is
+  /// now a budget: at most this many of the pool's tasks run concurrently
+  /// on the shared executor.
+  explicit ThreadPool(unsigned thread_count = 0)
+      : budget_(resolve_thread_count(thread_count)) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stop_ = true;
-    }
-    ready_.notify_all();
-    for (auto& worker : workers_) worker.join();
-  }
+  ~ThreadPool() = default;  // group_ waits for stragglers
 
-  unsigned size() const noexcept {
-    return static_cast<unsigned>(workers_.size());
-  }
+  /// The concurrency budget (kept the name so out-of-tree callers compile).
+  unsigned size() const noexcept { return budget_; }
 
   void submit(std::function<void()> task) {
     DNNLIFE_EXPECTS(task != nullptr, "empty task");
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++pending_;
-      queue_.push_back(std::move(task));
-    }
-    ready_.notify_one();
+    group_.submit(Task(std::move(task)));
   }
 
   /// Block until all submitted tasks have finished; rethrow the first
-  /// exception any of them raised.
-  void wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return pending_ == 0; });
-    if (error_) {
-      std::exception_ptr error = std::exchange(error_, nullptr);
-      lock.unlock();
-      std::rethrow_exception(error);
-    }
-  }
+  /// exception any of them raised. Runs pending executor work while
+  /// blocked, so shimmed pools still compose with nested fan-outs.
+  void wait() { group_.wait(); }
 
  private:
-  void worker_loop() {
-    for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // stop requested and nothing left
-        task = std::move(queue_.front());
-        queue_.pop_front();
-      }
-      try {
-        task();
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!error_) error_ = std::current_exception();
-      }
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (--pending_ == 0) idle_.notify_all();
-      }
-    }
-  }
+  template <class Fn>
+  friend void parallel_for_shards(ThreadPool&, std::uint64_t, unsigned, Fn&&);
 
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  std::size_t pending_ = 0;
-  bool stop_ = false;
-  std::exception_ptr error_;
+  unsigned budget_;
+  TaskGroup group_;
 };
 
-/// The contiguous range shard `s` of `shards` covers in [0, n):
-/// [s*n/shards, (s+1)*n/shards). Pure function of (n, shards, s) so the
-/// work decomposition — and therefore any shard-seeded randomness — is
-/// independent of scheduling.
-constexpr std::pair<std::uint64_t, std::uint64_t> shard_range(
-    std::uint64_t n, unsigned shards, unsigned s) noexcept {
-  const std::uint64_t begin = n * s / shards;
-  const std::uint64_t end = n * (s + 1) / shards;
-  return {begin, end};
-}
-
 /// Run fn(shard, begin, end) over [0, n) split into `shards` contiguous
-/// ranges using `pool`; blocks until all shards finish.
+/// ranges on the session executor; blocks until all shards finish. Kept
+/// for compatibility — the pool only contributes its budget; prefer
+/// TaskGroup::submit_bulk.
 template <class Fn>
 void parallel_for_shards(ThreadPool& pool, std::uint64_t n, unsigned shards,
                          Fn&& fn) {
@@ -139,19 +81,16 @@ void parallel_for_shards(ThreadPool& pool, std::uint64_t n, unsigned shards,
     fn(0u, std::uint64_t{0}, n);
     return;
   }
-  for (unsigned s = 0; s < shards; ++s) {
-    const auto [begin, end] = shard_range(n, shards, s);
-    if (begin == end) continue;
-    pool.submit([&fn, s, begin = begin, end = end] { fn(s, begin, end); });
-  }
-  pool.wait();
+  pool.group_.submit_bulk(n, shards, pool.budget_, std::forward<Fn>(fn));
+  pool.group_.wait();
 }
 
-/// Convenience overload: `threads` <= 1 runs inline (no pool, no thread
-/// spawn); otherwise a transient pool of `threads` workers is used. The
-/// shard partition is threads-count-dependent, so callers that need
-/// thread-count-invariant results must make per-shard work a pure function
-/// of the item index (see fast_simulator.cpp).
+/// Run fn(shard, begin, end) over [0, n) split into min(threads, n)
+/// contiguous ranges. `threads` is a concurrency budget on the session
+/// executor (<= 1 runs inline with no submission at all). The shard
+/// partition is budget-dependent, so callers that need budget-invariant
+/// results must make per-shard work a pure function of the item index
+/// (see fast_simulator.cpp).
 template <class Fn>
 void parallel_for_shards(std::uint64_t n, unsigned threads, Fn&& fn) {
   threads = resolve_thread_count(threads);
@@ -160,8 +99,9 @@ void parallel_for_shards(std::uint64_t n, unsigned threads, Fn&& fn) {
     if (n > 0) fn(0u, std::uint64_t{0}, n);
     return;
   }
-  ThreadPool pool(threads);
-  parallel_for_shards(pool, n, threads, fn);
+  TaskGroup group;
+  group.submit_bulk(n, threads, std::forward<Fn>(fn));
+  group.wait();
 }
 
 }  // namespace dnnlife::util
