@@ -15,6 +15,12 @@
 //                         else hardware concurrency); results are
 //                         bit-identical for any value
 //   --csv=PATH            export the per-region lifetime breakdown as CSV
+//   --sim-cache-mb=N      duty-state cache budget in MiB (0 disables, the
+//                         default). A single run simulates each spec once,
+//                         so the cache only pays off when the runner is
+//                         invoked as a library-style harness; the flag
+//                         exists mainly to exercise the cache-aware
+//                         run_scenario path and print its counters
 //
 // Without a file it runs a built-in thermal scenario: a TPU-like NPU
 // alternating between the custom MNIST net (cool, batch duty) and AlexNet
@@ -31,6 +37,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "core/sim_cache.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/executor.hpp"
@@ -75,6 +82,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::optional<unsigned> jobs;
   std::optional<unsigned> executor_threads;
+  unsigned sim_cache_mb = 0;
   std::vector<std::pair<std::size_t, double>> phase_temps;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -122,6 +130,14 @@ int main(int argc, char** argv) {
       }
     } else if (flag_value(arg, "csv", value)) {
       csv_path = value;
+    } else if (flag_value(arg, "sim-cache-mb", value)) {
+      unsigned parsed = 0;
+      if (!util::parse_unsigned_flag(value, parsed) || parsed > (1u << 20)) {
+        std::cerr << "--sim-cache-mb expects a MiB budget in 0..1048576 "
+                     "(0 disables), got '" << value << "'\n";
+        return 1;
+      }
+      sim_cache_mb = parsed;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << "\n";
       return 1;
@@ -180,10 +196,16 @@ int main(int argc, char** argv) {
             << " on the session executor ..." << std::endl;
   // Runtime validation (e.g. an unreachable lifetime threshold for the
   // selected model) must reach the user as cleanly as parse errors.
+  std::shared_ptr<core::SimCache> sim_cache;
+  if (sim_cache_mb > 0)
+    sim_cache = std::make_shared<core::SimCache>(
+        static_cast<std::size_t>(sim_cache_mb) * 1024 * 1024);
   std::optional<core::ScenarioResult> run;
   const auto start = std::chrono::steady_clock::now();
   try {
-    run = core::run_scenario(spec);
+    core::RunScenarioOptions options;
+    options.sim_cache = sim_cache;
+    run = core::run_scenario(spec, options);
   } catch (const std::exception& error) {
     std::cerr << "scenario error: " << error.what() << "\n";
     return 1;
@@ -263,6 +285,19 @@ int main(int argc, char** argv) {
   if (csv)
     std::cout << "per-region lifetime breakdown written to " << csv_path
               << "\n";
+  if (sim_cache) {
+    const core::SimCacheStats stats = sim_cache->stats();
+    std::cout << "sim cache: " << stats.hits << " hit"
+              << (stats.hits == 1 ? "" : "s") << ", " << stats.misses
+              << " miss" << (stats.misses == 1 ? "" : "es") << ", "
+              << stats.evictions << " evicted, " << stats.entries
+              << " resident ("
+              << util::Table::num(
+                     static_cast<double>(stats.bytes_in_use) / (1024.0 * 1024.0),
+                     1)
+              << " MB; fingerprint " << core::simulation_fingerprint(spec)
+              << ")\n";
+  }
   std::cout << "\nOne declarative spec drove network construction, "
                "quantization,\nstream generation, per-region policy engines, "
                "the environment\ntimeline and the aging/lifetime reports.\n";

@@ -41,6 +41,14 @@
 //   --deadline=SEC   soft per-scenario deadline on the monotonic clock: an
 //                    attempt that exceeds it is recorded as status
 //                    "timeout" and abandoned instead of hanging the shard
+//   --sim-cache-mb=N enable content-addressed simulation reuse with an
+//                    N-MB duty-state cache (0 = off, the default): points
+//                    whose specs share a simulation fingerprint (same
+//                    write stream — e.g. an environment/aging-model grid
+//                    over one workload) simulate once and share the
+//                    committed tracker state. Summaries stay
+//                    byte-identical (--omit-timing) to cache-off runs; a
+//                    cache stats line prints at the end
 //   --csv=PATH       write the per-scenario summary as CSV
 //   --json=PATH      write the per-scenario summary + aggregate as JSON
 //   --omit-timing    drop wall-clock fields from CSV/JSON so summaries of
@@ -148,6 +156,8 @@ int main(int argc, char** argv) {
   double deadline_seconds = 0.0;
   std::optional<FaultInjection> inject;
   core::SuiteShard shard;
+  unsigned sim_cache_mb = 0;
+  bool sim_cache_set = false;
   bool omit_timing = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -210,6 +220,14 @@ int main(int argc, char** argv) {
                   << "'\n";
         return 1;
       }
+    } else if (flag_value(arg, "sim-cache-mb", value)) {
+      if (!util::parse_unsigned_flag(value, sim_cache_mb) ||
+          sim_cache_mb > 1u << 20) {
+        std::cerr << "--sim-cache-mb expects a cache budget in MB "
+                     "(0 disables, max 1048576), got '" << value << "'\n";
+        return 1;
+      }
+      sim_cache_set = true;
     } else if (flag_value(arg, "spec", value)) {
       spec_path = value;
     } else if (flag_value(arg, "materialize", value)) {
@@ -234,8 +252,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: example_sweep_runner <dir | scenario.json...> "
                  "[--shard=K/N] [--jobs=N] [--threads=N] "
                  "[--executor-threads=N] [--journal=PATH] [--resume] "
-                 "[--retries=N] [--deadline=SEC] [--csv=PATH] [--json=PATH] "
-                 "[--omit-timing] [--quiet]\n"
+                 "[--retries=N] [--deadline=SEC] [--sim-cache-mb=N] "
+                 "[--csv=PATH] [--json=PATH] [--omit-timing] [--quiet]\n"
                  "   or: example_sweep_runner --spec=SWEEP.json "
                  "[--materialize=DIR] [same flags]\n"
                  "--jobs and --threads are concurrency budgets on one "
@@ -250,13 +268,14 @@ int main(int argc, char** argv) {
   if (!materialize_dir.empty() &&
       (shard.count > 1 || !csv_path.empty() || !json_path.empty() ||
        !journal_path.empty() || resume || inject.has_value() ||
-       executor_threads_set)) {
+       executor_threads_set || sim_cache_set)) {
     // Materialisation writes the whole grid and runs nothing, so a shard
-    // selection, summary path or journal would be silently ignored —
-    // reject the contradiction instead.
+    // selection, summary path, journal or simulation cache would be
+    // silently ignored — reject the contradiction instead.
     std::cerr << "--materialize only writes the documents; it cannot be "
                  "combined with --shard, --csv, --json, --journal, "
-                 "--resume, --inject-fault or --executor-threads\n";
+                 "--resume, --inject-fault, --executor-threads or "
+                 "--sim-cache-mb\n";
     return 1;
   }
   if (resume && journal_path.empty()) {
@@ -361,6 +380,12 @@ int main(int argc, char** argv) {
   if (deadline_seconds > 0.0)
     std::cout << ", " << util::Table::num(deadline_seconds, 3)
               << " s deadline";
+  std::shared_ptr<core::SimCache> sim_cache;
+  if (sim_cache_mb > 0) {
+    sim_cache = std::make_shared<core::SimCache>(
+        static_cast<std::size_t>(sim_cache_mb) * 1024 * 1024);
+    std::cout << ", " << sim_cache_mb << " MB sim cache";
+  }
   std::cout << "\n";
 
   core::SuiteRunOptions options;
@@ -369,6 +394,7 @@ int main(int argc, char** argv) {
   options.shard = shard;
   options.retries = retries;
   options.soft_deadline_seconds = deadline_seconds;
+  options.sim_cache = sim_cache;
   if (journal) options.journal = &*journal;
   if (inject.has_value()) {
     const FaultInjection fault = *inject;
@@ -391,7 +417,7 @@ int main(int argc, char** argv) {
     };
   }
   if (!quiet) {
-    options.progress = [](const core::SuiteProgress& progress) {
+    options.progress = [sim_cache](const core::SuiteProgress& progress) {
       const core::SuiteOutcome& outcome = *progress.outcome;
       std::cout << "[" << progress.completed << "/" << progress.total << "] "
                 << outcome.name;
@@ -405,8 +431,14 @@ int main(int argc, char** argv) {
       } else {
         std::cout << ": dormant (no used cells)";
       }
-      std::cout << " (" << util::Table::num(outcome.wall_seconds, 2) << " s)"
-                << std::endl;
+      std::cout << " (" << util::Table::num(outcome.wall_seconds, 2) << " s)";
+      if (sim_cache) {
+        // Running reuse counters (the callback is serialized, so lines
+        // stay whole): h hits / m misses across the sweep so far.
+        const core::SimCacheStats stats = sim_cache->stats();
+        std::cout << " [cache " << stats.hits << "h/" << stats.misses << "m]";
+      }
+      std::cout << std::endl;
     };
   }
   std::vector<core::SuiteOutcome> outcomes;
@@ -448,12 +480,26 @@ int main(int argc, char** argv) {
   if (failures != 0)
     std::cout << failures << " scenario" << (failures == 1 ? "" : "s")
               << " failed\n";
+  if (sim_cache) {
+    const core::SimCacheStats stats = sim_cache->stats();
+    std::cout << "sim cache: " << stats.hits << " hit"
+              << (stats.hits == 1 ? "" : "s") << ", " << stats.misses
+              << " miss" << (stats.misses == 1 ? "" : "es") << ", "
+              << stats.evictions << " eviction"
+              << (stats.evictions == 1 ? "" : "s") << ", " << stats.entries
+              << " resident ("
+              << util::Table::num(
+                     static_cast<double>(stats.bytes_in_use) / (1024.0 * 1024.0),
+                     1)
+              << " MB)\n";
+  }
 
   core::SuiteSummaryInfo info;
   info.total_scenarios = suite.size();
   info.manifest_hash = suite.manifest_hash();
   info.shard = shard;
   info.include_timing = !omit_timing;
+  if (sim_cache) info.sim_cache = sim_cache->stats();
   if (!csv_path.empty()) {
     core::write_suite_csv(csv_path, records, info);
     std::cout << "sweep summary written to " << csv_path << "\n";

@@ -44,33 +44,60 @@ std::size_t DutyCycleTracker::unused_cell_count() const {
       std::count(total_time_.begin(), total_time_.end(), 0u));
 }
 
-void check_segments(std::span<const EnvironmentSegment> segments) {
+std::vector<EnvironmentSegmentView> segment_views(
+    std::span<const EnvironmentSegment> segments) {
+  std::vector<EnvironmentSegmentView> views;
+  views.reserve(segments.size());
+  for (const EnvironmentSegment& segment : segments)
+    views.push_back(EnvironmentSegmentView{&segment.tracker,
+                                           segment.environment});
+  return views;
+}
+
+void check_segments(std::span<const EnvironmentSegmentView> segments) {
   DNNLIFE_EXPECTS(!segments.empty(), "phased workload has no segments");
-  const DutyCycleTracker& first = segments.front().tracker;
-  for (const EnvironmentSegment& segment : segments) {
+  DNNLIFE_EXPECTS(segments.front().tracker != nullptr,
+                  "segment view without a tracker");
+  const DutyCycleTracker& first = *segments.front().tracker;
+  for (const EnvironmentSegmentView& segment : segments) {
+    DNNLIFE_EXPECTS(segment.tracker != nullptr,
+                    "segment view without a tracker");
     validate_environment(segment.environment);
-    DNNLIFE_EXPECTS(segment.tracker.cell_count() == first.cell_count(),
+    DNNLIFE_EXPECTS(segment.tracker->cell_count() == first.cell_count(),
                     "segment tracker geometries differ");
-    DNNLIFE_EXPECTS(segment.tracker.regions() == first.regions(),
+    DNNLIFE_EXPECTS(segment.tracker->regions() == first.regions(),
                     "segment tracker region tags differ");
   }
+}
+
+void check_segments(std::span<const EnvironmentSegment> segments) {
+  check_segments(std::span<const EnvironmentSegmentView>(
+      segment_views(segments)));
+}
+
+CellResidency gather_cell_segments(
+    std::span<const EnvironmentSegmentView> segments, std::size_t cell,
+    std::vector<StressSegment>& out) {
+  out.clear();
+  CellResidency residency;
+  for (const EnvironmentSegmentView& segment : segments) {
+    const std::uint32_t total = segment.tracker->total_time()[cell];
+    if (total == 0) continue;
+    residency.ones += segment.tracker->ones_time()[cell];
+    residency.total += total;
+    out.push_back(StressSegment{segment.tracker->duty(cell),
+                                static_cast<double>(total),
+                                segment.environment});
+  }
+  return residency;
 }
 
 CellResidency gather_cell_segments(std::span<const EnvironmentSegment> segments,
                                    std::size_t cell,
                                    std::vector<StressSegment>& out) {
-  out.clear();
-  CellResidency residency;
-  for (const EnvironmentSegment& segment : segments) {
-    const std::uint32_t total = segment.tracker.total_time()[cell];
-    if (total == 0) continue;
-    residency.ones += segment.tracker.ones_time()[cell];
-    residency.total += total;
-    out.push_back(StressSegment{segment.tracker.duty(cell),
-                                static_cast<double>(total),
-                                segment.environment});
-  }
-  return residency;
+  return gather_cell_segments(
+      std::span<const EnvironmentSegmentView>(segment_views(segments)), cell,
+      out);
 }
 
 }  // namespace dnnlife::aging

@@ -174,8 +174,25 @@ struct EnvironmentSegment {
   EnvironmentSpec environment;
 };
 
+/// A non-owning segment: shared tracker state paired with an evaluation
+/// environment. This is the state-share surface of the simulation cache
+/// (core/sim_cache.hpp) — one immutable cached tracker can be evaluated
+/// under many environment timelines without copying, and the owned
+/// EnvironmentSegment overloads below delegate to the view overloads, so
+/// both paths fold the exact same tracker bits (byte-identical reports).
+struct EnvironmentSegmentView {
+  const DutyCycleTracker* tracker = nullptr;  ///< non-owning, non-null
+  EnvironmentSpec environment;
+};
+
+/// Borrow every owned segment as a view (same order; the segments must
+/// outlive the views).
+std::vector<EnvironmentSegmentView> segment_views(
+    std::span<const EnvironmentSegment> segments);
+
 /// Reject segment lists whose trackers disagree on cell count or region
 /// tags (they must all come from the same region-policy table).
+void check_segments(std::span<const EnvironmentSegmentView> segments);
 void check_segments(std::span<const EnvironmentSegment> segments);
 
 /// A cell's merged residency across every segment (the legacy
@@ -190,6 +207,9 @@ struct CellResidency {
 /// first; segments where the cell is unused contribute nothing): each
 /// entry's duty is the segment tracker's duty and its weight the cell's
 /// residency slots there. Returns the merged residency.
+CellResidency gather_cell_segments(
+    std::span<const EnvironmentSegmentView> segments, std::size_t cell,
+    std::vector<StressSegment>& out);
 CellResidency gather_cell_segments(std::span<const EnvironmentSegment> segments,
                                    std::size_t cell,
                                    std::vector<StressSegment>& out);

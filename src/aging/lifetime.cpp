@@ -171,8 +171,16 @@ LifetimeReport make_lifetime_report(const DutyCycleTracker& tracker,
 LifetimeReport make_lifetime_report(std::span<const EnvironmentSegment> segments,
                                     const LifetimeModel& model,
                                     unsigned threads) {
+  return make_lifetime_report(
+      std::span<const EnvironmentSegmentView>(segment_views(segments)), model,
+      threads);
+}
+
+LifetimeReport make_lifetime_report(
+    std::span<const EnvironmentSegmentView> segments, const LifetimeModel& model,
+    unsigned threads) {
   check_segments(segments);
-  const DutyCycleTracker& first = segments.front().tracker;
+  const DutyCycleTracker& first = *segments.front().tracker;
   // A one-segment timeline is the single-operating-point solve (the same
   // shortcut DeviceAgingModel::years_to_failure takes per cell, since each
   // used cell's gathered history is exactly one positive-weight segment at
@@ -184,7 +192,7 @@ LifetimeReport make_lifetime_report(std::span<const EnvironmentSegment> segments
   // Per-shard evaluation state: the gathered stress history is scratch
   // reused across the shard's cells.
   struct CellEval {
-    std::span<const EnvironmentSegment> segments;
+    std::span<const EnvironmentSegmentView> segments;
     const LifetimeModel& model;
     std::vector<StressSegment> history;
 

@@ -111,4 +111,12 @@ LifetimeReport make_lifetime_report(std::span<const EnvironmentSegment> segments
                                     const LifetimeModel& model,
                                     unsigned threads = 1);
 
+/// View-based twin of the timeline overload: the primary implementation
+/// (the owned overload borrows its segments and delegates here). This is
+/// what cache-hit scenario evaluation calls with shared tracker state —
+/// identical tracker bits fold to byte-identical reports.
+LifetimeReport make_lifetime_report(
+    std::span<const EnvironmentSegmentView> segments,
+    const LifetimeModel& model, unsigned threads = 1);
+
 }  // namespace dnnlife::aging

@@ -190,8 +190,16 @@ AgingReport make_aging_report(const DutyCycleTracker& tracker,
 AgingReport make_aging_report(std::span<const EnvironmentSegment> segments,
                               const DeviceAgingModel& model,
                               const AgingReportOptions& options) {
+  return make_aging_report(
+      std::span<const EnvironmentSegmentView>(segment_views(segments)), model,
+      options);
+}
+
+AgingReport make_aging_report(std::span<const EnvironmentSegmentView> segments,
+                              const DeviceAgingModel& model,
+                              const AgingReportOptions& options) {
   check_segments(segments);
-  const DutyCycleTracker& first = segments.front().tracker;
+  const DutyCycleTracker& first = *segments.front().tracker;
   // One segment is the single-operating-point evaluation under that
   // segment's environment (a used cell's gathered history is exactly one
   // segment at the tracker duty, and degradation_on_timeline
@@ -208,7 +216,7 @@ AgingReport make_aging_report(std::span<const EnvironmentSegment> segments,
   // scratch buffers reused across the shard's cells, so each shard owns
   // its own pair.
   struct CellEval {
-    std::span<const EnvironmentSegment> segments;
+    std::span<const EnvironmentSegmentView> segments;
     const DeviceAgingModel& model;
     const AgingReportOptions& options;
     std::vector<StressSegment> history;

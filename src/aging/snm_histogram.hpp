@@ -76,4 +76,12 @@ AgingReport make_aging_report(std::span<const EnvironmentSegment> segments,
                               const DeviceAgingModel& model,
                               const AgingReportOptions& options = {});
 
+/// View-based twin of the timeline overload: the primary implementation
+/// (the owned overload borrows its segments and delegates here). This is
+/// what cache-hit scenario evaluation calls with shared tracker state —
+/// identical tracker bits fold to byte-identical reports.
+AgingReport make_aging_report(std::span<const EnvironmentSegmentView> segments,
+                              const DeviceAgingModel& model,
+                              const AgingReportOptions& options = {});
+
 }  // namespace dnnlife::aging

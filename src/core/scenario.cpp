@@ -1,11 +1,14 @@
 #include "core/scenario.hpp"
 
+#include <bit>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/policy_engine.hpp"
+#include "core/sim_cache.hpp"
 #include "core/workload.hpp"
 #include "dnn/model_zoo.hpp"
 #include "quant/word_codec.hpp"
@@ -13,6 +16,7 @@
 #include "sim/tpu_npu.hpp"
 #include "util/check.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 
 namespace dnnlife::core {
 
@@ -208,13 +212,171 @@ ScenarioSpec parse_scenario(const std::string& json_text) {
   return spec;
 }
 
-ScenarioResult run_scenario(const ScenarioSpec& spec) {
-  DNNLIFE_EXPECTS(!spec.phases.empty(), "scenario needs at least one phase");
+namespace {
 
+/// The spec's region list with the empty-list default resolved, so the
+/// fingerprint and the simulation agree on what actually runs.
+std::vector<ScenarioRegionSpec> resolved_regions(const ScenarioSpec& spec) {
+  if (!spec.regions.empty()) return spec.regions;
+  return {ScenarioRegionSpec{}};
+}
+
+/// The environment of every duty segment the phased simulation produces,
+/// in order: consecutive active phases with equal environments coalesce
+/// (exactly simulate_workload_phased's rule — dormant phases neither
+/// start nor split a segment). Empty when every phase is dormant.
+std::vector<aging::EnvironmentSpec> segment_environments(
+    const ScenarioSpec& spec) {
+  std::vector<aging::EnvironmentSpec> environments;
+  for (const ScenarioPhaseSpec& phase : spec.phases) {
+    if (phase.inferences == 0) continue;
+    if (environments.empty() || !(environments.back() == phase.environment))
+      environments.push_back(phase.environment);
+  }
+  return environments;
+}
+
+void fingerprint_field(std::string& text, std::string_view tag,
+                       std::string_view value) {
+  text += tag;
+  text += '=';
+  text += value;
+  text += ';';
+}
+
+void fingerprint_field(std::string& text, std::string_view tag,
+                       std::uint64_t value) {
+  fingerprint_field(text, tag, std::to_string(value));
+}
+
+void fingerprint_field(std::string& text, std::string_view tag, bool value) {
+  fingerprint_field(text, tag, value ? std::string_view("1")
+                                     : std::string_view("0"));
+}
+
+/// Doubles enter the fingerprint as their exact bit pattern — no decimal
+/// formatting, so the hash is stable across libc implementations.
+void fingerprint_field_f64(std::string& text, std::string_view tag,
+                           double value) {
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(
+                    std::bit_cast<std::uint64_t>(value)));
+  fingerprint_field(text, tag, std::string_view(hex, 16));
+}
+
+std::uint64_t fnv1a64(std::string_view text, std::uint64_t hash) {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+std::string simulation_fingerprint(const ScenarioSpec& spec) {
+  // Canonical text over the stream-affecting fields. Every ScenarioSpec
+  // member is either serialized here or listed as evaluation-only in the
+  // header comment; the field-inventory test pins the struct sizes so an
+  // unclassified addition fails loudly.
+  std::string text;
+  text.reserve(256);
+  fingerprint_field(text, "v", std::uint64_t{1});
+  fingerprint_field(text, "format", quant::to_string(spec.format));
+  fingerprint_field(text, "hardware", to_string(spec.hardware));
+  switch (spec.hardware) {
+    // Only the *active* hardware config is hashed — the dormant one is
+    // dead state. cache_encoded_rows is excluded from both: payload
+    // memoisation changes wall time, never the written bits.
+    case HardwareKind::kBaseline:
+      fingerprint_field(text, "hw.wmem", spec.baseline.weight_memory_bytes);
+      fingerprint_field(text, "hw.amem",
+                        spec.baseline.activation_memory_bytes);
+      fingerprint_field(text, "hw.pe", std::uint64_t{spec.baseline.pe_count});
+      fingerprint_field(text, "hw.mul",
+                        std::uint64_t{spec.baseline.multipliers_per_pe});
+      fingerprint_field(text, "hw.cwr",
+                        spec.baseline.compute_weighted_residency);
+      fingerprint_field(text, "hw.dbuf", spec.baseline.double_buffered);
+      break;
+    case HardwareKind::kTpuNpu:
+      fingerprint_field(text, "hw.dim", std::uint64_t{spec.npu.array_dim});
+      fingerprint_field(text, "hw.fifo", std::uint64_t{spec.npu.fifo_tiles});
+      fingerprint_field(text, "hw.amem", spec.npu.activation_memory_bytes);
+      break;
+  }
+  fingerprint_field(text, "refsim", spec.use_reference_simulator);
+  // Phases: network and inference count of every phase in order — dormant
+  // phases included, because per-phase policy randomness derives from the
+  // *original* phase index (see simulate_workload_phased), so a dormant
+  // phase shifts its successors' seeds by occupying an index. The
+  // environment-coalescing partition (which active phases share a duty
+  // segment) is structural: it decides how many trackers exist and which
+  // phases merge. The environment *values* are evaluation-time inputs and
+  // stay out — that exclusion is the whole point of the cache.
+  fingerprint_field(text, "phases", std::uint64_t{spec.phases.size()});
+  int segment = -1;
+  const aging::EnvironmentSpec* last_environment = nullptr;
+  for (const ScenarioPhaseSpec& phase : spec.phases) {
+    fingerprint_field(text, "p.net", phase.network);
+    fingerprint_field(text, "p.inf", std::uint64_t{phase.inferences});
+    if (phase.inferences == 0) {
+      fingerprint_field(text, "p.seg", std::string_view("-"));
+      continue;
+    }
+    if (last_environment == nullptr ||
+        !(*last_environment == phase.environment))
+      ++segment;
+    last_environment = &phase.environment;
+    fingerprint_field(text, "p.seg", std::uint64_t(segment));
+  }
+  // Regions and their policies, with the empty-list default resolved.
+  // PolicyConfig::weight_bits is excluded: run_scenario overwrites it
+  // with the codec's width, which the format field already pins.
+  const std::vector<ScenarioRegionSpec> regions = resolved_regions(spec);
+  fingerprint_field(text, "regions", std::uint64_t{regions.size()});
+  for (const ScenarioRegionSpec& region : regions) {
+    fingerprint_field(text, "r.name", region.name);
+    fingerprint_field_f64(text, "r.rows", region.row_fraction);
+    fingerprint_field(text, "r.policy",
+                      region.policy.engine.empty()
+                          ? to_string(region.policy.kind)
+                          : region.policy.engine);
+    fingerprint_field(text, "r.reset", region.policy.reset_each_inference);
+    fingerprint_field_f64(text, "r.trbg", region.policy.trbg_bias);
+    fingerprint_field(text, "r.bal", region.policy.bias_balancing);
+    fingerprint_field(text, "r.balbits",
+                      std::uint64_t{region.policy.balancer_bits});
+    fingerprint_field(text, "r.seed", region.policy.seed);
+  }
+  // Two independently-seeded FNV-1a streams (distinct offset bases) over
+  // the same text, each finished with a splitmix64 avalanche: a 128-bit
+  // content address, so birthday collisions are out of reach for any
+  // realistic sweep size. evaluate_scenario still cross-checks the
+  // segment-partition shape against the cached state as a backstop.
+  const std::uint64_t lo = util::splitmix64(fnv1a64(text, 0xcbf29ce484222325ULL));
+  const std::uint64_t hi = util::splitmix64(fnv1a64(text, 0x6c62272e07bb0142ULL));
+  char digest[33];
+  std::snprintf(digest, sizeof digest, "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(digest, 32);
+}
+
+namespace {
+
+/// Simulate the spec's write stream end-to-end and commit the duty state:
+/// build the per-network pipelines (hardware config shared, so all phases
+/// target the same physical memory), resolve the region → policy table,
+/// run the phased simulation and strip the result down to what evaluation
+/// needs — geometry, region tags and the per-segment trackers. This is
+/// the expensive half of run_scenario and the unit the SimCache shares
+/// across points.
+std::shared_ptr<const SimulationState> simulate_scenario(
+    const ScenarioSpec& spec) {
   // Build one (network, streamer, codec, stream) pipeline per distinct
-  // network; phases referencing the same network share it. All streams use
-  // the scenario's single hardware config, so they target the same
-  // physical memory.
+  // network; phases referencing the same network share it.
   struct NetworkPipeline {
     std::unique_ptr<dnn::Network> network;
     std::unique_ptr<dnn::WeightStreamer> streamer;
@@ -259,14 +421,9 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   // weight-word granularity, so every policy inherits the codec's width.
   std::vector<std::pair<std::string, double>> fractions;
   std::vector<PolicyConfig> policies;
-  if (spec.regions.empty()) {
-    fractions.emplace_back("memory", 1.0);
-    policies.push_back(PolicyConfig{});
-  } else {
-    for (const ScenarioRegionSpec& region : spec.regions) {
-      fractions.emplace_back(region.name, region.row_fraction);
-      policies.push_back(region.policy);
-    }
+  for (const ScenarioRegionSpec& region : resolved_regions(spec)) {
+    fractions.emplace_back(region.name, region.row_fraction);
+    policies.push_back(region.policy);
   }
   for (PolicyConfig& policy : policies) policy.weight_bits = weight_bits;
   const RegionPolicyTable table(
@@ -274,13 +431,40 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
       std::move(policies));
 
   std::vector<WorkloadPhase> phases;
-  ScenarioResult result{geometry, {}, aging::AgingReport{{0.0, 1.0, 1}, {}, {},
-                                                         0, 0, 0.0, {}},
-                        std::nullopt};
   phases.reserve(spec.phases.size());
-  for (const ScenarioPhaseSpec& phase : spec.phases) {
+  for (const ScenarioPhaseSpec& phase : spec.phases)
     phases.push_back(WorkloadPhase{pipelines.at(phase.network).stream.get(),
                                    phase.inferences, phase.environment});
+
+  WorkloadOptions options;
+  options.threads = spec.threads;
+  options.use_reference_simulator = spec.use_reference_simulator;
+  PhasedWorkloadResult phased = simulate_workload_phased(phases, table, options);
+  auto state = std::make_shared<SimulationState>();
+  state->geometry = geometry;
+  state->regions = phased.combined.regions();
+  state->segment_trackers.reserve(phased.segments.size());
+  for (aging::EnvironmentSegment& segment : phased.segments)
+    state->segment_trackers.push_back(std::move(segment.tracker));
+  return state;
+}
+
+/// The evaluation half of run_scenario: re-attach the spec's environment
+/// timeline to the committed duty state (owned or cache-shared — the
+/// aging fold consumes the same tracker bits either way, so the report is
+/// byte-identical) and run the aging/lifetime pipeline.
+ScenarioResult evaluate_scenario(const ScenarioSpec& spec,
+                                 const SimulationState& state) {
+  // The simulation validates phase environments; a cache hit skips it, so
+  // keep the rejection behaviour identical here (idempotent on a miss).
+  for (const ScenarioPhaseSpec& phase : spec.phases)
+    aging::validate_environment(phase.environment);
+  ScenarioResult result{state.geometry, {},
+                        aging::AgingReport{{0.0, 1.0, 1}, {}, {}, 0, 0, 0.0,
+                                           {}},
+                        std::nullopt};
+  result.phase_labels.reserve(spec.phases.size());
+  for (const ScenarioPhaseSpec& phase : spec.phases) {
     std::string label =
         phase.network + " x " + std::to_string(phase.inferences);
     if (!aging::is_nominal(phase.environment)) {
@@ -296,11 +480,6 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
     result.phase_labels.push_back(std::move(label));
   }
 
-  WorkloadOptions options;
-  options.threads = spec.threads;
-  options.use_reference_simulator = spec.use_reference_simulator;
-  const PhasedWorkloadResult phased =
-      simulate_workload_phased(phases, table, options);
   const std::shared_ptr<const aging::DeviceAgingModel> model =
       aging::make_aging_model(spec.aging_model, spec.snm,
                               spec.aging_model_params);
@@ -309,16 +488,55 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   // simulation used (bit-identical for any value).
   aging::AgingReportOptions report = spec.report;
   report.threads = spec.threads;
-  if (phased.segments.empty()) {
+  if (state.segment_trackers.empty()) {
     // Every phase dormant: an all-unused report, no lifetime to solve.
-    result.report = make_aging_report(phased.combined, *model, report);
+    // The zero tracker is not cached — it rebuilds from the shape.
+    aging::DutyCycleTracker combined(state.geometry.cells());
+    combined.set_regions(state.regions);
+    result.report = make_aging_report(combined, *model, report);
     return result;
   }
-  result.report = make_aging_report(phased.segments, *model, report);
+  const std::vector<aging::EnvironmentSpec> environments =
+      segment_environments(spec);
+  // Backstop against a (astronomically unlikely) fingerprint collision or
+  // a stale cache: equal fingerprints guarantee an equal partition shape.
+  DNNLIFE_EXPECTS(environments.size() == state.segment_trackers.size(),
+                  "cached simulation state disagrees with the spec's "
+                  "segment partition");
+  std::vector<aging::EnvironmentSegmentView> views;
+  views.reserve(environments.size());
+  for (std::size_t i = 0; i < environments.size(); ++i)
+    views.push_back(aging::EnvironmentSegmentView{&state.segment_trackers[i],
+                                                  environments[i]});
+  result.report = make_aging_report(
+      std::span<const aging::EnvironmentSegmentView>(views), *model, report);
   const aging::LifetimeModel lifetime(model, spec.lifetime);
-  result.lifetime =
-      make_lifetime_report(phased.segments, lifetime, spec.threads);
+  result.lifetime = make_lifetime_report(
+      std::span<const aging::EnvironmentSegmentView>(views), lifetime,
+      spec.threads);
   return result;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  return run_scenario(spec, RunScenarioOptions{});
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunScenarioOptions& options) {
+  DNNLIFE_EXPECTS(!spec.phases.empty(), "scenario needs at least one phase");
+  if (!options.sim_cache) return evaluate_scenario(spec, *simulate_scenario(spec));
+  const std::string fingerprint = simulation_fingerprint(spec);
+  SimCache::StatePtr state = options.sim_cache->lookup(fingerprint);
+  if (!state) {
+    // Miss: simulate and publish. insert is first-wins, so a concurrent
+    // racer of the same fingerprint converges on one canonical state
+    // (the SweepScheduler's single-flight parking avoids the redundant
+    // compute in the first place; this is the correctness backstop).
+    state = options.sim_cache->insert(fingerprint, simulate_scenario(spec));
+  }
+  return evaluate_scenario(spec, *state);
 }
 
 }  // namespace dnnlife::core

@@ -9,6 +9,7 @@
 // Layering: scenario → workbench/workload → policy engine → simulators.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -91,5 +92,38 @@ struct ScenarioResult {
 /// the region table, simulate the phased workload and report aging per
 /// region.
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+class SimCache;  // core/sim_cache.hpp
+
+/// The canonical simulation fingerprint of a spec: a stable 32-hex-char
+/// content hash over exactly the fields that influence the simulated
+/// write stream and duty accumulation — every phase's (network,
+/// inferences) in order, the environment-coalescing partition structure
+/// (which consecutive active phases share a duty segment; the environment
+/// *values* are evaluation-time inputs and deliberately excluded), the
+/// quantisation format, the active hardware config, and the resolved
+/// region → policy table (fractions, policy kinds/engines and their
+/// stream-affecting knobs, seeds). Evaluation-only fields — name,
+/// threads, environment values, report/snm options, aging model
+/// selection/params, lifetime thresholds — never perturb the hash, so
+/// sweep points differing only along those axes share one fingerprint
+/// and can share one simulation (see core/sim_cache.hpp).
+///
+/// Adding a ScenarioSpec field requires classifying it here (or in the
+/// documented exclusion list); the field-inventory test pins the struct
+/// sizes so an unclassified addition fails the build's test suite.
+std::string simulation_fingerprint(const ScenarioSpec& spec);
+
+struct RunScenarioOptions {
+  /// Shared duty-state cache. Non-null: look up the spec's fingerprint
+  /// first and skip simulation on a hit, inserting on a miss; results are
+  /// byte-identical to the cache-off path. Null: always simulate.
+  std::shared_ptr<SimCache> sim_cache;
+};
+
+/// Cache-aware run_scenario. With a null cache this is exactly the
+/// plain overload.
+ScenarioResult run_scenario(const ScenarioSpec& spec,
+                            const RunScenarioOptions& options);
 
 }  // namespace dnnlife::core

@@ -152,6 +152,7 @@ std::vector<SuiteOutcome> ScenarioSuite::run(
   scheduler_options.journal = options.journal;
   scheduler_options.progress = options.progress;
   scheduler_options.expected_total = selection.size();
+  scheduler_options.sim_cache = options.sim_cache;
   SweepScheduler scheduler(std::move(scheduler_options));
   std::vector<SweepScheduler::Handle> handles;
   handles.reserve(selection.size());
@@ -187,6 +188,7 @@ SuiteRecord make_suite_record(const SuiteOutcome& outcome) {
   record.index = outcome.index;
   record.path = outcome.path;
   record.name = outcome.name;
+  record.fingerprint = outcome.fingerprint;
   record.ok = outcome.ok;
   record.timed_out = outcome.timed_out;
   record.attempts = outcome.attempts;
@@ -270,8 +272,13 @@ std::string suite_record_json(const SuiteRecord& record, bool include_timing) {
   std::ostringstream out;
   out << "{\"index\": " << record.index << ", \"file\": \""
       << util::json_escape(record.path) << "\", \"scenario\": \""
-      << util::json_escape(record.name) << "\", \"status\": \""
-      << record_status(record) << "\"";
+      << util::json_escape(record.name) << "\"";
+  // Emitted only when known, so legacy summaries (and hand-written test
+  // records) round-trip unchanged.
+  if (!record.fingerprint.empty())
+    out << ", \"fingerprint\": \"" << util::json_escape(record.fingerprint)
+        << "\"";
+  out << ", \"status\": \"" << record_status(record) << "\"";
   if (record.attempts > 1) out << ", \"attempts\": " << record.attempts;
   if (!record.ok)
     out << ", \"error\": \"" << util::json_escape(record.error) << "\"";
@@ -303,6 +310,8 @@ SuiteRecord parse_suite_record(const util::JsonValue& entry,
   record.index = entry.at("index").as_uint();
   record.path = entry.at("file").as_string();
   record.name = entry.at("scenario").as_string();
+  if (const JsonValue* fingerprint = entry.find("fingerprint"))
+    record.fingerprint = fingerprint->as_string();
   const std::string& status = entry.at("status").as_string();
   if (status != "ok" && status != "error" && status != "timeout")
     throw std::invalid_argument("scenario status '" + status +
@@ -389,6 +398,16 @@ std::string suite_summary_json(std::span<const SuiteRecord> records,
   if (timeouts != 0) out << ", \"timeouts\": " << timeouts;
   if (info.include_timing)
     out << ", \"total_wall_seconds\": " << util::Table::num(total_seconds, 3);
+  if (info.sim_cache.has_value() && info.include_timing)
+    // Cache effectiveness is a run property, not a sweep property: it is
+    // gated on include_timing so --omit-timing summaries stay
+    // byte-comparable between cache-on and cache-off runs.
+    out << ", \"sim_cache\": {\"hits\": " << info.sim_cache->hits
+        << ", \"misses\": " << info.sim_cache->misses
+        << ", \"inserts\": " << info.sim_cache->inserts
+        << ", \"evictions\": " << info.sim_cache->evictions
+        << ", \"entries\": " << info.sim_cache->entries
+        << ", \"bytes_in_use\": " << info.sim_cache->bytes_in_use << "}";
   if (std::isfinite(min_lifetime))
     out << ", \"min_device_lifetime_years\": "
         << util::Table::num(min_lifetime, 4)

@@ -25,12 +25,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "core/sim_cache.hpp"
 
 namespace dnnlife::util {
 class JsonValue;
@@ -69,6 +71,9 @@ struct SuiteOutcome {
   std::string error;                     ///< failure message when !ok
   std::optional<ScenarioResult> result;  ///< present when ok
   double wall_seconds = 0.0;             ///< across all attempts
+  /// Simulation fingerprint of the spec (core::simulation_fingerprint);
+  /// equal fingerprints shared one simulation when a sim cache was active.
+  std::string fingerprint;
 };
 
 /// Progress of a running suite, reported once per finished scenario.
@@ -124,6 +129,12 @@ struct SuiteRunOptions {
   /// Invoked after each scenario finishes. Serialized internally, so a CLI
   /// can print from it without locking; must not throw.
   std::function<void(const SuiteProgress&)> progress;
+  /// Shared duty-state cache (core/sim_cache.hpp): points whose specs
+  /// share a simulation fingerprint simulate once and evaluate against
+  /// the shared tracker state, with single-flight dedup under
+  /// concurrency. Null disables reuse. Summaries are byte-identical
+  /// either way (--omit-timing).
+  std::shared_ptr<SimCache> sim_cache;
 };
 
 class ScenarioSuite {
@@ -176,6 +187,9 @@ struct SuiteRecord {
   std::size_t index = 0;  ///< global suite index
   std::string path;
   std::string name;
+  /// Simulation fingerprint (emitted when non-empty; absent in legacy
+  /// summaries). sweep_merge passes it through untouched.
+  std::string fingerprint;
   bool ok = false;
   bool timed_out = false;  ///< renders as status "timeout" (implies !ok)
   unsigned attempts = 1;   ///< emitted only when > 1, parsed back as given
@@ -202,6 +216,11 @@ struct SuiteSummaryInfo {
   /// header object listing them, so operators see exactly what to
   /// resubmit. Always empty for complete sweeps.
   std::vector<std::size_t> missing_indices;
+  /// Simulation-reuse counters of the run's SimCache, surfaced in the
+  /// summary object. Emitted only when include_timing is set: cache
+  /// effectiveness is a run property (like wall time), and byte-compare
+  /// gates diff cache-on vs cache-off summaries under --omit-timing.
+  std::optional<SimCacheStats> sim_cache;
 };
 
 SuiteRecord make_suite_record(const SuiteOutcome& outcome);

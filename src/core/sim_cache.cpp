@@ -1,0 +1,77 @@
+#include "core/sim_cache.hpp"
+
+#include <utility>
+
+namespace dnnlife::core {
+
+std::size_t SimulationState::bytes() const {
+  std::size_t total = sizeof(SimulationState);
+  const auto region_bytes = [](const std::vector<aging::CellRegion>& tags) {
+    std::size_t sum = tags.size() * sizeof(aging::CellRegion);
+    for (const aging::CellRegion& region : tags) sum += region.name.size();
+    return sum;
+  };
+  total += region_bytes(regions);
+  for (const aging::DutyCycleTracker& tracker : segment_trackers) {
+    total += sizeof(aging::DutyCycleTracker);
+    total += tracker.ones_time().size() * sizeof(std::uint32_t);
+    total += tracker.total_time().size() * sizeof(std::uint32_t);
+    total += region_bytes(tracker.regions());
+  }
+  return total;
+}
+
+SimCache::StatePtr SimCache::lookup(const std::string& fingerprint) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto found = index_.find(fingerprint);
+  if (found == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, found->second);  // freshen
+  return found->second->state;
+}
+
+SimCache::StatePtr SimCache::insert(const std::string& fingerprint,
+                                    StatePtr state) {
+  DNNLIFE_EXPECTS(state != nullptr, "inserting a null simulation state");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto found = index_.find(fingerprint); found != index_.end()) {
+    // Lost a compute race: keep the committed state so every consumer of
+    // this fingerprint shares one canonical entry.
+    lru_.splice(lru_.begin(), lru_, found->second);
+    return found->second->state;
+  }
+  ++stats_.inserts;
+  const std::size_t entry_bytes = state->bytes();
+  lru_.push_front(Entry{fingerprint, state, entry_bytes});
+  index_.emplace(fingerprint, lru_.begin());
+  bytes_in_use_ += entry_bytes;
+  // Evict from the cold end past the budget. An entry bigger than the
+  // whole budget leaves immediately — but in-use shared_ptrs (including
+  // the one we return) keep the state itself alive.
+  while (bytes_in_use_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_in_use_ -= victim.bytes;
+    index_.erase(victim.fingerprint);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return state;
+}
+
+bool SimCache::contains(const std::string& fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.contains(fingerprint);
+}
+
+SimCacheStats SimCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SimCacheStats out = stats_;
+  out.entries = index_.size();
+  out.bytes_in_use = bytes_in_use_;
+  return out;
+}
+
+}  // namespace dnnlife::core

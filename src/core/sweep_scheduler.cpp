@@ -7,8 +7,11 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "core/sim_cache.hpp"
 #include "core/sweep_journal.hpp"
 #include "util/executor.hpp"
 #include "util/table.hpp"
@@ -33,13 +36,15 @@ struct AttemptOutcome {
 /// sweep moves on instead of hanging.
 AttemptOutcome execute_attempt(ScenarioSpec spec, std::size_t global_index,
                                unsigned attempt, double soft_deadline_seconds,
-                               const SuiteFaultHook& fault_hook) {
+                               const SuiteFaultHook& fault_hook,
+                               RunScenarioOptions run_options) {
   const auto body = [](ScenarioSpec& fresh_spec, std::size_t index,
                        unsigned attempt_number, const SuiteFaultHook& hook,
+                       const RunScenarioOptions& scenario_options,
                        AttemptOutcome& out) {
     try {
       if (hook) hook(SuiteFaultContext{index, attempt_number});
-      out.result = run_scenario(fresh_spec);
+      out.result = run_scenario(fresh_spec, scenario_options);
       out.ok = true;
     } catch (const std::exception& error) {
       out.error = error.what();
@@ -49,7 +54,7 @@ AttemptOutcome execute_attempt(ScenarioSpec spec, std::size_t global_index,
   };
   if (soft_deadline_seconds <= 0.0) {
     AttemptOutcome out;
-    body(spec, global_index, attempt, fault_hook, out);
+    body(spec, global_index, attempt, fault_hook, run_options, out);
     return out;
   }
 
@@ -61,12 +66,14 @@ AttemptOutcome execute_attempt(ScenarioSpec spec, std::size_t global_index,
     AttemptOutcome out;
   };
   const auto shared = std::make_shared<Shared>();
-  // The worker owns copies of everything it touches (spec, hook), so an
-  // abandoned worker never dangles into the caller's frame.
+  // The worker owns copies of everything it touches (spec, hook, the
+  // cache shared_ptr), so an abandoned worker never dangles into the
+  // caller's frame.
   std::thread worker([shared, spec = std::move(spec), hook = fault_hook,
-                      global_index, attempt, body]() mutable {
+                      run_options = std::move(run_options), global_index,
+                      attempt, body]() mutable {
     AttemptOutcome local;
-    body(spec, global_index, attempt, hook, local);
+    body(spec, global_index, attempt, hook, run_options, local);
     const std::lock_guard<std::mutex> lock(shared->mutex);
     if (!shared->abandoned) shared->out = std::move(local);
     shared->done = true;
@@ -101,6 +108,12 @@ struct SweepScheduler::PointState {
   SuiteEntry entry;
   bool replayed = false;
   util::Executor* executor = nullptr;
+  /// Simulation fingerprint, computed at submit time when a sim cache is
+  /// active (run_point fills it in lazily otherwise, for the record).
+  std::string fingerprint;
+  /// True while this point owns its fingerprint group: it simulates, and
+  /// same-fingerprint submissions park behind it until it completes.
+  bool leads = false;
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -203,6 +216,12 @@ struct SweepScheduler::Impl {
   mutable std::recursive_mutex mutex;
   std::deque<std::shared_ptr<PointState>> queue;
   std::unordered_map<std::size_t, SuiteRecord> replay;
+  // Single-flight bookkeeping (sim_cache only): fingerprints currently
+  // owned by a leading point, and the same-fingerprint siblings parked
+  // off the queue until their group's entry is committed.
+  std::unordered_set<std::string> leaders;
+  std::unordered_map<std::string, std::vector<std::shared_ptr<PointState>>>
+      parked;
   unsigned in_flight = 0;
   std::size_t fresh_submitted = 0;
   std::size_t fresh_completed = 0;
@@ -215,8 +234,16 @@ void SweepScheduler::Impl::run_point(PointState& state) {
   outcome.index = state.index;
   outcome.path = entry.path;
   outcome.name = entry.spec.name;
+  // The fingerprint rides in every outcome/record (hits are verifiable
+  // from sweep artifacts); submit() already computed it when a cache is
+  // active.
+  if (state.fingerprint.empty())
+    state.fingerprint = simulation_fingerprint(entry.spec);
+  outcome.fingerprint = state.fingerprint;
   const auto start = std::chrono::steady_clock::now();
   const unsigned max_attempts = 1 + options.retries;
+  RunScenarioOptions run_options;
+  run_options.sim_cache = options.sim_cache;
   AttemptOutcome last;
   unsigned attempt = 1;
   for (;; ++attempt) {
@@ -224,7 +251,8 @@ void SweepScheduler::Impl::run_point(PointState& state) {
     if (options.threads_per_scenario != 0)
       spec.threads = options.threads_per_scenario;
     last = execute_attempt(std::move(spec), outcome.index, attempt,
-                           options.soft_deadline_seconds, options.fault_hook);
+                           options.soft_deadline_seconds, options.fault_hook,
+                           run_options);
     if (last.ok || attempt >= max_attempts) break;
   }
   outcome.ok = last.ok;
@@ -248,6 +276,7 @@ void SweepScheduler::Impl::run_point(PointState& state) {
       journal_error = std::current_exception();
     }
   }
+  const bool point_ok = outcome.ok;
   {
     const std::lock_guard<std::mutex> lock(state.mutex);
     state.outcome = std::move(outcome);
@@ -267,16 +296,50 @@ void SweepScheduler::Impl::run_point(PointState& state) {
       progress.outcome = &*state.outcome;
       options.progress(progress);
     }
+    // Single-flight release: this point led its fingerprint group. On
+    // success the shared entry is committed — every parked sibling goes
+    // to the queue front (in submission order) to evaluate against it.
+    // On failure the entry may not exist, so the first sibling is
+    // promoted to leader (queue front, fingerprint stays owned) and the
+    // rest wait on — one simulation per fingerprint survives failures.
+    // Releases happen inside this still-counted task, so wait_all()'s
+    // group.wait() covers released points with no extra machinery.
+    if (state.leads) {
+      const auto found = parked.find(state.fingerprint);
+      if (found == parked.end()) {
+        leaders.erase(state.fingerprint);
+      } else if (point_ok) {
+        for (auto sibling = found->second.rbegin();
+             sibling != found->second.rend(); ++sibling)
+          queue.push_front(std::move(*sibling));
+        parked.erase(found);
+        leaders.erase(state.fingerprint);
+      } else {
+        std::shared_ptr<PointState> promoted =
+            std::move(found->second.front());
+        found->second.erase(found->second.begin());
+        if (found->second.empty()) parked.erase(found);
+        promoted->leads = true;
+        queue.push_front(std::move(promoted));
+      }
+    }
     // Admission chain: the next queued point is launched from inside this
     // still-counted task, so the group's pending count never drops to
-    // zero while queued work remains — wait_all()'s group.wait() covers
-    // the entire queue with no extra machinery.
+    // zero while queued work remains. The top-up loop re-fills the
+    // admission budget when a release just grew the queue while other
+    // slots sat idle.
     if (!queue.empty()) {
       std::shared_ptr<PointState> next = std::move(queue.front());
       queue.pop_front();
       launch_locked(std::move(next));
     } else {
       --in_flight;
+    }
+    while (in_flight < jobs && !queue.empty()) {
+      ++in_flight;
+      std::shared_ptr<PointState> next = std::move(queue.front());
+      queue.pop_front();
+      launch_locked(std::move(next));
     }
   }
   if (journal_error) std::rethrow_exception(journal_error);
@@ -310,6 +373,23 @@ SweepScheduler::Handle SweepScheduler::submit_locked(SuiteEntry entry,
     return Handle(std::move(state));
   }
   ++impl_->fresh_submitted;
+  if (impl_->options.sim_cache != nullptr) {
+    // Single-flight grouping: the first point of a fingerprint whose
+    // entry is not committed yet leads (it simulates); later
+    // same-fingerprint submissions park behind it and are released —
+    // straight to cache hits — when it completes. Already-cached
+    // fingerprints run normally (eviction before they run just costs a
+    // redundant simulation, caught by the cache's first-wins insert).
+    state->fingerprint = simulation_fingerprint(state->entry.spec);
+    if (impl_->leaders.contains(state->fingerprint)) {
+      impl_->parked[state->fingerprint].push_back(state);
+      return Handle(std::move(state));
+    }
+    if (!impl_->options.sim_cache->contains(state->fingerprint)) {
+      impl_->leaders.insert(state->fingerprint);
+      state->leads = true;
+    }
+  }
   if (impl_->in_flight < impl_->jobs) {
     ++impl_->in_flight;
     impl_->launch_locked(state);

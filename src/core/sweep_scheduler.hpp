@@ -67,6 +67,16 @@ class SweepScheduler {
     /// Progress denominator. 0 means "count submissions so far" — right
     /// for open-ended adaptive use; batch callers pass their plan size.
     std::size_t expected_total = 0;
+    /// Shared duty-state cache (see core/sim_cache.hpp). Non-null enables
+    /// content-addressed simulation reuse: points run through the
+    /// cache-aware run_scenario, and the admission chain groups queued
+    /// points by simulation fingerprint — while one point of a group
+    /// simulates, its siblings are parked off the queue and only released
+    /// once the shared entry is committed (single-flight: exactly one
+    /// simulation per distinct fingerprint, even at full concurrency).
+    /// Held by shared_ptr because abandoned soft-deadline attempts may
+    /// still touch the cache after the scheduler is gone.
+    std::shared_ptr<SimCache> sim_cache;
   };
 
   struct PointState;

@@ -1,11 +1,20 @@
-// Deprecated compatibility layer over util/executor.hpp.
+// DEPRECATED — scheduled for removal. Compatibility layer over
+// util/executor.hpp.
 //
 // ThreadPool used to be a private fixed-size worker pool; every layer of
 // the stack constructed its own, so nested fan-outs oversubscribed the
 // machine by jobs x threads. It is now a thin shim: the `thread_count`
 // becomes a concurrency *budget* on the process-wide work-stealing
 // executor (Executor::session()), and no threads are spawned here at all.
-// New code should use util::TaskGroup directly.
+//
+// As of the sim-cache PR no production code constructs a ThreadPool — the
+// only remaining references are its own shim tests (test_util_parallel,
+// test_executor) and bench_executor's embedded legacy copy. The class is
+// kept solely as a grace period for out-of-tree callers and will be
+// deleted (together with the pool-taking parallel_for_shards overload)
+// once one release has shipped with this notice. New code must use
+// util::TaskGroup / TaskGroup::submit_bulk directly; the free-function
+// parallel_for_shards(n, threads, fn) below is NOT deprecated and stays.
 //
 // Determinism is unchanged: tasks land results in disjoint slots, the
 // shard partition below depends only on (n, shards), and per-shard RNG

@@ -514,7 +514,10 @@ TEST(SegmentChecks, RejectMismatchedSegments) {
   segments.push_back(EnvironmentSegment{small, kNominal});
   segments.push_back(EnvironmentSegment{large, kNominal});
   EXPECT_THROW(check_segments(segments), std::invalid_argument);
-  EXPECT_THROW(check_segments({}), std::invalid_argument);
+  EXPECT_THROW(check_segments(std::span<const EnvironmentSegment>{}),
+               std::invalid_argument);
+  EXPECT_THROW(check_segments(std::span<const EnvironmentSegmentView>{}),
+               std::invalid_argument);
 }
 
 TEST(LifetimeRegions, BreakdownPartitionsTheDevice) {
