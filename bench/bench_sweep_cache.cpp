@@ -16,7 +16,13 @@
 // contract — so CI can gate on the exit code alone; --json adds the wall
 // times for the regression gate against
 // bench/bench_sweep_cache_reference.json.
+// The disk tier (core/sim_store.hpp) is measured the same way: a cold
+// run populates an empty store directory, then a warm run with a fresh
+// SimStore instance must satisfy every point from disk (0 simulations)
+// and reproduce the reuse-off summary byte-for-byte — the cross-run
+// analogue of the in-memory gate.
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -27,6 +33,7 @@
 #include "core/scenario_generator.hpp"
 #include "core/scenario_suite.hpp"
 #include "core/sim_cache.hpp"
+#include "core/sim_store.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -123,7 +130,36 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+  // Disk tier: cold run against an empty store directory, then a warm
+  // run with a fresh instance — cross-run reuse must go through the
+  // directory, never through process state.
+  namespace fs = std::filesystem;
+  const fs::path store_dir =
+      fs::temp_directory_path() / "dnnlife_bench_sweep_cache_store";
+  fs::remove_all(store_dir);
+  options.sim_cache = nullptr;
+  options.sim_store = std::make_shared<core::SimStore>(
+      core::SimStore::Options{store_dir.string(), 0});
+  const auto cold_start = std::chrono::steady_clock::now();
+  const std::vector<core::SuiteOutcome> cold_outcomes = suite.run(options);
+  const double store_cold_seconds = seconds_since(cold_start);
+  const std::string cold_summary =
+      suite_summary_json(make_suite_records(cold_outcomes), info);
+  const core::SimStoreStats cold_stats = options.sim_store->stats();
+
+  options.sim_store = std::make_shared<core::SimStore>(
+      core::SimStore::Options{store_dir.string(), 0});
+  const auto warm_start = std::chrono::steady_clock::now();
+  const std::vector<core::SuiteOutcome> warm_outcomes = suite.run(options);
+  const double store_warm_seconds = seconds_since(warm_start);
+  const std::string warm_summary =
+      suite_summary_json(make_suite_records(warm_outcomes), info);
+  const core::SimStoreStats warm_stats = options.sim_store->stats();
+  fs::remove_all(store_dir);
+
   const double speedup = on_seconds > 0.0 ? off_seconds / on_seconds : 0.0;
+  const double warm_speedup =
+      store_warm_seconds > 0.0 ? off_seconds / store_warm_seconds : 0.0;
   util::Table table({"path", "simulations", "wall [s]", "speedup"});
   table.add_row({"cache off", std::to_string(suite.size()),
                  util::Table::num(off_seconds, 3), "1.00"});
@@ -131,10 +167,26 @@ int main(int argc, char** argv) {
                  std::to_string(static_cast<unsigned long long>(stats.misses)),
                  util::Table::num(on_seconds, 3),
                  util::Table::num(speedup, 2)});
+  table.add_row(
+      {"store cold",
+       std::to_string(static_cast<unsigned long long>(cold_stats.misses)),
+       util::Table::num(store_cold_seconds, 3),
+       util::Table::num(store_cold_seconds > 0.0
+                            ? off_seconds / store_cold_seconds
+                            : 0.0,
+                        2)});
+  table.add_row(
+      {"store warm",
+       std::to_string(static_cast<unsigned long long>(warm_stats.misses)),
+       util::Table::num(store_warm_seconds, 3),
+       util::Table::num(warm_speedup, 2)});
   std::cout << table.to_string();
   std::cout << "cache: " << stats.hits << " hits, " << stats.misses
             << " misses, " << stats.evictions << " evictions, "
             << stats.entries << " resident\n";
+  std::cout << "store: cold " << cold_stats.misses << " simulated + "
+            << cold_stats.publishes << " published, warm " << warm_stats.hits
+            << " hits / " << warm_stats.misses << " misses\n";
 
   bool failed = false;
   if (on_summary != off_summary) {
@@ -148,9 +200,21 @@ int main(int argc, char** argv) {
               << stats.misses << " hits=" << stats.hits << "\n";
     failed = true;
   }
+  if (cold_summary != off_summary || warm_summary != off_summary) {
+    std::cerr << "FAIL: store-backed summaries are not byte-identical to the "
+                 "reuse-off summary (timing omitted)\n";
+    failed = true;
+  }
+  if (warm_stats.misses != 0 || warm_stats.publishes != 0) {
+    std::cerr << "FAIL: a warm store must satisfy every point from disk, got "
+                 "misses="
+              << warm_stats.misses << " publishes=" << warm_stats.publishes
+              << "\n";
+    failed = true;
+  }
   if (!failed)
     std::cout << "summaries byte-identical; 1 simulation served all 12 "
-                 "points\n";
+                 "points; warm store re-simulated nothing\n";
 
   if (!json_path.empty()) {
     std::ofstream json(json_path);
@@ -165,6 +229,12 @@ int main(int argc, char** argv) {
          << "  \"cache_on_seconds\": " << util::Table::num(on_seconds, 4)
          << ",\n"
          << "  \"speedup\": " << util::Table::num(speedup, 3) << ",\n"
+         << "  \"store_cold_seconds\": "
+         << util::Table::num(store_cold_seconds, 4) << ",\n"
+         << "  \"store_warm_seconds\": "
+         << util::Table::num(store_warm_seconds, 4) << ",\n"
+         << "  \"warm_speedup\": " << util::Table::num(warm_speedup, 3)
+         << ",\n"
          << "  \"hits\": " << stats.hits << ",\n"
          << "  \"misses\": " << stats.misses << ",\n"
          << "  \"byte_identical\": " << (on_summary == off_summary ? "true"

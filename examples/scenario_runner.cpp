@@ -21,6 +21,14 @@
 //                         invoked as a library-style harness; the flag
 //                         exists mainly to exercise the cache-aware
 //                         run_scenario path and print its counters
+//   --sim-store=DIR       content-addressed disk store of committed duty
+//                         state (see README "Simulation reuse"): the run
+//                         probes DIR/<fingerprint>.simstate before
+//                         simulating and durably publishes on a miss, so
+//                         repeated invocations of one scenario — or a
+//                         sweep sharing the directory — skip simulation.
+//                         Reports are byte-identical either way; a store
+//                         stats line prints at the end
 //
 // Without a file it runs a built-in thermal scenario: a TPU-like NPU
 // alternating between the custom MNIST net (cool, batch duty) and AlexNet
@@ -38,6 +46,7 @@
 
 #include "core/scenario.hpp"
 #include "core/sim_cache.hpp"
+#include "core/sim_store.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/executor.hpp"
@@ -83,6 +92,7 @@ int main(int argc, char** argv) {
   std::optional<unsigned> jobs;
   std::optional<unsigned> executor_threads;
   unsigned sim_cache_mb = 0;
+  std::string sim_store_dir;
   std::vector<std::pair<std::size_t, double>> phase_temps;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -138,6 +148,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       sim_cache_mb = parsed;
+    } else if (flag_value(arg, "sim-store", value)) {
+      if (value.empty()) {
+        std::cerr << "--sim-store expects a directory path\n";
+        return 1;
+      }
+      sim_store_dir = value;
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << "\n";
       return 1;
@@ -200,11 +216,23 @@ int main(int argc, char** argv) {
   if (sim_cache_mb > 0)
     sim_cache = std::make_shared<core::SimCache>(
         static_cast<std::size_t>(sim_cache_mb) * 1024 * 1024);
+  std::shared_ptr<core::SimStore> sim_store;
+  if (!sim_store_dir.empty()) {
+    try {
+      // Validated up front: created if missing, probe-written.
+      sim_store = std::make_shared<core::SimStore>(
+          core::SimStore::Options{sim_store_dir, 0});
+    } catch (const std::exception& error) {
+      std::cerr << "sim store error: " << error.what() << "\n";
+      return 1;
+    }
+  }
   std::optional<core::ScenarioResult> run;
   const auto start = std::chrono::steady_clock::now();
   try {
     core::RunScenarioOptions options;
     options.sim_cache = sim_cache;
+    options.sim_store = sim_store;
     run = core::run_scenario(spec, options);
   } catch (const std::exception& error) {
     std::cerr << "scenario error: " << error.what() << "\n";
@@ -296,6 +324,17 @@ int main(int argc, char** argv) {
                      static_cast<double>(stats.bytes_in_use) / (1024.0 * 1024.0),
                      1)
               << " MB; fingerprint " << core::simulation_fingerprint(spec)
+              << ")\n";
+  }
+  if (sim_store) {
+    const core::SimStoreStats stats = sim_store->stats();
+    std::cout << "sim store: " << stats.hits << " hit"
+              << (stats.hits == 1 ? "" : "s") << ", " << stats.misses
+              << " miss" << (stats.misses == 1 ? "" : "es") << ", "
+              << stats.publishes << " publish"
+              << (stats.publishes == 1 ? "" : "es") << ", "
+              << stats.quarantined << " quarantined (dir " << sim_store_dir
+              << "; fingerprint " << core::simulation_fingerprint(spec)
               << ")\n";
   }
   std::cout << "\nOne declarative spec drove network construction, "

@@ -49,6 +49,20 @@
 //                    committed tracker state. Summaries stay
 //                    byte-identical (--omit-timing) to cache-off runs; a
 //                    cache stats line prints at the end
+//   --sim-store=DIR  content-addressed disk tier under the cache: memory
+//                    misses probe DIR/<fingerprint>.simstate before
+//                    simulating, and fresh simulations are durably
+//                    published there (tmp + fsync + rename + dir fsync) —
+//                    so re-runs, resumed crashes and sibling shards
+//                    pointed at one shared directory simulate each
+//                    distinct stream once globally. Corrupt entries
+//                    degrade to misses (quarantined into DIR/quarantine).
+//                    Summaries stay byte-identical to store-off runs; a
+//                    store stats line prints at the end
+//   --sim-store-mb=N byte budget for the store directory (default 0 =
+//                    unbounded): after each publish, committed entries
+//                    are evicted oldest-first until the store fits.
+//                    Requires --sim-store
 //   --csv=PATH       write the per-scenario summary as CSV
 //   --json=PATH      write the per-scenario summary + aggregate as JSON
 //   --omit-timing    drop wall-clock fields from CSV/JSON so summaries of
@@ -158,6 +172,9 @@ int main(int argc, char** argv) {
   core::SuiteShard shard;
   unsigned sim_cache_mb = 0;
   bool sim_cache_set = false;
+  std::string sim_store_dir;
+  unsigned sim_store_mb = 0;
+  bool sim_store_mb_set = false;
   bool omit_timing = false;
   bool quiet = false;
   for (int i = 1; i < argc; ++i) {
@@ -228,6 +245,20 @@ int main(int argc, char** argv) {
         return 1;
       }
       sim_cache_set = true;
+    } else if (flag_value(arg, "sim-store", value)) {
+      if (value.empty()) {
+        std::cerr << "--sim-store expects a directory path\n";
+        return 1;
+      }
+      sim_store_dir = value;
+    } else if (flag_value(arg, "sim-store-mb", value)) {
+      if (!util::parse_unsigned_flag(value, sim_store_mb) ||
+          sim_store_mb > 1u << 20) {
+        std::cerr << "--sim-store-mb expects a store budget in MB "
+                     "(0 = unbounded, max 1048576), got '" << value << "'\n";
+        return 1;
+      }
+      sim_store_mb_set = true;
     } else if (flag_value(arg, "spec", value)) {
       spec_path = value;
     } else if (flag_value(arg, "materialize", value)) {
@@ -253,6 +284,7 @@ int main(int argc, char** argv) {
                  "[--shard=K/N] [--jobs=N] [--threads=N] "
                  "[--executor-threads=N] [--journal=PATH] [--resume] "
                  "[--retries=N] [--deadline=SEC] [--sim-cache-mb=N] "
+                 "[--sim-store=DIR] [--sim-store-mb=N] "
                  "[--csv=PATH] [--json=PATH] [--omit-timing] [--quiet]\n"
                  "   or: example_sweep_runner --spec=SWEEP.json "
                  "[--materialize=DIR] [same flags]\n"
@@ -268,14 +300,20 @@ int main(int argc, char** argv) {
   if (!materialize_dir.empty() &&
       (shard.count > 1 || !csv_path.empty() || !json_path.empty() ||
        !journal_path.empty() || resume || inject.has_value() ||
-       executor_threads_set || sim_cache_set)) {
+       executor_threads_set || sim_cache_set || !sim_store_dir.empty() ||
+       sim_store_mb_set)) {
     // Materialisation writes the whole grid and runs nothing, so a shard
-    // selection, summary path, journal or simulation cache would be
-    // silently ignored — reject the contradiction instead.
+    // selection, summary path, journal, simulation cache or store would
+    // be silently ignored — reject the contradiction instead.
     std::cerr << "--materialize only writes the documents; it cannot be "
                  "combined with --shard, --csv, --json, --journal, "
-                 "--resume, --inject-fault, --executor-threads or "
-                 "--sim-cache-mb\n";
+                 "--resume, --inject-fault, --executor-threads, "
+                 "--sim-cache-mb, --sim-store or --sim-store-mb\n";
+    return 1;
+  }
+  if (sim_store_mb_set && sim_store_dir.empty()) {
+    std::cerr << "--sim-store-mb bounds a store directory; pass "
+                 "--sim-store=DIR to name it\n";
     return 1;
   }
   if (resume && journal_path.empty()) {
@@ -386,6 +424,21 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(sim_cache_mb) * 1024 * 1024);
     std::cout << ", " << sim_cache_mb << " MB sim cache";
   }
+  std::shared_ptr<core::SimStore> sim_store;
+  if (!sim_store_dir.empty()) {
+    try {
+      // Validates the directory up front (created, probe-written) so a
+      // misconfigured store fails here, not mid-sweep.
+      sim_store = std::make_shared<core::SimStore>(core::SimStore::Options{
+          sim_store_dir, static_cast<std::size_t>(sim_store_mb) * 1024 * 1024});
+    } catch (const std::exception& error) {
+      std::cout << "\n";
+      std::cerr << "sim store error: " << error.what() << "\n";
+      return 1;
+    }
+    std::cout << ", sim store " << sim_store_dir;
+    if (sim_store_mb > 0) std::cout << " (" << sim_store_mb << " MB budget)";
+  }
   std::cout << "\n";
 
   core::SuiteRunOptions options;
@@ -395,6 +448,7 @@ int main(int argc, char** argv) {
   options.retries = retries;
   options.soft_deadline_seconds = deadline_seconds;
   options.sim_cache = sim_cache;
+  options.sim_store = sim_store;
   if (journal) options.journal = &*journal;
   if (inject.has_value()) {
     const FaultInjection fault = *inject;
@@ -417,7 +471,8 @@ int main(int argc, char** argv) {
     };
   }
   if (!quiet) {
-    options.progress = [sim_cache](const core::SuiteProgress& progress) {
+    options.progress = [sim_cache,
+                        sim_store](const core::SuiteProgress& progress) {
       const core::SuiteOutcome& outcome = *progress.outcome;
       std::cout << "[" << progress.completed << "/" << progress.total << "] "
                 << outcome.name;
@@ -437,6 +492,11 @@ int main(int argc, char** argv) {
         // stay whole): h hits / m misses across the sweep so far.
         const core::SimCacheStats stats = sim_cache->stats();
         std::cout << " [cache " << stats.hits << "h/" << stats.misses << "m]";
+      }
+      if (sim_store) {
+        const core::SimStoreStats stats = sim_store->stats();
+        std::cout << " [store " << stats.hits << "h/" << stats.misses << "m/"
+                  << stats.publishes << "p]";
       }
       std::cout << std::endl;
     };
@@ -493,6 +553,23 @@ int main(int argc, char** argv) {
                      1)
               << " MB)\n";
   }
+  if (sim_store) {
+    // "misses" counts exactly the points that had to simulate (every
+    // simulation is preceded by a store miss), so a warm re-run reports
+    // "0 misses, 0 publishes" — the CI cross-run gate greps for that.
+    const core::SimStoreStats stats = sim_store->stats();
+    std::cout << "sim store: " << stats.hits << " hit"
+              << (stats.hits == 1 ? "" : "s") << ", " << stats.misses
+              << " miss" << (stats.misses == 1 ? "" : "es") << ", "
+              << stats.publishes << " publish"
+              << (stats.publishes == 1 ? "" : "es") << ", "
+              << stats.quarantined << " quarantined, " << stats.gc_evictions
+              << " evicted";
+    if (stats.publish_failures != 0)
+      std::cout << ", " << stats.publish_failures << " publish failure"
+                << (stats.publish_failures == 1 ? "" : "s");
+    std::cout << "\n";
+  }
 
   core::SuiteSummaryInfo info;
   info.total_scenarios = suite.size();
@@ -500,6 +577,7 @@ int main(int argc, char** argv) {
   info.shard = shard;
   info.include_timing = !omit_timing;
   if (sim_cache) info.sim_cache = sim_cache->stats();
+  if (sim_store) info.sim_store = sim_store->stats();
   if (!csv_path.empty()) {
     core::write_suite_csv(csv_path, records, info);
     std::cout << "sweep summary written to " << csv_path << "\n";

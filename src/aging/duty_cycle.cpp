@@ -39,6 +39,50 @@ void DutyCycleTracker::merge(const DutyCycleTracker& other) {
   }
 }
 
+void DutyCycleTracker::save(std::string& out) const {
+  util::append_u64le(out, cell_count());
+  util::append_u64le(out, regions_.size());
+  for (const CellRegion& region : regions_) {
+    util::append_sized_bytes(out, region.name);
+    util::append_u64le(out, region.cell_begin);
+    util::append_u64le(out, region.cell_end);
+  }
+  for (const std::uint32_t value : ones_time_) util::append_u32le(out, value);
+  for (const std::uint32_t value : total_time_) util::append_u32le(out, value);
+}
+
+DutyCycleTracker DutyCycleTracker::load(util::ByteReader& reader) {
+  const std::uint64_t cell_count = reader.u64("tracker cell count");
+  DNNLIFE_EXPECTS(cell_count > 0, "tracker needs at least one cell");
+  // Each cell contributes 8 bytes of accumulators; reject counts the
+  // buffer cannot possibly hold before allocating anything.
+  if (cell_count > reader.remaining() / 8)
+    throw std::invalid_argument("truncated input: tracker cell count " +
+                                std::to_string(cell_count) +
+                                " exceeds the remaining payload");
+  const std::uint64_t region_count = reader.u64("tracker region count");
+  if (region_count > cell_count)
+    throw std::invalid_argument("tracker region count " +
+                                std::to_string(region_count) +
+                                " exceeds the cell count");
+  std::vector<CellRegion> regions;
+  regions.reserve(static_cast<std::size_t>(region_count));
+  for (std::uint64_t i = 0; i < region_count; ++i) {
+    CellRegion region;
+    region.name = std::string(reader.sized_bytes("region name"));
+    region.cell_begin = reader.u64("region begin");
+    region.cell_end = reader.u64("region end");
+    regions.push_back(std::move(region));
+  }
+  DutyCycleTracker tracker(static_cast<std::size_t>(cell_count));
+  for (std::uint32_t& value : tracker.ones_time_)
+    value = reader.u32("tracker ones time");
+  for (std::uint32_t& value : tracker.total_time_)
+    value = reader.u32("tracker total time");
+  tracker.set_regions(std::move(regions));  // re-validates the partition
+  return tracker;
+}
+
 std::size_t DutyCycleTracker::unused_cell_count() const {
   return static_cast<std::size_t>(
       std::count(total_time_.begin(), total_time_.end(), 0u));

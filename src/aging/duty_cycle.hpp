@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "aging/environment.hpp"
+#include "util/binio.hpp"
 #include "util/bitops.hpp"
 #include "util/check.hpp"
 
@@ -107,6 +108,20 @@ class DutyCycleTracker {
   /// phases' accumulators). Region tags must agree when both trackers have
   /// them; an untagged tracker adopts the other side's tags.
   void merge(const DutyCycleTracker& other);
+
+  /// Append a canonical, platform-independent binary serialization of the
+  /// tracker — cell count, region tags, both accumulator arrays, all
+  /// explicit little-endian — to `out`. Bit-exact round trip through
+  /// load(); the disk simulation store (core/sim_store.hpp) persists
+  /// committed trackers through this pair.
+  void save(std::string& out) const;
+
+  /// Parse one tracker back from `reader`'s cursor (the exact inverse of
+  /// save; the cursor advances past the tracker). Throws
+  /// std::invalid_argument on truncated input or an invalid region
+  /// partition — the tags are re-validated through set_regions, so a
+  /// loaded tracker upholds the same invariants as a built one.
+  static DutyCycleTracker load(util::ByteReader& reader);
 
  private:
   /// Shared body of the dispatch and forced-scalar rows. All three payload

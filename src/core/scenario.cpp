@@ -9,6 +9,7 @@
 
 #include "core/policy_engine.hpp"
 #include "core/sim_cache.hpp"
+#include "core/sim_store.hpp"
 #include "core/workload.hpp"
 #include "dnn/model_zoo.hpp"
 #include "quant/word_codec.hpp"
@@ -526,15 +527,31 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
 ScenarioResult run_scenario(const ScenarioSpec& spec,
                             const RunScenarioOptions& options) {
   DNNLIFE_EXPECTS(!spec.phases.empty(), "scenario needs at least one phase");
-  if (!options.sim_cache) return evaluate_scenario(spec, *simulate_scenario(spec));
+  if (!options.sim_cache && !options.sim_store)
+    return evaluate_scenario(spec, *simulate_scenario(spec));
   const std::string fingerprint = simulation_fingerprint(spec);
-  SimCache::StatePtr state = options.sim_cache->lookup(fingerprint);
+  SimCache::StatePtr state =
+      options.sim_cache ? options.sim_cache->lookup(fingerprint) : nullptr;
+  if (!state && options.sim_store) {
+    // Memory miss: probe the disk tier. Invalid entries come back as
+    // misses (quarantined inside the store), never as errors.
+    state = options.sim_store->lookup(fingerprint);
+  }
   if (!state) {
-    // Miss: simulate and publish. insert is first-wins, so a concurrent
-    // racer of the same fingerprint converges on one canonical state
-    // (the SweepScheduler's single-flight parking avoids the redundant
+    // Both tiers missed: simulate, then publish to disk *before* the
+    // memory insert — the SweepScheduler releases parked same-fingerprint
+    // siblings only after this call returns, so by then the entry is
+    // durable and visible to sibling shards sharing the directory.
+    state = simulate_scenario(spec);
+    if (options.sim_store) options.sim_store->publish(fingerprint, *state);
+  }
+  if (options.sim_cache) {
+    // Write-through: disk hits and fresh simulations both land in the
+    // memory tier. insert is first-wins, so a concurrent racer of the
+    // same fingerprint converges on one canonical state (the
+    // SweepScheduler's single-flight parking avoids the redundant
     // compute in the first place; this is the correctness backstop).
-    state = options.sim_cache->insert(fingerprint, simulate_scenario(spec));
+    state = options.sim_cache->insert(fingerprint, std::move(state));
   }
   return evaluate_scenario(spec, *state);
 }

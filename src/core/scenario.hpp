@@ -114,15 +114,24 @@ class SimCache;  // core/sim_cache.hpp
 /// sizes so an unclassified addition fails the build's test suite.
 std::string simulation_fingerprint(const ScenarioSpec& spec);
 
+class SimStore;  // core/sim_store.hpp
+
 struct RunScenarioOptions {
   /// Shared duty-state cache. Non-null: look up the spec's fingerprint
   /// first and skip simulation on a hit, inserting on a miss; results are
   /// byte-identical to the cache-off path. Null: always simulate.
   std::shared_ptr<SimCache> sim_cache;
+  /// Disk tier under the cache (see core/sim_store.hpp). Non-null: a
+  /// memory miss probes the store before simulating, and fresh
+  /// simulations are durably published to it before the cache insert —
+  /// so re-runs, resumed crashes and sibling shards sharing the
+  /// directory reuse committed duty state across processes. Results stay
+  /// byte-identical to the store-off path.
+  std::shared_ptr<SimStore> sim_store;
 };
 
-/// Cache-aware run_scenario. With a null cache this is exactly the
-/// plain overload.
+/// Cache-aware run_scenario. With a null cache and store this is exactly
+/// the plain overload.
 ScenarioResult run_scenario(const ScenarioSpec& spec,
                             const RunScenarioOptions& options);
 

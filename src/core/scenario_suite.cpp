@@ -153,6 +153,7 @@ std::vector<SuiteOutcome> ScenarioSuite::run(
   scheduler_options.progress = options.progress;
   scheduler_options.expected_total = selection.size();
   scheduler_options.sim_cache = options.sim_cache;
+  scheduler_options.sim_store = options.sim_store;
   SweepScheduler scheduler(std::move(scheduler_options));
   std::vector<SweepScheduler::Handle> handles;
   handles.reserve(selection.size());
@@ -408,6 +409,15 @@ std::string suite_summary_json(std::span<const SuiteRecord> records,
         << ", \"evictions\": " << info.sim_cache->evictions
         << ", \"entries\": " << info.sim_cache->entries
         << ", \"bytes_in_use\": " << info.sim_cache->bytes_in_use << "}";
+  if (info.sim_store.has_value() && info.include_timing)
+    // Same include_timing rule as sim_cache: disk-tier effectiveness is a
+    // run property, and warm-store byte-compare gates run --omit-timing.
+    out << ", \"sim_store\": {\"hits\": " << info.sim_store->hits
+        << ", \"misses\": " << info.sim_store->misses
+        << ", \"publishes\": " << info.sim_store->publishes
+        << ", \"publish_failures\": " << info.sim_store->publish_failures
+        << ", \"quarantined\": " << info.sim_store->quarantined
+        << ", \"gc_evictions\": " << info.sim_store->gc_evictions << "}";
   if (std::isfinite(min_lifetime))
     out << ", \"min_device_lifetime_years\": "
         << util::Table::num(min_lifetime, 4)

@@ -33,6 +33,7 @@
 
 #include "core/scenario.hpp"
 #include "core/sim_cache.hpp"
+#include "core/sim_store.hpp"
 
 namespace dnnlife::util {
 class JsonValue;
@@ -135,6 +136,12 @@ struct SuiteRunOptions {
   /// concurrency. Null disables reuse. Summaries are byte-identical
   /// either way (--omit-timing).
   std::shared_ptr<SimCache> sim_cache;
+  /// Disk tier under the cache (core/sim_store.hpp): memory misses probe
+  /// the store directory and fresh simulations are durably published to
+  /// it, so re-runs, resumed crashes and sibling shards pointed at one
+  /// shared directory reuse committed duty state across processes. Null
+  /// disables the tier. Summaries are byte-identical either way.
+  std::shared_ptr<SimStore> sim_store;
 };
 
 class ScenarioSuite {
@@ -221,6 +228,9 @@ struct SuiteSummaryInfo {
   /// effectiveness is a run property (like wall time), and byte-compare
   /// gates diff cache-on vs cache-off summaries under --omit-timing.
   std::optional<SimCacheStats> sim_cache;
+  /// Disk-tier counters of the run's SimStore, under the same
+  /// include_timing rule as sim_cache.
+  std::optional<SimStoreStats> sim_store;
 };
 
 SuiteRecord make_suite_record(const SuiteOutcome& outcome);

@@ -10,11 +10,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fsio.hpp"
 #include "util/json.hpp"
 
-#if __has_include(<unistd.h>)
+#ifdef DNNLIFE_HAVE_FSYNC  // defined by util/fsio.hpp when <unistd.h> exists
 #include <unistd.h>
-#define DNNLIFE_HAVE_FSYNC 1
 #endif
 
 namespace dnnlife::core {
@@ -195,11 +195,9 @@ struct SweepJournal::State {
         std::fflush(file) != 0)
       throw std::runtime_error("journal '" + path +
                                "': write failed: " + std::strerror(errno));
-#ifdef DNNLIFE_HAVE_FSYNC
     // fflush hands the record to the kernel (enough to survive a SIGKILL);
     // fsync pushes it to the device, so even power loss keeps the prefix.
-    ::fsync(::fileno(file));
-#endif
+    util::fsync_stream(file);
   }
 };
 
@@ -273,13 +271,20 @@ SweepJournal SweepJournal::resume(const std::string& path,
         " them (--omit-timing must match across resume)");
 
   // Compact the valid prefix: crash debris (a torn final line) must never
-  // sit between the recovered records and fresh appends.
+  // sit between the recovered records and fresh appends. The tmp file is
+  // already on the device when the scope closes — write_line fsyncs every
+  // record — so the remaining durability step is the rename itself: a
+  // directory mutation, made durable by fsyncing the parent directory.
+  // Without that, power loss after resume could revert the directory
+  // entry to the pre-compaction file despite every record having been
+  // fsynced, silently resurrecting the torn tail mid-journal.
   const std::string tmp = path + ".tmp";
   {
     SweepJournal rewrite = create(tmp, expected);
     for (const SuiteRecord& record : contents.records) rewrite.append(record);
   }
   fs::rename(tmp, path);
+  util::fsync_parent_directory(path);
 
   SweepJournal journal;
   journal.state_ = std::make_unique<State>();

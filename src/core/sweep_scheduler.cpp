@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/sim_cache.hpp"
+#include "core/sim_store.hpp"
 #include "core/sweep_journal.hpp"
 #include "util/executor.hpp"
 #include "util/table.hpp"
@@ -108,8 +109,9 @@ struct SweepScheduler::PointState {
   SuiteEntry entry;
   bool replayed = false;
   util::Executor* executor = nullptr;
-  /// Simulation fingerprint, computed at submit time when a sim cache is
-  /// active (run_point fills it in lazily otherwise, for the record).
+  /// Simulation fingerprint, computed at submit time when a sim cache or
+  /// store is active (run_point fills it in lazily otherwise, for the
+  /// record).
   std::string fingerprint;
   /// True while this point owns its fingerprint group: it simulates, and
   /// same-fingerprint submissions park behind it until it completes.
@@ -216,9 +218,9 @@ struct SweepScheduler::Impl {
   mutable std::recursive_mutex mutex;
   std::deque<std::shared_ptr<PointState>> queue;
   std::unordered_map<std::size_t, SuiteRecord> replay;
-  // Single-flight bookkeeping (sim_cache only): fingerprints currently
-  // owned by a leading point, and the same-fingerprint siblings parked
-  // off the queue until their group's entry is committed.
+  // Single-flight bookkeeping (sim_cache and/or sim_store): fingerprints
+  // currently owned by a leading point, and the same-fingerprint siblings
+  // parked off the queue until their group's entry is committed.
   std::unordered_set<std::string> leaders;
   std::unordered_map<std::string, std::vector<std::shared_ptr<PointState>>>
       parked;
@@ -244,6 +246,7 @@ void SweepScheduler::Impl::run_point(PointState& state) {
   const unsigned max_attempts = 1 + options.retries;
   RunScenarioOptions run_options;
   run_options.sim_cache = options.sim_cache;
+  run_options.sim_store = options.sim_store;
   AttemptOutcome last;
   unsigned attempt = 1;
   for (;; ++attempt) {
@@ -373,19 +376,27 @@ SweepScheduler::Handle SweepScheduler::submit_locked(SuiteEntry entry,
     return Handle(std::move(state));
   }
   ++impl_->fresh_submitted;
-  if (impl_->options.sim_cache != nullptr) {
+  if (impl_->options.sim_cache != nullptr ||
+      impl_->options.sim_store != nullptr) {
     // Single-flight grouping: the first point of a fingerprint whose
-    // entry is not committed yet leads (it simulates); later
-    // same-fingerprint submissions park behind it and are released —
-    // straight to cache hits — when it completes. Already-cached
-    // fingerprints run normally (eviction before they run just costs a
-    // redundant simulation, caught by the cache's first-wins insert).
+    // entry is not committed in any tier yet leads (it simulates, and
+    // with a store, durably publishes); later same-fingerprint
+    // submissions park behind it and are released — straight to cache or
+    // store hits — when it completes. Already-committed fingerprints run
+    // normally (eviction before they run just costs a redundant
+    // simulation, caught by the cache's first-wins insert / the store's
+    // atomic rename).
     state->fingerprint = simulation_fingerprint(state->entry.spec);
     if (impl_->leaders.contains(state->fingerprint)) {
       impl_->parked[state->fingerprint].push_back(state);
       return Handle(std::move(state));
     }
-    if (!impl_->options.sim_cache->contains(state->fingerprint)) {
+    const bool committed =
+        (impl_->options.sim_cache != nullptr &&
+         impl_->options.sim_cache->contains(state->fingerprint)) ||
+        (impl_->options.sim_store != nullptr &&
+         impl_->options.sim_store->contains(state->fingerprint));
+    if (!committed) {
       impl_->leaders.insert(state->fingerprint);
       state->leads = true;
     }

@@ -77,6 +77,14 @@ class SweepScheduler {
     /// Held by shared_ptr because abandoned soft-deadline attempts may
     /// still touch the cache after the scheduler is gone.
     std::shared_ptr<SimCache> sim_cache;
+    /// Disk tier under the cache (core/sim_store.hpp). Non-null also
+    /// enables the single-flight grouping above (with or without a
+    /// memory cache): the leader of a fingerprint group durably
+    /// publishes its entry before its siblings are released, so even
+    /// store-only runs — and sibling shards sharing the directory —
+    /// simulate each distinct stream once. Same shared_ptr lifetime
+    /// rationale as the cache.
+    std::shared_ptr<SimStore> sim_store;
   };
 
   struct PointState;

@@ -1,0 +1,90 @@
+// Tiny explicit little-endian binary codec.
+//
+// The disk simulation store (core/sim_store.hpp) serializes tracker words
+// into files that may be read back by a different build on a different
+// machine, so the byte layout must be pinned — never memcpy of structs or
+// host-endian integers. Writers append to a std::string; readers consume
+// through a bounds-checked cursor that throws std::invalid_argument on
+// underflow instead of reading past the buffer.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dnnlife::util {
+
+inline void append_u32le(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xffu));
+}
+
+inline void append_u64le(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xffu));
+}
+
+/// Length-prefixed (u64) byte string.
+inline void append_sized_bytes(std::string& out, std::string_view bytes) {
+  append_u64le(out, bytes.size());
+  out.append(bytes.data(), bytes.size());
+}
+
+/// Bounds-checked forward cursor over a byte range. All reads throw
+/// std::invalid_argument (message says what was being read) rather than
+/// walking off the end — corrupt input must surface as a parse error.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - offset_; }
+  bool exhausted() const noexcept { return offset_ == data_.size(); }
+
+  std::uint32_t u32(const char* what) {
+    require(4, what);
+    std::uint32_t value = 0;
+    for (int shift = 0; shift < 32; shift += 8)
+      value |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(data_[offset_++]))
+               << shift;
+    return value;
+  }
+
+  std::uint64_t u64(const char* what) {
+    require(8, what);
+    std::uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 8)
+      value |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(data_[offset_++]))
+               << shift;
+    return value;
+  }
+
+  std::string_view bytes(std::size_t count, const char* what) {
+    require(count, what);
+    const std::string_view view = data_.substr(offset_, count);
+    offset_ += count;
+    return view;
+  }
+
+  std::string_view sized_bytes(const char* what) {
+    const std::uint64_t size = u64(what);
+    if (size > remaining())
+      throw std::invalid_argument(std::string("truncated input reading ") +
+                                  what);
+    return bytes(static_cast<std::size_t>(size), what);
+  }
+
+ private:
+  void require(std::size_t count, const char* what) const {
+    if (remaining() < count)
+      throw std::invalid_argument(std::string("truncated input reading ") +
+                                  what);
+  }
+
+  std::string_view data_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace dnnlife::util
